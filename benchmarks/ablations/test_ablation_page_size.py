@@ -1,0 +1,79 @@
+"""Ablation: page size vs page-table footprint and allocation behaviour.
+
+The paper defaults to 4 MB huge pages: the flat hash table then costs
+~0.4% of physical memory, and big allocations touch few buckets.  Smaller
+pages multiply PT entries (footprint, allocation-time hash work); larger
+pages waste memory for small allocations.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from bench_common import GB, KB, MB, make_cluster, run_app
+
+from repro.analysis.report import render_series
+
+PAGE_SIZES = [64 * KB, 2 * MB, 4 * MB, 16 * MB]
+CAPACITY = 2 * GB
+ALLOC = 64 * MB
+
+
+def profile(page_size: int) -> dict:
+    cluster = make_cluster(mn_capacity=CAPACITY, page_size=page_size)
+    board = cluster.mn
+    table = board.page_table
+    footprint_pct = 100.0 * table.footprint_bytes() / CAPACITY
+    stats = {}
+
+    def experiment():
+        start = cluster.env.now
+        response = yield from board.slow_path.handle_alloc(pid=1, size=ALLOC)
+        assert response.ok
+        stats["alloc_us"] = (cluster.env.now - start) / 1000
+        stats["retries"] = response.retries
+        # Internal fragmentation for a 100 KB object.
+        small = yield from board.slow_path.handle_alloc(pid=2, size=100 * KB)
+        stats["small_alloc_bytes"] = small.size
+
+    run_app(cluster, experiment())
+    return {
+        "footprint_pct": footprint_pct,
+        "pte_count_64MB": ALLOC // page_size,
+        "waste_100KB": stats["small_alloc_bytes"] - 100 * KB,
+        "alloc_us": stats["alloc_us"],
+        "retries": stats["retries"],
+    }
+
+
+def run_experiment():
+    return {size: profile(size) for size in PAGE_SIZES}
+
+
+def test_ablation_page_size(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print()
+    print(render_series(
+        "Ablation: page size trade-offs (2GB board, 64MB allocation)",
+        "page", [f"{size // KB}KB" for size in PAGE_SIZES],
+        {"PT % of mem": [round(results[s]["footprint_pct"], 3)
+                         for s in PAGE_SIZES],
+         "PTEs/64MB": [results[s]["pte_count_64MB"] for s in PAGE_SIZES],
+         "waste@100KB (KB)": [results[s]["waste_100KB"] // KB
+                              for s in PAGE_SIZES],
+         "alloc us": [round(results[s]["alloc_us"], 1)
+                      for s in PAGE_SIZES]}))
+
+    # Paper's 0.4% claim at the default page size.
+    assert results[4 * MB]["footprint_pct"] < 0.5
+
+    # Footprint shrinks as pages grow; waste grows as pages grow.
+    footprints = [results[s]["footprint_pct"] for s in PAGE_SIZES]
+    wastes = [results[s]["waste_100KB"] for s in PAGE_SIZES]
+    assert footprints == sorted(footprints, reverse=True)
+    assert wastes == sorted(wastes)
+
+    # Tiny pages make the PT footprint an order of magnitude bigger.
+    assert results[64 * KB]["footprint_pct"] > \
+        10 * results[4 * MB]["footprint_pct"]

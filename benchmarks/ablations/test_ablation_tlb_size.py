@@ -1,0 +1,71 @@
+"""Ablation: TLB size vs steady-state latency.
+
+The paper notes ("a real CBoard could use a larger TLB if optimal
+performance is desired"): for a working set of W pages, latency steps
+down by exactly one DRAM access once the TLB covers W.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from dataclasses import replace
+
+from bench_common import make_cluster, mean, run_app
+
+from repro.analysis.report import render_series
+from repro.core.addr import AccessType
+from repro.params import ClioParams
+
+TLB_SIZES = [16, 64, 256, 1024]
+WORKING_SET_PAGES = 128
+OPS = 256
+
+
+def latency_with_tlb(entries: int) -> float:
+    base = ClioParams.prototype()
+    params = replace(base, cboard=replace(base.cboard, tlb_entries=entries))
+    cluster = make_cluster(mn_capacity=2 << 30, params=params)
+    board = cluster.mn
+    page = board.page_spec.page_size
+    samples = []
+
+    def experiment():
+        response = yield from board.slow_path.handle_alloc(
+            pid=1, size=WORKING_SET_PAGES * page)
+        va = response.va
+        for index in range(WORKING_SET_PAGES):
+            yield from board.execute_local(1, AccessType.WRITE,
+                                           va + index * page, 16, b"w" * 16)
+        for index in range(OPS):
+            target = va + (index % WORKING_SET_PAGES) * page
+            start = cluster.env.now
+            yield from board.execute_local(1, AccessType.READ, target, 16)
+            samples.append(cluster.env.now - start)
+
+    run_app(cluster, experiment())
+    return mean(samples) / 1000
+
+
+def run_experiment():
+    return [latency_with_tlb(entries) for entries in TLB_SIZES]
+
+
+def test_ablation_tlb_size(benchmark):
+    latencies = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print()
+    print(render_series(
+        f"Ablation: TLB entries vs latency ({WORKING_SET_PAGES}-page set)",
+        "TLB entries", TLB_SIZES,
+        {"latency (us)": [round(v, 3) for v in latencies]}))
+
+    # Latency is monotone non-increasing in TLB size...
+    for smaller, larger in zip(latencies, latencies[1:]):
+        assert larger <= smaller + 1e-9
+    # ...with a knee once the TLB covers the working set.
+    covered = [latency for size, latency in zip(TLB_SIZES, latencies)
+               if size >= WORKING_SET_PAGES]
+    thrashed = [latency for size, latency in zip(TLB_SIZES, latencies)
+                if size < WORKING_SET_PAGES]
+    assert min(thrashed) - max(covered) > 0.2   # ~ one DRAM access (0.3us)

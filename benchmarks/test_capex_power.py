@@ -1,0 +1,51 @@
+"""Section 7.3 CapEx/power table: server-based MN versus CBoard.
+
+Paper result, hosting 1 TB: a server-based MN costs 1.1-1.5x and draws
+1.9-2.7x the power of a CBoard with DRAM; with Optane the gaps grow to
+1.4-2.5x cost and 5.1-8.6x power.
+"""
+
+from repro.analysis.report import render_table
+from repro.energy.capex import MemoryMedia, compare_mn_options
+
+TB = 1 << 40
+
+
+def run_experiment():
+    return {
+        media: compare_mn_options(capacity_bytes=TB, media=media)
+        for media in MemoryMedia
+    }
+
+
+def test_capex_power(benchmark):
+    comparisons = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for media, comparison in comparisons.items():
+        rows.append([
+            media.value,
+            round(comparison.server.capex_usd),
+            round(comparison.cboard.capex_usd),
+            round(comparison.cost_ratio, 2),
+            round(comparison.server.power_watt),
+            round(comparison.cboard.power_watt),
+            round(comparison.power_ratio, 2),
+        ])
+    print()
+    print(render_table(
+        "Section 7.3: 1TB memory node — server vs CBoard",
+        ["media", "srv_$", "cb_$", "cost_x", "srv_W", "cb_W", "power_x"],
+        rows, width=10))
+
+    dram = comparisons[MemoryMedia.DRAM]
+    optane = comparisons[MemoryMedia.OPTANE]
+
+    # Paper bands.
+    assert 1.1 <= dram.cost_ratio <= 1.5
+    assert 1.9 <= dram.power_ratio <= 2.7
+    assert 1.4 <= optane.cost_ratio <= 2.5
+    assert 5.1 <= optane.power_ratio <= 8.6
+
+    # The gaps grow when moving from DRAM to Optane.
+    assert optane.power_ratio > dram.power_ratio
+    assert optane.cost_ratio > dram.cost_ratio

@@ -1,0 +1,179 @@
+"""Figure 5: scalability with respect to PTEs and memory regions.
+
+Paper result: RDMA degrades once the touched PTE working set exceeds the
+RNIC's MTT cache (2^8 local cluster, 2^12 CloudLab) and degrades even
+worse with MRs — failing outright beyond 2^18 MRs.  Clio shows exactly
+two flat levels — TLB hit below the TLB size, TLB miss (one DRAM access)
+above — and never fails, up to table sizes corresponding to 4 TB.
+"""
+
+from bench_common import KB, MB, make_cluster, mean, median, run_app
+
+import pytest
+
+from repro.analysis.report import render_series
+from repro.baselines.rdma import MRRegistrationError, RDMAMemoryNode
+from repro.core.addr import AccessType
+from repro.params import ClioParams
+from repro.sim import Environment
+
+PTE_COUNTS = [2 ** n for n in (2, 4, 6, 8, 10, 12, 14)]
+MR_COUNTS = [2 ** n for n in (2, 4, 6, 8, 10, 12)]
+OPS = 400
+
+
+def clio_pte_sweep() -> list[float]:
+    """Mean read latency (us) touching N distinct pages, via the board.
+
+    Uses 4 KB pages over a 4 GB board: a million-entry page table, like
+    mapping terabytes with huge pages — the table never overflows and
+    lookups stay at one DRAM access.
+    """
+    results = []
+    for pages in PTE_COUNTS:
+        cluster = make_cluster(mn_capacity=4 << 30, page_size=4 * KB)
+        board = cluster.mn
+        latencies = []
+
+        def experiment(pages=pages, latencies=latencies):
+            response = yield from board.slow_path.handle_alloc(
+                pid=1, size=pages * 4 * KB)
+            assert response.ok
+            va = response.va
+            # First touch every page (faults happen here, off-measurement).
+            for index in range(pages):
+                yield from board.execute_local(
+                    1, AccessType.WRITE, va + index * 4 * KB, 16, b"y" * 16)
+            for index in range(OPS):
+                target = va + (index % pages) * 4 * KB
+                start = cluster.env.now
+                result = yield from board.execute_local(
+                    1, AccessType.READ, target, 16)
+                assert result.status.value == "ok"
+                latencies.append(cluster.env.now - start)
+
+        run_app(cluster, experiment())
+        results.append(mean(latencies) / 1000)
+    return results
+
+
+def rdma_pte_sweep(params: ClioParams | None = None) -> list[float]:
+    """Median RDMA read latency (us) touching N distinct host pages."""
+    results = []
+    for pages in PTE_COUNTS:
+        env = Environment()
+        node = RDMAMemoryNode(env, params or ClioParams.prototype(),
+                              dram_capacity=1 << 30)
+        latencies = []
+
+        def experiment(pages=pages, latencies=latencies):
+            region = yield from node.register_mr(pages * 4 * KB, pinned=True)
+            qp = node.create_qp()
+            # Warmup pass: compulsory misses happen here, not in the
+            # measurement (the figure is about *capacity* behaviour).
+            for index in range(pages):
+                yield from node.read(qp, region, index * 4 * KB, 16)
+            for index in range(OPS):
+                offset = (index % pages) * 4 * KB
+                _, latency = yield from node.read(qp, region, offset, 16)
+                latencies.append(latency)
+
+        env.run(until=env.process(experiment()))
+        # Median: isolates the cache-miss mechanism from RDMA's heavy
+        # tail jitter (which Figure 7 covers separately).
+        results.append(median(latencies) / 1000)
+    return results
+
+
+def rdma_mr_sweep() -> tuple[list[float], int]:
+    """Mean RDMA latency (us) across N MRs, plus the MR failure bound."""
+    results = []
+    for mrs in MR_COUNTS:
+        env = Environment()
+        node = RDMAMemoryNode(env, ClioParams.prototype(),
+                              dram_capacity=1 << 30)
+        latencies = []
+
+        def experiment(mrs=mrs, latencies=latencies):
+            regions = []
+            for _ in range(mrs):
+                region = yield from node.register_mr(4 * KB, pinned=True)
+                regions.append(region)
+            qp = node.create_qp()
+            for index in range(OPS):
+                region = regions[index % len(regions)]
+                _, latency = yield from node.read(qp, region, 0, 16)
+                latencies.append(latency)
+
+        env.run(until=env.process(experiment()))
+        results.append(median(latencies) / 1000)
+    return results, ClioParams.prototype().rdma.max_mrs
+
+
+def run_experiment():
+    return {
+        "clio_pte": clio_pte_sweep(),
+        "rdma_pte": rdma_pte_sweep(),
+        "rdma_pte_cloudlab": rdma_pte_sweep(ClioParams.cloudlab()),
+        "rdma_mr": rdma_mr_sweep()[0],
+    }
+
+
+def test_fig05_pte_mr_scalability(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    clio_pte = results["clio_pte"]
+    rdma_pte = results["rdma_pte"]
+    cloudlab = results["rdma_pte_cloudlab"]
+    rdma_mr = results["rdma_mr"]
+    print()
+    print(render_series("Figure 5a: latency vs #PTEs touched (16B read)",
+                        "pages", PTE_COUNTS,
+                        {"Clio (us)": clio_pte, "RDMA (us)": rdma_pte,
+                         "RDMA CloudLab": cloudlab}))
+    print(render_series("Figure 5b: RDMA latency vs #MRs",
+                        "MRs", MR_COUNTS, {"RDMA (us)": rdma_mr}))
+
+    # Clio: two levels — all-TLB-hit below 64 pages, all-miss above —
+    # and the miss level costs about one extra DRAM access (~0.3us).
+    tlb = 64
+    hit_level = [latency for pages, latency in zip(PTE_COUNTS, clio_pte)
+                 if pages <= tlb // 2]
+    miss_level = [latency for pages, latency in zip(PTE_COUNTS, clio_pte)
+                  if pages > tlb * 2]
+    assert max(hit_level) < min(miss_level)
+    assert max(miss_level) - min(hit_level) < 1.0   # < 1us: one DRAM access
+    # The miss level itself is flat: no degradation out to 2^14 pages.
+    assert max(miss_level) <= min(miss_level) * 1.1
+
+    # RDMA: flat while PTEs fit the 2^8 MTT cache, then climbs.
+    idx_256 = PTE_COUNTS.index(256)
+    assert rdma_pte[-1] > rdma_pte[idx_256 - 1] * 1.3
+
+    # CloudLab (ConnectX-5): same cliff, but at 2^12 (bigger MTT cache) —
+    # still flat at 2^10 where the local-cluster RNIC already degraded.
+    idx_1024 = PTE_COUNTS.index(1024)
+    assert cloudlab[idx_1024] <= cloudlab[0] * 1.15
+    assert rdma_pte[idx_1024] > rdma_pte[0] * 1.3
+    assert cloudlab[-1] > cloudlab[0] * 1.2   # degraded by 2^14
+
+    # RDMA MR scalability is worse than PTE scalability at equal counts.
+    idx = MR_COUNTS.index(4096)
+    assert rdma_mr[idx] >= rdma_pte[PTE_COUNTS.index(4096)]
+
+
+def test_fig05_rdma_fails_beyond_mr_limit(benchmark):
+    """RDMA cannot run beyond 2^18 MRs at all; Clio has no such cliff."""
+    def attempt():
+        env = Environment()
+        node = RDMAMemoryNode(env, ClioParams.prototype(),
+                              dram_capacity=1 << 30)
+        node._mrs = dict.fromkeys(range(node.rdma.max_mrs))  # at the limit
+
+        def register():
+            yield from node.register_mr(4 * KB)
+
+        with pytest.raises(MRRegistrationError):
+            env.run(until=env.process(register()))
+        return True
+
+    assert benchmark.pedantic(attempt, rounds=1, iterations=1)

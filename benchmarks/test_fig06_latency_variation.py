@@ -1,0 +1,140 @@
+"""Figure 6: 16B access latency under TLB hit / miss / page fault / MR miss.
+
+Paper result: RDMA degrades sharply with misses, and its ODP page fault
+costs 16.8 ms — 14100x a no-fault access.  Clio's TLB miss adds only one
+DRAM access and its hardware page fault adds almost nothing (bounded
+3-cycle handling off a pre-reserved page).  The ASIC projection brings
+Clio's read below RDMA.
+"""
+
+from bench_common import KB, MB, make_cluster, mean, run_app
+
+from repro.analysis.report import render_table
+from repro.baselines.rdma import RDMAMemoryNode
+from repro.params import ClioParams
+from repro.sim import Environment
+
+OPS = 250
+
+
+def clio_states(params=None) -> dict[str, float]:
+    """End-to-end 16B read/write latency (us) per translation state."""
+    results = {}
+    for write in (False, True):
+        cluster = make_cluster(mn_capacity=8 << 30, params=params)
+        thread = cluster.cn(0).process("mn0").thread()
+        board = cluster.mn
+        page = board.page_spec.page_size
+        tlb_entries = board.tlb.capacity
+        samples = {"hit": [], "miss": [], "fault": []}
+
+        def app():
+            region = yield from thread.ralloc((tlb_entries * 4 + OPS) * page)
+
+            def one(offset):
+                start = cluster.env.now
+                if write:
+                    yield from thread.rwrite(region + offset, b"z" * 16)
+                else:
+                    yield from thread.rread(region + offset, 16)
+                return cluster.env.now - start
+
+            # Prime pages 0..2*tlb so hit/miss states have present PTEs.
+            for index in range(tlb_entries * 2):
+                yield from thread.rwrite(region + index * page, b"p" * 16)
+
+            for op in range(OPS):
+                # TLB hit: re-access the same page back to back.
+                yield from one(0)
+                samples["hit"].append((yield from one(0)))
+                # TLB miss: cycle a working set 2x the TLB, so every
+                # access misses but the page is present.
+                victim = (op % tlb_entries) + tlb_entries
+                samples["miss"].append((yield from one(victim * page)))
+                # Page fault: first touch of a never-accessed page.
+                fresh = tlb_entries * 4 + op
+                samples["fault"].append((yield from one(fresh * page)))
+
+        run_app(cluster, app())
+        op_name = "write" if write else "read"
+        for state, values in samples.items():
+            results[f"{op_name}/{state}"] = mean(values) / 1000
+    return results
+
+
+def rdma_states() -> dict[str, float]:
+    """RDMA 16B latency (us): PTE hit / PTE+MR miss / ODP page fault."""
+    env = Environment()
+    node = RDMAMemoryNode(env, ClioParams.prototype(), dram_capacity=2 << 30)
+    results = {}
+    samples = {"hit": [], "miss": [], "fault": []}
+
+    def app():
+        pinned = yield from node.register_mr(256 * MB, pinned=True)
+        odp = yield from node.register_mr(256 * MB, pinned=False)
+        decoys = []
+        for _ in range(8):
+            decoys.append((yield from node.register_mr(4 * KB, pinned=True)))
+        qp = node.create_qp()
+
+        for op in range(OPS):
+            # Hit: same page, hot caches.
+            _, latency = yield from node.read(qp, pinned, 0, 16)
+            _, latency = yield from node.read(qp, pinned, 0, 16)
+            samples["hit"].append(latency)
+            # Miss: thrash the PTE cache with a huge working set, and the
+            # MR cache by touching many decoy MRs in between.
+            for decoy in decoys:
+                yield from node.read(qp, decoy, 0, 16)
+            far = (op % 512) * 512 * KB
+            _, latency = yield from node.read(qp, pinned, far, 16)
+            samples["miss"].append(latency)
+            # Page fault: first write into a fresh ODP page.
+            latency = yield from node.write(qp, odp, op * 4 * KB, b"z" * 16)
+            samples["fault"].append(latency)
+
+    env.run(until=env.process(app()))
+    for state, values in samples.items():
+        results[f"read/{state}" if state != "fault" else "write/fault"] = (
+            mean(values) / 1000)
+    return results
+
+
+def run_experiment():
+    return {
+        "clio": clio_states(),
+        "clio_asic": clio_states(params=ClioParams.asic_projection()),
+        "rdma": rdma_states(),
+    }
+
+
+def test_fig06_latency_variation(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    clio, asic, rdma = results["clio"], results["clio_asic"], results["rdma"]
+    rows = [
+        ["Clio read", clio["read/hit"], clio["read/miss"], clio["read/fault"]],
+        ["Clio write", clio["write/hit"], clio["write/miss"],
+         clio["write/fault"]],
+        ["Clio(ASIC) read", asic["read/hit"], asic["read/miss"],
+         asic["read/fault"]],
+        ["RDMA read", rdma["read/hit"], rdma["read/miss"], "-"],
+        ["RDMA write fault", "-", "-", rdma["write/fault"]],
+    ]
+    print()
+    print(render_table("Figure 6: 16B latency by translation state (us)",
+                       ["system", "TLB/PTE hit", "miss", "page fault"],
+                       rows))
+
+    # Clio: TLB miss adds roughly one DRAM access (well under 1us).
+    assert clio["read/miss"] - clio["read/hit"] < 1.0
+    # Clio: page fault costs barely more than a TLB miss (bounded fault).
+    assert clio["read/fault"] < clio["read/miss"] * 1.25
+    assert clio["write/fault"] < clio["write/miss"] * 1.25
+
+    # RDMA: ODP fault is catastrophically slower (paper: 16.8 ms).
+    assert rdma["write/fault"] > 10_000            # > 10 ms in us units
+    assert rdma["write/fault"] > clio["write/fault"] * 1000
+
+    # ASIC projection beats the FPGA prototype and the RDMA read.
+    assert asic["read/hit"] < clio["read/hit"]
+    assert asic["read/hit"] < rdma["read/hit"]

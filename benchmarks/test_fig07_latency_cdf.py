@@ -1,0 +1,102 @@
+"""Figure 7: request latency CDF of continuous 16B reads/writes.
+
+Paper result: Clio's deterministic pipeline yields 2.5 us median and
+3.2 us 99th-percentile end-to-end latency — a nearly vertical CDF — while
+RDMA shows a long tail reaching into the tens of microseconds and beyond
+(up to milliseconds when the host stack hiccups).
+"""
+
+from bench_common import MB, clio_primed_thread, make_cluster, median, p99, run_app
+
+from repro.analysis.report import render_table
+from repro.analysis.stats import percentile
+from repro.baselines.rdma import RDMAMemoryNode
+from repro.params import ClioParams
+from repro.sim import Environment
+
+OPS = 8000
+SIZE = 16
+
+
+def clio_samples(write: bool) -> list[int]:
+    cluster = make_cluster(mn_capacity=1 << 30)
+    thread, va = clio_primed_thread(cluster, region_bytes=4 * MB)
+    latencies: list[int] = []
+    payload = b"w" * SIZE
+
+    def workload():
+        for _ in range(OPS):
+            start = cluster.env.now
+            if write:
+                yield from thread.rwrite(va, payload)
+            else:
+                yield from thread.rread(va, SIZE)
+            latencies.append(cluster.env.now - start)
+
+    run_app(cluster, workload())
+    return latencies
+
+
+def rdma_samples(write: bool) -> list[int]:
+    env = Environment()
+    node = RDMAMemoryNode(env, ClioParams.prototype(), dram_capacity=1 << 30)
+    latencies: list[int] = []
+
+    def workload():
+        region = yield from node.register_mr(4 * MB, pinned=True)
+        qp = node.create_qp()
+        payload = b"w" * SIZE
+        for _ in range(OPS):
+            if write:
+                latency = yield from node.write(qp, region, 0, payload)
+            else:
+                _, latency = yield from node.read(qp, region, 0, SIZE)
+            latencies.append(latency)
+
+    env.run(until=env.process(workload()))
+    return latencies
+
+
+def run_experiment():
+    return {
+        "clio_read": clio_samples(write=False),
+        "clio_write": clio_samples(write=True),
+        "rdma_read": rdma_samples(write=False),
+        "rdma_write": rdma_samples(write=True),
+    }
+
+
+def test_fig07_latency_cdf(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for name, samples in results.items():
+        rows.append([
+            name,
+            median(samples) / 1000,
+            percentile(samples, 0.99) / 1000,
+            percentile(samples, 0.999) / 1000,
+            max(samples) / 1000,
+        ])
+    print()
+    print(render_table("Figure 7: 16B latency distribution (us)",
+                       ["series", "median", "p99", "p99.9", "max"], rows))
+
+    clio_read = results["clio_read"]
+    rdma_read = results["rdma_read"]
+
+    # Clio: ~2.5us median, ~3.2us p99 — a tight distribution.
+    med = median(clio_read) / 1000
+    tail = p99(clio_read) / 1000
+    assert 2.0 <= med <= 3.0
+    assert tail <= 4.0
+    assert tail / med < 1.6          # paper: 3.2/2.5 = 1.28
+
+    # RDMA: similar median, far longer tail (orders of magnitude at p99.9).
+    assert p99(rdma_read) / median(rdma_read) > 2.0
+    assert percentile(rdma_read, 0.999) / median(rdma_read) > 10
+    assert max(rdma_read) > max(clio_read) * 5
+
+    # Writes show the same separation.
+    assert p99(results["clio_write"]) / median(results["clio_write"]) < 1.6
+    assert (p99(results["rdma_write"]) / median(results["rdma_write"])
+            > p99(results["clio_write"]) / median(results["clio_write"]))

@@ -1,0 +1,180 @@
+"""Figures 10 & 11: read/write latency vs request size across systems.
+
+Paper result: Clio's latency is similar to HERD and close to native
+RDMA (despite the FPGA's low clock).  Clover's write is worst (>= 2 RTTs
+for consistency with a passive MN).  HERD-BF sits far above host-CPU HERD
+(chip-to-chip crossing).  LegoOS is ~2x Clio at small sizes (software MN).
+"""
+
+from bench_common import KB, MB, make_cluster, median, clio_primed_thread, run_app
+
+from repro.analysis.report import render_series
+from repro.baselines.clover import CloverStore
+from repro.baselines.herd import HERDServer
+from repro.baselines.legoos import LegoOSMemoryNode
+from repro.baselines.rdma import RDMAMemoryNode
+from repro.params import ClioParams
+from repro.sim import Environment
+
+SIZES = [16, 64, 256, 1 * KB]
+OPS = 120
+
+
+def clio_latencies(write: bool) -> list[float]:
+    cluster = make_cluster(mn_capacity=1 << 30)
+    thread, va = clio_primed_thread(cluster, region_bytes=4 * MB)
+    out = []
+    for size in SIZES:
+        payload = b"c" * size
+        samples = []
+
+        def workload(size=size, samples=samples, payload=payload):
+            for _ in range(OPS):
+                start = cluster.env.now
+                if write:
+                    yield from thread.rwrite(va, payload)
+                else:
+                    yield from thread.rread(va, size)
+                samples.append(cluster.env.now - start)
+
+        run_app(cluster, workload())
+        out.append(median(samples) / 1000)
+    return out
+
+
+def rdma_latencies(write: bool) -> list[float]:
+    env = Environment()
+    node = RDMAMemoryNode(env, ClioParams.prototype(), dram_capacity=1 << 30)
+    out = []
+
+    def experiment():
+        region = yield from node.register_mr(4 * MB, pinned=True)
+        qp = node.create_qp()
+        for size in SIZES:
+            payload = b"r" * size
+            samples = []
+            for _ in range(OPS):
+                if write:
+                    latency = yield from node.write(qp, region, 0, payload)
+                else:
+                    _, latency = yield from node.read(qp, region, 0, size)
+                samples.append(latency)
+            out.append(median(samples) / 1000)
+
+    env.run(until=env.process(experiment()))
+    return out
+
+
+def clover_latencies(write: bool) -> list[float]:
+    """Clover as PDM: reads 1 RTT, writes >= 2 RTTs (client-managed)."""
+    env = Environment()
+    store = CloverStore(env, ClioParams.prototype(), dram_capacity=1 << 30)
+    out = []
+
+    def experiment():
+        yield from store.setup()
+        for size in SIZES:
+            payload = b"v" * size
+            key = b"bench-key"
+            yield from store.put(key, payload)
+            samples = []
+            for _ in range(OPS):
+                if write:
+                    latency = yield from store.put(key, payload)
+                else:
+                    _, latency = yield from store.get(key)
+                samples.append(latency)
+            out.append(median(samples) / 1000)
+
+    env.run(until=env.process(experiment()))
+    return out
+
+
+def herd_latencies(write: bool, on_bluefield: bool) -> list[float]:
+    env = Environment()
+    server = HERDServer(env, ClioParams.prototype(),
+                        on_bluefield=on_bluefield, dram_capacity=1 << 30)
+    out = []
+
+    def experiment():
+        for size in SIZES:
+            payload = b"h" * size
+            samples = []
+            for _ in range(OPS):
+                if write:
+                    latency = yield from server.raw_write(0, payload)
+                else:
+                    _, latency = yield from server.raw_read(0, size)
+                samples.append(latency)
+            out.append(median(samples) / 1000)
+
+    env.run(until=env.process(experiment()))
+    return out
+
+
+def legoos_latencies(write: bool) -> list[float]:
+    env = Environment()
+    node = LegoOSMemoryNode(env, ClioParams.prototype(),
+                            dram_capacity=1 << 30)
+    node.map_range(pid=1, va=0, size=4 * MB)
+    out = []
+
+    def experiment():
+        for size in SIZES:
+            payload = b"l" * size
+            samples = []
+            for _ in range(OPS):
+                if write:
+                    latency = yield from node.write(1, 0, payload)
+                else:
+                    _, latency = yield from node.read(1, 0, size)
+                samples.append(latency)
+            out.append(median(samples) / 1000)
+
+    env.run(until=env.process(experiment()))
+    return out
+
+
+def run_experiment():
+    systems = {}
+    for write in (False, True):
+        key = "write" if write else "read"
+        systems[key] = {
+            "Clio": clio_latencies(write),
+            "RDMA": rdma_latencies(write),
+            "Clover": clover_latencies(write),
+            "HERD": herd_latencies(write, on_bluefield=False),
+            "HERD-BF": herd_latencies(write, on_bluefield=True),
+            "LegoOS": legoos_latencies(write),
+        }
+    return systems
+
+
+def test_fig10_11_latency_comparison(benchmark):
+    systems = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print()
+    for figure, key in (("Figure 10: read latency (us)", "read"),
+                        ("Figure 11: write latency (us)", "write")):
+        print(render_series(figure, "size_B", SIZES,
+                            {name: [round(v, 2) for v in series]
+                             for name, series in systems[key].items()}))
+
+    reads, writes = systems["read"], systems["write"]
+
+    # Clio similar to HERD, close to RDMA (within ~2x at small sizes).
+    assert reads["Clio"][0] < reads["HERD"][0] * 1.5
+    assert reads["Clio"][0] < reads["RDMA"][0] * 2.0
+
+    # Clover write is the worst (>= 2 RTTs for its consistency).
+    for index in range(len(SIZES)):
+        for other in ("Clio", "RDMA", "HERD", "LegoOS"):
+            assert writes["Clover"][index] > writes[other][index]
+    assert writes["Clover"][0] > 1.4 * reads["Clover"][0]
+
+    # HERD-BF far above host HERD (chip-to-chip crossing).
+    for index in range(len(SIZES)):
+        assert reads["HERD-BF"][index] > reads["HERD"][index] + 2.0
+
+    # LegoOS roughly 2x Clio at small sizes (software MN handling).
+    ratio = reads["LegoOS"][0] / reads["Clio"][0]
+    assert 1.4 <= ratio <= 3.0

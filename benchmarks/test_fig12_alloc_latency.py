@@ -1,0 +1,114 @@
+"""Figure 12: allocation/registration latency vs size.
+
+Paper result: Clio's PA allocation takes under 20 us regardless of size
+(it hands out pre-reserved pages); VA allocation is much faster than RDMA
+MR registration (which pays per-page pinning), though both grow with
+size.  ODP registration skips pinning but shifts the cost to 16.8 ms
+faults at access time (Figure 6).
+"""
+
+from bench_common import GB, KB, MB, make_cluster, mean, run_app
+
+from repro.analysis.report import render_series
+from repro.baselines.rdma import RDMAMemoryNode
+from repro.params import ClioParams
+from repro.sim import Environment
+
+SIZES = [4 * KB, 1 * MB, 64 * MB, 1 * GB]
+ROUNDS = 10
+
+
+def clio_va_alloc_us() -> list[float]:
+    """Slow-path VA allocation latency per size (fresh board per size)."""
+    out = []
+    for size in SIZES:
+        cluster = make_cluster(mn_capacity=8 << 30)
+        board = cluster.mn
+        samples = []
+
+        def experiment(size=size, samples=samples):
+            for round_index in range(ROUNDS):
+                start = cluster.env.now
+                response = yield from board.slow_path.handle_alloc(
+                    pid=round_index + 1, size=size)
+                assert response.ok
+                samples.append(cluster.env.now - start)
+                yield from board.slow_path.handle_free(
+                    pid=round_index + 1, va=response.va)
+
+        run_app(cluster, experiment())
+        out.append(mean(samples) / 1000)
+    return out
+
+
+def clio_pa_alloc_us() -> float:
+    cluster = make_cluster(mn_capacity=8 << 30)
+    board = cluster.mn
+    samples = []
+
+    def experiment():
+        for _ in range(ROUNDS):
+            start = cluster.env.now
+            yield from board.slow_path.single_pa_alloc()
+            samples.append(cluster.env.now - start)
+
+    run_app(cluster, experiment())
+    return mean(samples) / 1000
+
+
+def rdma_mr_register_us(pinned: bool) -> list[float]:
+    out = []
+    for size in SIZES:
+        env = Environment()
+        node = RDMAMemoryNode(env, ClioParams.prototype(),
+                              dram_capacity=8 << 30)
+        samples = []
+
+        def experiment(size=size, samples=samples):
+            for _ in range(ROUNDS):
+                start = env.now
+                region = yield from node.register_mr(size, pinned=pinned)
+                samples.append(env.now - start)
+                yield from node.deregister_mr(region)
+
+        env.run(until=env.process(experiment()))
+        out.append(mean(samples) / 1000)
+    return out
+
+
+def run_experiment():
+    return {
+        "clio_va": clio_va_alloc_us(),
+        "clio_pa": clio_pa_alloc_us(),
+        "mr_pinned": rdma_mr_register_us(pinned=True),
+        "mr_odp": rdma_mr_register_us(pinned=False),
+    }
+
+
+def test_fig12_alloc_latency(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print()
+    print(render_series(
+        "Figure 12: allocation latency (us)", "size_B", SIZES,
+        {"Clio VA alloc": [round(v, 1) for v in results["clio_va"]],
+         "RDMA MR reg": [round(v, 1) for v in results["mr_pinned"]],
+         "RDMA MR (ODP)": [round(v, 1) for v in results["mr_odp"]]}))
+    print(f"Clio PA allocation: {results['clio_pa']:.1f} us "
+          f"(paper: < 20 us, size-independent)")
+
+    # PA allocation below 20us.
+    assert results["clio_pa"] < 20.0
+
+    # VA allocation far cheaper than pinned MR registration at size.
+    assert results["clio_va"][-1] < results["mr_pinned"][-1] / 10
+
+    # MR registration grows steeply with size (per-page pinning).
+    assert results["mr_pinned"][-1] > results["mr_pinned"][0] * 50
+
+    # ODP registration cheaper than pinned (cost deferred to faults).
+    for odp, pinned in zip(results["mr_odp"], results["mr_pinned"]):
+        assert odp <= pinned
+
+    # VA allocation is roughly size-independent at these scales (the tree
+    # search dominates, not the page count).
+    assert results["clio_va"][-1] < results["clio_va"][0] * 20

@@ -1,0 +1,100 @@
+"""Figure 15: image-compression runtime per client vs number of clients.
+
+Paper result: Clio's per-client runtime stays (nearly) flat as clients
+are added, because isolation costs nothing at the MN (a PID per process).
+RDMA does not scale: every client must register its own MR for protected
+access, and MR registration + MR-cache pressure grow with the client
+count.
+"""
+
+from bench_common import GB, make_cluster, mean, run_app
+
+from dataclasses import replace
+
+from repro.analysis.report import render_series
+from repro.apps.image_compression import (
+    ImageCompressionClient,
+    RDMAImageCompressionClient,
+)
+from repro.baselines.rdma import RDMAMemoryNode
+from repro.params import ClioParams
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+
+CLIENTS = [1, 2, 4, 8]
+OPERATIONS = 2
+IMAGE_SIDE = 32
+
+
+def clio_runtime_us(num_clients: int) -> float:
+    cluster = make_cluster(num_cns=4, mn_capacity=2 * GB)
+    rng = RandomStream(11, "fig15")
+    runtimes = []
+    procs = []
+    for index in range(num_clients):
+        thread = cluster.cn(index % 4).process("mn0").thread()
+        client = ImageCompressionClient(thread, rng.fork(f"c{index}"),
+                                        image_side=IMAGE_SIDE, slots=2)
+
+        def workload(client=client):
+            started = cluster.env.now
+            yield from client.setup()    # allocation + upload
+            yield from client.run_workload(OPERATIONS)
+            runtimes.append(cluster.env.now - started)
+
+        procs.append(cluster.env.process(workload()))
+    cluster.run(until=cluster.env.all_of(procs))
+    return mean(runtimes) / 1000
+
+
+def rdma_runtime_us(num_clients: int) -> float:
+    env = Environment()
+    # A small MR cache pressured by per-client MRs (each client needs its
+    # own MR for protection; with many clients the cache thrashes).
+    params = ClioParams.prototype()
+    params = replace(params, rdma=replace(params.rdma, mr_cache_entries=4,
+                                          pte_cache_entries=64))
+    node = RDMAMemoryNode(env, params, dram_capacity=2 * GB)
+    rng = RandomStream(11, "fig15-rdma")
+    runtimes = []
+    procs = []
+    for index in range(num_clients):
+        client = RDMAImageCompressionClient(env, node, rng.fork(f"c{index}"),
+                                            image_side=IMAGE_SIDE, slots=2)
+
+        def workload(client=client):
+            started = env.now
+            yield from client.setup()       # includes MR registration
+            yield from client.run_workload(OPERATIONS)
+            runtimes.append(env.now - started)
+
+        procs.append(env.process(workload()))
+    env.run(until=env.all_of(procs))
+    return mean(runtimes) / 1000
+
+
+def run_experiment():
+    return {
+        "clio": [clio_runtime_us(n) for n in CLIENTS],
+        "rdma": [rdma_runtime_us(n) for n in CLIENTS],
+    }
+
+
+def test_fig15_image_compression(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print()
+    print(render_series(
+        "Figure 15: image compression runtime per client (us)",
+        "clients", CLIENTS,
+        {"Clio": [round(v, 1) for v in results["clio"]],
+         "RDMA": [round(v, 1) for v in results["rdma"]]}))
+
+    clio, rdma = results["clio"], results["rdma"]
+
+    # RDMA's runtime grows faster than Clio's with the client count.
+    clio_growth = clio[-1] / clio[0]
+    rdma_growth = rdma[-1] / rdma[0]
+    assert rdma_growth > clio_growth * 1.15
+
+    # At 8 clients RDMA is worse in absolute terms too.
+    assert rdma[-1] > clio[-1]

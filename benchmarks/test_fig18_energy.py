@@ -1,0 +1,150 @@
+"""Figure 18: energy consumed running the YCSB workloads.
+
+Paper method: total active cycles x per-unit Watts (DRAM and NICs
+omitted), split into MN and CN shares.  Paper result: Clover — despite a
+zero-processing MN — lands slightly *above* Clio (its CNs burn extra
+cycles managing memory); HERD consumes 1.6-3x more than Clio (host CPU at
+the MN); HERD-BF consumes the most of all, because its low-power ARM is
+so slow that total runtime balloons.
+"""
+
+from bench_common import GB, MB, make_cluster, run_app
+
+from repro.analysis.report import render_table
+from repro.apps.kv_store import ClioKV, register_kv_offload
+from repro.baselines.clover import CloverStore
+from repro.baselines.herd import HERDServer
+from repro.energy.power import default_profiles
+from repro.params import ClioParams
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.workloads.ycsb import YCSB_WORKLOADS, YCSBWorkload
+
+NUM_KEYS = 600
+OPS = 800
+VALUE = 1024
+THREADS = 16
+#: Busy client cores across the two CNs (8 threads/CN share 4 cores/CN).
+CN_CORES = 8
+
+
+def workload_streams(tag: str):
+    rng = RandomStream(31, tag)
+    shared = YCSBWorkload(YCSB_WORKLOADS["B"], rng.fork("build"),
+                          num_keys=NUM_KEYS, value_size=VALUE)
+    streams = [YCSBWorkload(YCSB_WORKLOADS["B"], rng.fork(f"t{index}"),
+                            num_keys=NUM_KEYS, value_size=VALUE,
+                            zipf_table=shared.zipf)
+               for index in range(THREADS)]
+    return shared, streams
+
+
+def clio_runtime_ns() -> int:
+    shared, streams = workload_streams("clio")
+    cluster = make_cluster(num_cns=2, mn_capacity=2 * GB)
+    register_kv_offload(cluster.mn.extend_path, buckets=4 * NUM_KEYS,
+                        capacity=256 * MB)
+    stores = [ClioKV(cluster.cn(index % 2).process("mn0").thread())
+              for index in range(THREADS)]
+
+    def load():
+        for key, value in shared.load_phase():
+            yield from stores[0].put(key, value)
+
+    run_app(cluster, load())
+    started = cluster.env.now
+    durations = []
+
+    def client(store, stream):
+        for op in stream.operations(OPS // THREADS):
+            if op[0] == "get":
+                yield from store.get(op[1])
+            else:
+                yield from store.put(op[1], op[2])
+        durations.append(cluster.env.now - started)
+
+    procs = [cluster.env.process(client(store, stream))
+             for store, stream in zip(stores, streams)]
+    cluster.run(until=cluster.env.all_of(procs))
+    # Mean per-thread active time: the device-busy proxy the energy
+    # model multiplies by Watts (robust to one tail-spiked straggler).
+    return sum(durations) // len(durations)
+
+
+def baseline_runtime_ns(factory) -> int:
+    shared, streams = workload_streams("baseline")
+    env = Environment()
+    store = factory(env)
+    if isinstance(store, CloverStore):
+        env.run(until=env.process(store.setup(capacity_slots=1 << 16)))
+
+    def load():
+        for key, value in shared.load_phase():
+            yield from store.put(key, value)
+
+    env.run(until=env.process(load()))
+    started = env.now
+    durations = []
+
+    def client(stream):
+        for op in stream.operations(OPS // THREADS):
+            if op[0] == "get":
+                yield from store.get(op[1])
+            else:
+                yield from store.put(op[1], op[2])
+        durations.append(env.now - started)
+
+    procs = [env.process(client(stream)) for stream in streams]
+    env.run(until=env.all_of(procs))
+    return sum(durations) // len(durations)
+
+
+def run_experiment():
+    params = ClioParams.prototype()
+    runtimes = {
+        "Clio": clio_runtime_ns(),
+        "Clover": baseline_runtime_ns(
+            lambda env: CloverStore(env, params, dram_capacity=2 * GB)),
+        "HERD": baseline_runtime_ns(
+            lambda env: HERDServer(env, params, dram_capacity=2 * GB)),
+        "HERD-BF": baseline_runtime_ns(
+            lambda env: HERDServer(env, params, on_bluefield=True,
+                                   dram_capacity=2 * GB)),
+    }
+    profiles = default_profiles(params.energy, cn_threads=CN_CORES)
+    reports = {name: profiles[name].energy(runtime)
+               for name, runtime in runtimes.items()}
+    return runtimes, reports
+
+
+def test_fig18_energy(benchmark):
+    runtimes, reports = benchmark.pedantic(run_experiment, rounds=1,
+                                           iterations=1)
+    rows = []
+    for name, report in reports.items():
+        rows.append([name,
+                     round(runtimes[name] / 1_000_000, 2),
+                     round(report.mn_joules * 1000, 3),
+                     round(report.cn_joules * 1000, 3),
+                     round(report.total_joules * 1000, 3)])
+    print()
+    print(render_table(
+        "Figure 18: YCSB-B energy (mJ) — MN/CN split",
+        ["system", "runtime_ms", "MN_mJ", "CN_mJ", "total_mJ"], rows))
+
+    clio = reports["Clio"].total_joules
+    clover = reports["Clover"].total_joules
+    herd = reports["HERD"].total_joules
+    herd_bf = reports["HERD-BF"].total_joules
+
+    # Clover: zero MN energy, yet total slightly above Clio.
+    assert reports["Clover"].mn_joules == 0.0
+    assert clio < clover < clio * 2.5
+
+    # HERD: 1.6-3x Clio (paper's band).
+    assert 1.3 <= herd / clio <= 3.5
+
+    # HERD-BF consumes the most, despite the low-power ARM.
+    assert herd_bf > herd
+    assert herd_bf > clover
+    assert herd_bf == max(report.total_joules for report in reports.values())

@@ -1,0 +1,58 @@
+"""Headline claim (section 1): "each MN could support TBs of memory and
+thousands of application processes with only 1.5 MB on-chip memory."
+
+This bench sweeps client count and hosted memory and reports the on-chip
+(SRAM/BRAM) bytes each MN design needs: Clio's transportless, indirection-
+free design stays constant; an RNIC's caches must track the working set;
+a conventional Go-Back-N MN pays per-connection buffers.
+"""
+
+from bench_common import GB, KB, MB
+
+from repro.analysis.report import render_series
+from repro.core.state_accounting import (
+    clio_onchip_state,
+    gbn_onchip_state,
+    rdma_onchip_state,
+)
+
+CLIENT_COUNTS = [16, 64, 256, 1024, 4096]
+HOSTED = 1 << 40   # 1 TB
+
+
+def run_experiment():
+    rows = {"clio": [], "rdma": [], "gbn": []}
+    for clients in CLIENT_COUNTS:
+        rows["clio"].append(
+            clio_onchip_state(clients=clients,
+                              hosted_bytes=HOSTED).total_bytes)
+        rows["rdma"].append(
+            rdma_onchip_state(clients=clients,
+                              hosted_bytes=HOSTED).total_bytes)
+        rows["gbn"].append(gbn_onchip_state(connections=clients).total_bytes)
+    return rows
+
+
+def test_onchip_state(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print()
+    print(render_series(
+        "On-chip state vs clients (1TB hosted): KB per MN design",
+        "clients", CLIENT_COUNTS,
+        {name: [round(total / KB, 1) for total in series]
+         for name, series in rows.items()}))
+
+    clio, rdma, gbn = rows["clio"], rows["rdma"], rows["gbn"]
+
+    # Clio: constant, and within the paper's ~1.5 MB budget.
+    assert len(set(clio)) == 1
+    assert clio[0] < int(1.5 * MB)
+
+    # The alternatives grow with clients/connections...
+    assert rdma[-1] > rdma[0]
+    assert gbn[-1] == gbn[0] * (CLIENT_COUNTS[-1] // CLIENT_COUNTS[0])
+
+    # ...and at thousands of clients, Clio's footprint is a small
+    # fraction of either.
+    assert clio[-1] < rdma[-1] / 10
+    assert clio[-1] < gbn[-1] / 10

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""FaaS-style image pipeline: many isolated clients sharing one CBoard.
+
+Each client is its own Clio process (its own protected RAS — the paper's
+R5), compressing and decompressing photo collections stored in
+disaggregated memory.  The per-client runtime stays flat as clients are
+added — the Figure 15 behaviour — because Clio needs no per-client MR
+state at the memory node.
+
+Run:  python examples/faas_image_pipeline.py
+"""
+
+from repro import ClioCluster
+from repro.apps.image_compression import ImageCompressionClient
+from repro.sim.rng import RandomStream
+
+MB = 1 << 20
+
+
+def run_scale(num_clients: int, operations: int = 3) -> float:
+    """Average per-client runtime (us) with ``num_clients`` running."""
+    cluster = ClioCluster(num_cns=min(4, num_clients), mn_capacity=1 << 30)
+    rng = RandomStream(42, "faas")
+    runtimes: list[int] = []
+    processes = []
+
+    for index in range(num_clients):
+        node = cluster.cn(index % len(cluster.cns))
+        thread = node.process("mn0").thread()
+        client = ImageCompressionClient(thread, rng.fork(f"client{index}"),
+                                        image_side=64, slots=2)
+
+        def workload(client=client):
+            yield from client.setup()
+            runtime = yield from client.run_workload(operations)
+            runtimes.append(runtime)
+
+        processes.append(cluster.env.process(workload()))
+
+    cluster.run(until=cluster.env.all_of(processes))
+    return sum(runtimes) / len(runtimes) / 1000
+
+
+def main() -> None:
+    print("== FaaS image pipeline on Clio ==")
+    print(f"{'clients':>8} | {'avg runtime/client (us)':>24}")
+    print("-" * 36)
+    for clients in (1, 2, 4, 8):
+        runtime = run_scale(clients)
+        print(f"{clients:>8} | {runtime:>24.1f}")
+    print("\nRuntime grows only once the MN's network port saturates —")
+    print("Clio keeps no per-client state at the memory node (protection")
+    print("is a PID per process, not a per-client MR), so adding clients")
+    print("never adds metadata cost. Compare benchmarks/test_fig15_*,")
+    print("where RDMA degrades from per-client MR registration as well.")
+
+
+if __name__ == "__main__":
+    main()

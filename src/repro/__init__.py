@@ -1,0 +1,45 @@
+"""Clio: a hardware-software co-designed disaggregated memory system.
+
+Simulation-based reproduction of Guo, Shan, Luo, Huang, Zhang (ASPLOS
+2022).  The package models the complete system — the CBoard memory node
+(hardware virtual memory, deterministic fast path, ARM slow path, extend
+path), the CN-side CLib (ordering, retry, congestion control), the
+Ethernet fabric, and the paper's baselines (RDMA, LegoOS, Clover, HERD)
+— as a deterministic discrete-event simulation.
+
+Quickstart::
+
+    from repro import ClioCluster
+
+    cluster = ClioCluster()
+    thread = cluster.cn(0).process("mn0").thread()
+
+    def app():
+        va = yield from thread.ralloc(4096)
+        yield from thread.rwrite(va, b"hello, disaggregated world")
+        data = yield from thread.rread(va, 26)
+        assert data == b"hello, disaggregated world"
+
+    cluster.run(until=cluster.env.process(app()))
+"""
+
+from repro.clib import AsyncHandle, ClioProcess, ClioThread, ComputeNode, RemoteAccessError
+from repro.cluster import ClioCluster
+from repro.core import CBoard
+from repro.core.addr import Permission
+from repro.params import ClioParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AsyncHandle",
+    "CBoard",
+    "ClioCluster",
+    "ClioParams",
+    "ClioProcess",
+    "ClioThread",
+    "ComputeNode",
+    "Permission",
+    "RemoteAccessError",
+    "__version__",
+]

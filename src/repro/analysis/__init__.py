@@ -1,0 +1,16 @@
+"""Statistics and report rendering for the benchmark harness."""
+
+from repro.analysis.report import render_series, render_table
+from repro.analysis.stats import LatencyRecorder, cdf_points, percentile, rate_gbps
+from repro.analysis.trace import TraceCollector, TraceEvent
+
+__all__ = [
+    "LatencyRecorder",
+    "TraceCollector",
+    "TraceEvent",
+    "cdf_points",
+    "percentile",
+    "rate_gbps",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,40 @@
+"""Plain-text rendering of benchmark tables and series.
+
+Every benchmark prints the same rows/series its paper figure reports, so
+a run of ``pytest benchmarks/`` doubles as a regeneration of the paper's
+evaluation section in text form.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence], width: int = 14) -> str:
+    """Fixed-width table with a title rule."""
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    lines = [f"== {title} =="]
+    lines.append(" | ".join(fmt(header).ljust(width) for header in headers))
+    lines.append("-+-".join("-" * width for _ in headers))
+    for row in rows:
+        lines.append(" | ".join(fmt(cell).ljust(width) for cell in row))
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_label: str, xs: Sequence,
+                  series: dict[str, Sequence], width: int = 14) -> str:
+    """One x column plus one column per named series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(xs):
+        row = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[index] if index < len(values) else "")
+        rows.append(row)
+    return render_table(title, headers, rows, width=width)

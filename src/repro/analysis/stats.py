@@ -1,0 +1,88 @@
+"""Latency/throughput statistics used by every benchmark."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.params import SEC
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile; ``fraction`` in [0, 1]."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0,1], got {fraction}")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def cdf_points(samples: Sequence[float],
+               points: int = 100) -> list[tuple[float, float]]:
+    """(value, cumulative fraction) pairs for plotting a CDF."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    out = []
+    for index in range(points + 1):
+        fraction = index / points
+        out.append((percentile(ordered, fraction), fraction))
+    return out
+
+
+def rate_gbps(payload_bytes: int, elapsed_ns: int) -> float:
+    """Goodput in Gbit/s."""
+    if elapsed_ns <= 0:
+        raise ValueError(f"elapsed must be positive, got {elapsed_ns}")
+    return payload_bytes * 8 / elapsed_ns   # bytes*8 / ns == Gbit/s
+
+
+class LatencyRecorder:
+    """Collects per-op latency samples and summarizes them."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: list[int] = []
+
+    def add(self, latency_ns: int) -> None:
+        self.samples.append(latency_ns)
+
+    def extend(self, latencies: Iterable[int]) -> None:
+        self.samples.extend(latencies)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def median_ns(self) -> float:
+        return percentile(self.samples, 0.5)
+
+    @property
+    def p99_ns(self) -> float:
+        return percentile(self.samples, 0.99)
+
+    @property
+    def p999_ns(self) -> float:
+        return percentile(self.samples, 0.999)
+
+    @property
+    def mean_ns(self) -> float:
+        if not self.samples:
+            raise ValueError("no samples")
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def max_ns(self) -> int:
+        return max(self.samples)
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "count": len(self.samples),
+            "median_us": self.median_ns / 1000,
+            "mean_us": self.mean_ns / 1000,
+            "p99_us": self.p99_ns / 1000,
+            "p999_us": self.p999_ns / 1000,
+            "max_us": self.max_ns / 1000,
+        }

@@ -1,0 +1,184 @@
+"""Request lifecycle tracing.
+
+A :class:`TraceCollector` hooks a cluster and records structured events
+for every request: when CLib issued it, every (re)transmission, the MN's
+response generation, and completion — with per-event simulated
+timestamps.  Use it to answer "where did this request spend its time?"
+at a finer grain than the aggregate counters.
+
+The collector instruments by wrapping the transport's ``_emit``/pending
+bookkeeping and the board's ``_send``; detaching restores the originals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class TraceEvent(enum.Enum):
+    ISSUED = "issued"            # request() admitted and assigned an ID
+    SENT = "sent"                # packets handed to the NIC (per attempt)
+    MN_RESPONSE = "mn_response"  # board generated the response
+    COMPLETED = "completed"      # CLib matched the response
+    TIMED_OUT = "timed_out"      # an attempt expired
+
+
+@dataclass
+class TraceRecord:
+    request_id: int
+    event: TraceEvent
+    at_ns: int
+    detail: str = ""
+
+
+@dataclass
+class RequestTimeline:
+    """All events of one request ID, in order."""
+
+    request_id: int
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def first(self, event: TraceEvent) -> Optional[TraceRecord]:
+        for record in self.records:
+            if record.event is event:
+                return record
+        return None
+
+    @property
+    def latency_ns(self) -> Optional[int]:
+        issued = self.first(TraceEvent.ISSUED)
+        completed = self.first(TraceEvent.COMPLETED)
+        if issued is None or completed is None:
+            return None
+        return completed.at_ns - issued.at_ns
+
+    @property
+    def mn_turnaround_ns(self) -> Optional[int]:
+        sent = self.first(TraceEvent.SENT)
+        response = self.first(TraceEvent.MN_RESPONSE)
+        if sent is None or response is None:
+            return None
+        return response.at_ns - sent.at_ns
+
+
+class TraceCollector:
+    """Attachable per-cluster request tracer."""
+
+    def __init__(self, max_requests: int = 100_000):
+        if max_requests <= 0:
+            raise ValueError(f"max_requests must be positive, got {max_requests}")
+        self.max_requests = max_requests
+        self._timelines: dict[int, RequestTimeline] = {}
+        self._restorers: list = []
+        self.dropped = 0
+
+    # -- recording -------------------------------------------------------------------
+
+    def record(self, request_id: int, event: TraceEvent, at_ns: int,
+               detail: str = "") -> None:
+        timeline = self._timelines.get(request_id)
+        if timeline is None:
+            if len(self._timelines) >= self.max_requests:
+                self.dropped += 1
+                return
+            timeline = RequestTimeline(request_id=request_id)
+            self._timelines[request_id] = timeline
+        timeline.records.append(
+            TraceRecord(request_id=request_id, event=event, at_ns=at_ns,
+                        detail=detail))
+
+    def timeline(self, request_id: int) -> Optional[RequestTimeline]:
+        return self._timelines.get(request_id)
+
+    def timelines(self) -> list[RequestTimeline]:
+        return list(self._timelines.values())
+
+    def completed(self) -> list[RequestTimeline]:
+        return [timeline for timeline in self._timelines.values()
+                if timeline.first(TraceEvent.COMPLETED) is not None]
+
+    # -- instrumentation --------------------------------------------------------------
+
+    def attach(self, cluster) -> None:
+        """Hook every CN transport and MN board in a ClioCluster."""
+        for node in cluster.cns:
+            self._hook_transport(node.transport)
+        for board in cluster.mns:
+            self._hook_board(board)
+
+    def detach(self) -> None:
+        for restore in self._restorers:
+            restore()
+        self._restorers.clear()
+
+    def _hook_transport(self, transport) -> None:
+        collector = self
+        env = transport.env
+        original_emit = transport._emit
+        original_receive = transport.receive
+
+        def traced_emit(mn, request_id, packet_type, pid, va, size, data,
+                        payload, retry_of):
+            event = TraceEvent.SENT
+            detail = f"{packet_type.value} -> {mn}"
+            if retry_of is not None:
+                detail += f" (retry of {retry_of})"
+            collector.record(request_id, TraceEvent.ISSUED, env.now,
+                             detail=packet_type.value)
+            collector.record(request_id, event, env.now, detail=detail)
+            original_emit(mn, request_id, packet_type, pid, va, size, data,
+                          payload, retry_of)
+
+        def traced_receive(packet):
+            pending_before = packet.header.request_id in transport._pending
+            original_receive(packet)
+            if pending_before:
+                state = transport._pending.get(packet.header.request_id)
+                if state is not None and state.done.triggered:
+                    collector.record(packet.header.request_id,
+                                     TraceEvent.COMPLETED, env.now)
+
+        transport._emit = traced_emit
+        transport.receive = traced_receive
+        # Replace the callback the topology holds, too.
+        topology = transport.topology
+        topology._receivers[transport.node_name] = traced_receive
+
+        def restore(t=transport, r=original_receive, topo=topology):
+            # Drop the instance overrides so lookup falls back to the
+            # class methods (restoring identity, not just behaviour).
+            t.__dict__.pop("_emit", None)
+            t.__dict__.pop("receive", None)
+            topo._receivers[t.node_name] = r
+
+        self._restorers.append(restore)
+
+    def _hook_board(self, board) -> None:
+        collector = self
+        env = board.env
+        original_send = board._send
+
+        def traced_send(dst, request_id, packet_type, body, **kwargs):
+            collector.record(request_id, TraceEvent.MN_RESPONSE, env.now,
+                             detail=f"{packet_type.value} -> {dst}")
+            original_send(dst, request_id, packet_type, body, **kwargs)
+
+        board._send = traced_send
+        self._restorers.append(
+            lambda b=board: b.__dict__.pop("_send", None))
+
+    # -- summaries -------------------------------------------------------------------------
+
+    def summary(self) -> dict:
+        completed = self.completed()
+        latencies = [timeline.latency_ns for timeline in completed
+                     if timeline.latency_ns is not None]
+        return {
+            "traced_requests": len(self._timelines),
+            "completed": len(completed),
+            "dropped": self.dropped,
+            "mean_latency_ns": (sum(latencies) / len(latencies)
+                                if latencies else None),
+        }

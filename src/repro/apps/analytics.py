@@ -1,0 +1,154 @@
+"""Columnar analytics over disaggregated memory (the intro's second
+motivating workload).
+
+A fixed-width columnar table lives in one RAS, one allocation per column.
+Scans stream a column through the CN in chunks; the async variant keeps a
+pipeline of chunk reads in flight so the network round trips overlap with
+CN-side filtering/aggregation — the far-memory analytics pattern.
+
+Columns hold little-endian i64 values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.clib.client import ClioThread
+
+WORD = 8
+#: CN-side cost of filtering/aggregating one value (a few ns each).
+COMPUTE_NS_PER_VALUE = 2
+
+
+def _pack(values) -> bytes:
+    out = bytearray()
+    for value in values:
+        out += int(value).to_bytes(WORD, "little", signed=True)
+    return bytes(out)
+
+
+def _unpack(blob: bytes) -> list[int]:
+    return [int.from_bytes(blob[index:index + WORD], "little", signed=True)
+            for index in range(0, len(blob), WORD)]
+
+
+class RemoteColumnTable:
+    """A set of equal-length i64 columns stored remotely."""
+
+    def __init__(self, thread: ClioThread, chunk_rows: int = 512,
+                 pipeline_depth: int = 8):
+        if chunk_rows <= 0:
+            raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+        if pipeline_depth <= 0:
+            raise ValueError(
+                f"pipeline_depth must be positive, got {pipeline_depth}")
+        self.thread = thread
+        self.env = thread.env
+        self.chunk_rows = chunk_rows
+        self.pipeline_depth = pipeline_depth
+        self.rows = 0
+        self._columns: dict[str, int] = {}   # name -> base VA
+
+    def load(self, columns: dict[str, list[int]]):
+        """Process-generator: upload columns (all must share a length)."""
+        if not columns:
+            raise ValueError("need at least one column")
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"column lengths differ: {lengths}")
+        self.rows = lengths.pop()
+        for name, values in columns.items():
+            va = yield from self.thread.ralloc(max(WORD * self.rows, WORD))
+            if values:
+                yield from self.thread.rwrite(va, _pack(values))
+            self._columns[name] = va
+
+    def _column_va(self, name: str) -> int:
+        va = self._columns.get(name)
+        if va is None:
+            raise KeyError(f"no column {name!r}")
+        return va
+
+    # -- scans ---------------------------------------------------------------------
+
+    def _chunks(self) -> list[tuple[int, int]]:
+        out = []
+        row = 0
+        while row < self.rows:
+            count = min(self.chunk_rows, self.rows - row)
+            out.append((row, count))
+            row += count
+        return out
+
+    def scan(self, name: str, asynchronous: bool = True):
+        """Process-generator: yield-all scan; returns the column values.
+
+        The async variant keeps ``pipeline_depth`` chunk reads in flight.
+        """
+        va = self._column_va(name)
+        values: list[int] = []
+        chunks = self._chunks()
+        if not asynchronous:
+            for row, count in chunks:
+                blob = yield from self.thread.rread(
+                    va + WORD * row, WORD * count)
+                yield self.env.timeout(COMPUTE_NS_PER_VALUE * count)
+                values.extend(_unpack(blob))
+            return values
+        inflight = []
+        for row, count in chunks:
+            handle = yield from self.thread.rread_async(
+                va + WORD * row, WORD * count)
+            inflight.append((handle, count))
+            if len(inflight) >= self.pipeline_depth:
+                handle, count = inflight.pop(0)
+                (blob,) = yield from self.thread.rpoll([handle])
+                yield self.env.timeout(COMPUTE_NS_PER_VALUE * count)
+                values.extend(_unpack(blob))
+        for handle, count in inflight:
+            (blob,) = yield from self.thread.rpoll([handle])
+            yield self.env.timeout(COMPUTE_NS_PER_VALUE * count)
+            values.extend(_unpack(blob))
+        return values
+
+    # -- kernels --------------------------------------------------------------------
+
+    def filter_aggregate(self, filter_column: str,
+                         predicate: Callable[[int], bool],
+                         aggregate_column: Optional[str] = None,
+                         asynchronous: bool = True):
+        """Process-generator: SELECT sum(agg) WHERE predicate(filter).
+
+        Returns ``(matching_rows, total)``; with no aggregate column the
+        total sums the filter column itself.
+        """
+        filter_values = yield from self.scan(filter_column,
+                                             asynchronous=asynchronous)
+        if aggregate_column is None or aggregate_column == filter_column:
+            aggregate_values = filter_values
+        else:
+            aggregate_values = yield from self.scan(
+                aggregate_column, asynchronous=asynchronous)
+        matches = 0
+        total = 0
+        for keep, value in zip(filter_values, aggregate_values):
+            if predicate(keep):
+                matches += 1
+                total += value
+        return matches, total
+
+    def column_minmax(self, name: str, asynchronous: bool = True):
+        """Process-generator: (min, max) of a column."""
+        values = yield from self.scan(name, asynchronous=asynchronous)
+        if not values:
+            raise ValueError("empty column")
+        return min(values), max(values)
+
+    def update_rows(self, name: str, updates: dict[int, int]):
+        """Process-generator: point updates (row -> new value)."""
+        va = self._column_va(name)
+        for row, value in sorted(updates.items()):
+            if not 0 <= row < self.rows:
+                raise ValueError(f"row {row} out of range")
+            yield from self.thread.rwrite(
+                va + WORD * row, _pack([value]))

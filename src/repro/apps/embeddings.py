@@ -1,0 +1,142 @@
+"""Embedding-table lookups over disaggregated memory (the intro's third
+motivating workload: deep learning).
+
+Recommendation models keep huge, sparsely-accessed embedding tables —
+the textbook far-memory candidate.  The table lives in one RAS as a
+dense [rows x dim] float32 matrix; a training/serving step gathers a
+batch of rows.  Three gather strategies, in ascending sophistication:
+
+* ``gather(..., strategy="sync")`` — one rread per row;
+* ``gather(..., strategy="async")`` — the batch's rows fetched with
+  overlapped async reads;
+* ``gather(..., strategy="offload")`` — ONE network round trip: a gather
+  offload at the MN reads all rows locally and returns them packed
+  (section 4.6's reason to exist: "avoid network round trips when
+  working with complex data structures and/or data-intensive operations").
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.clib.client import ClioThread
+from repro.core.extend import ExtendPath, OffloadContext
+from repro.sim.rng import RandomStream
+
+FLOAT = 4
+#: FPGA cycles per gathered row (address math + response packing).
+GATHER_ROW_CYCLES = 4
+
+
+def gather_offload(ctx: OffloadContext, args, caller_pid: int):
+    """MN-side gather: read ``rows`` from the caller's table, pack them.
+
+    Rows are fetched through the pipelined gather engine
+    (:meth:`OffloadContext.read_many`): multiple DRAM reads in flight,
+    like the hardware a real gather offload would synthesize.
+    """
+    table_va, dim, rows = args
+    row_bytes = dim * FLOAT
+    extents = [(table_va + row * row_bytes, row_bytes) for row in rows]
+    blobs = yield from ctx.read_many(extents, pid=caller_pid)
+    yield from ctx._compute(GATHER_ROW_CYCLES * len(rows))
+    return b"".join(blobs)
+
+
+def register_gather_offload(extend_path: ExtendPath,
+                            name: str = "embedding-gather") -> None:
+    extend_path.register(name, gather_offload, on_fpga=True)
+
+
+class RemoteEmbeddingTable:
+    """A [rows x dim] float32 embedding table resident at the MN."""
+
+    def __init__(self, thread: ClioThread, rows: int, dim: int,
+                 offload_name: str = "embedding-gather"):
+        if rows <= 0 or dim <= 0:
+            raise ValueError(f"rows and dim must be positive, got {rows}x{dim}")
+        self.thread = thread
+        self.env = thread.env
+        self.rows = rows
+        self.dim = dim
+        self.offload_name = offload_name
+        self.row_bytes = dim * FLOAT
+        self._table_va: Optional[int] = None
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def initialize(self, rng: RandomStream):
+        """Process-generator: allocate and fill with deterministic values."""
+        self._table_va = yield from self.thread.ralloc(
+            self.rows * self.row_bytes)
+        # Initialize in chunks of whole rows to bound packet sizes.
+        chunk_rows = max(1, 8192 // self.row_bytes)
+        for start in range(0, self.rows, chunk_rows):
+            count = min(chunk_rows, self.rows - start)
+            blob = b"".join(
+                self._row_bytes_for(start + index, rng)
+                for index in range(count))
+            yield from self.thread.rwrite(
+                self._table_va + start * self.row_bytes, blob)
+
+    def _row_bytes_for(self, row: int, rng: RandomStream) -> bytes:
+        values = [rng.fork(f"row{row}").uniform(-1.0, 1.0)
+                  for _ in range(self.dim)]
+        return struct.pack(f"<{self.dim}f", *values)
+
+    def _check_rows(self, rows) -> None:
+        if self._table_va is None:
+            raise RuntimeError("initialize() first")
+        for row in rows:
+            if not 0 <= row < self.rows:
+                raise ValueError(f"row {row} out of range")
+
+    @staticmethod
+    def unpack_row(blob: bytes) -> tuple:
+        return struct.unpack(f"<{len(blob) // FLOAT}f", blob)
+
+    # -- gathers --------------------------------------------------------------------
+
+    def gather(self, rows: list[int], strategy: str = "offload"):
+        """Process-generator: fetch the given rows; returns list of bytes."""
+        self._check_rows(rows)
+        if strategy == "sync":
+            out = []
+            for row in rows:
+                blob = yield from self.thread.rread(
+                    self._table_va + row * self.row_bytes, self.row_bytes)
+                out.append(blob)
+            return out
+        if strategy == "async":
+            handles = []
+            for row in rows:
+                handle = yield from self.thread.rread_async(
+                    self._table_va + row * self.row_bytes, self.row_bytes)
+                handles.append(handle)
+            out = []
+            for handle in handles:
+                (blob,) = yield from self.thread.rpoll([handle])
+                out.append(blob)
+            return out
+        if strategy == "offload":
+            packed = yield from self.thread.invoke_offload(
+                self.offload_name, (self._table_va, self.dim, list(rows)))
+            return [packed[index * self.row_bytes:(index + 1) * self.row_bytes]
+                    for index in range(len(rows))]
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    def update_row(self, row: int, blob: bytes):
+        """Process-generator: write one row back (a gradient step)."""
+        self._check_rows([row])
+        if len(blob) != self.row_bytes:
+            raise ValueError(
+                f"row blob must be {self.row_bytes} bytes, got {len(blob)}")
+        yield from self.thread.rwrite(
+            self._table_va + row * self.row_bytes, blob)
+
+    def batch_of(self, batch_size: int, rng: RandomStream,
+                 zipf_theta: float = 0.9) -> list[int]:
+        """A realistic skewed batch of row ids (hot embeddings dominate)."""
+        return [rng.zipf_index(self.rows, zipf_theta)
+                for _ in range(batch_size)]

@@ -1,0 +1,190 @@
+"""Graph processing on disaggregated memory (the paper's intro workload).
+
+A compressed-sparse-row graph stored in one RAS: an offsets array and an
+edges array.  Traversals read adjacency lists remotely; the working set
+(frontier, visited) stays CN-local — the split the paper's motivation
+assumes (big cold structure remote, hot scratch local).
+
+Two access strategies, both over the public CLib API:
+
+* ``bfs(..., asynchronous=False)`` — one synchronous rread per frontier
+  vertex's adjacency list;
+* ``bfs(..., asynchronous=True)`` — the whole frontier's lists fetched as
+  a batch of async reads, overlapping their round trips (the async API's
+  intended use).
+
+Layout (little-endian u32):
+
+    offsets: (num_vertices + 1) entries; edges of v are
+             edges[offsets[v] : offsets[v+1]]
+    edges:   destination vertex ids
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clib.client import ClioThread
+from repro.sim.rng import RandomStream
+
+WORD = 4
+
+
+def random_graph(num_vertices: int, avg_degree: int,
+                 rng: RandomStream) -> list[list[int]]:
+    """A random directed graph as adjacency lists (deterministic per rng)."""
+    if num_vertices <= 0:
+        raise ValueError(f"num_vertices must be positive, got {num_vertices}")
+    if avg_degree < 0:
+        raise ValueError(f"avg_degree must be non-negative, got {avg_degree}")
+    adjacency = []
+    for vertex in range(num_vertices):
+        degree = rng.uniform_int(0, 2 * avg_degree)
+        neighbors = sorted({rng.uniform_int(0, num_vertices - 1)
+                            for _ in range(degree)} - {vertex})
+        adjacency.append(neighbors)
+    return adjacency
+
+
+def _pack_u32s(values) -> bytes:
+    out = bytearray()
+    for value in values:
+        out += int(value).to_bytes(WORD, "little")
+    return bytes(out)
+
+
+def _unpack_u32s(blob: bytes) -> list[int]:
+    return [int.from_bytes(blob[index:index + WORD], "little")
+            for index in range(0, len(blob), WORD)]
+
+
+class RemoteGraph:
+    """A CSR graph resident in disaggregated memory."""
+
+    def __init__(self, thread: ClioThread):
+        self.thread = thread
+        self.env = thread.env
+        self.num_vertices = 0
+        self.num_edges = 0
+        self._offsets_va: Optional[int] = None
+        self._edges_va: Optional[int] = None
+        # The offsets array is tiny relative to edges; a CN-side copy is
+        # the standard optimization (it is read-only after load).
+        self._offsets: list[int] = []
+        self.bytes_fetched = 0
+
+    def load(self, adjacency: list[list[int]]):
+        """Process-generator: upload a graph in CSR form."""
+        self.num_vertices = len(adjacency)
+        offsets = [0]
+        edges: list[int] = []
+        for neighbors in adjacency:
+            edges.extend(neighbors)
+            offsets.append(len(edges))
+        self.num_edges = len(edges)
+        self._offsets = offsets
+        self._offsets_va = yield from self.thread.ralloc(
+            max(WORD * len(offsets), WORD))
+        self._edges_va = yield from self.thread.ralloc(
+            max(WORD * max(len(edges), 1), WORD))
+        yield from self.thread.rwrite(self._offsets_va, _pack_u32s(offsets))
+        if edges:
+            yield from self.thread.rwrite(self._edges_va, _pack_u32s(edges))
+
+    # -- adjacency access ------------------------------------------------------------
+
+    def _extent(self, vertex: int) -> tuple[int, int]:
+        if not 0 <= vertex < self.num_vertices:
+            raise ValueError(f"vertex {vertex} out of range")
+        start = self._offsets[vertex]
+        end = self._offsets[vertex + 1]
+        return start, end
+
+    def neighbors(self, vertex: int):
+        """Process-generator: synchronously fetch one adjacency list."""
+        start, end = self._extent(vertex)
+        if start == end:
+            return []
+        blob = yield from self.thread.rread(
+            self._edges_va + WORD * start, WORD * (end - start))
+        self.bytes_fetched += len(blob)
+        return _unpack_u32s(blob)
+
+    def neighbors_batch(self, vertices: list[int]):
+        """Process-generator: fetch many lists with overlapped async reads."""
+        handles = []
+        shapes = []
+        for vertex in vertices:
+            start, end = self._extent(vertex)
+            if start == end:
+                handles.append(None)
+                shapes.append(0)
+                continue
+            handle = yield from self.thread.rread_async(
+                self._edges_va + WORD * start, WORD * (end - start))
+            handles.append(handle)
+            shapes.append(end - start)
+        results = []
+        for handle, count in zip(handles, shapes):
+            if handle is None:
+                results.append([])
+                continue
+            (blob,) = yield from self.thread.rpoll([handle])
+            self.bytes_fetched += len(blob)
+            results.append(_unpack_u32s(blob))
+        return results
+
+    # -- algorithms -------------------------------------------------------------------
+
+    def bfs(self, source: int, asynchronous: bool = True):
+        """Process-generator: BFS levels from ``source``.
+
+        Returns a list ``level[v]`` with -1 for unreachable vertices.
+        """
+        levels = [-1] * self.num_vertices
+        levels[source] = 0
+        frontier = [source]
+        depth = 0
+        while frontier:
+            depth += 1
+            if asynchronous:
+                lists = yield from self.neighbors_batch(frontier)
+            else:
+                lists = []
+                for vertex in frontier:
+                    lists.append((yield from self.neighbors(vertex)))
+            next_frontier = []
+            for neighbors in lists:
+                for neighbor in neighbors:
+                    if levels[neighbor] == -1:
+                        levels[neighbor] = depth
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return levels
+
+    def degree_histogram(self):
+        """Degrees are derivable CN-locally from the cached offsets."""
+        histogram: dict[int, int] = {}
+        for vertex in range(self.num_vertices):
+            start, end = self._extent(vertex)
+            degree = end - start
+            histogram[degree] = histogram.get(degree, 0) + 1
+        return histogram
+
+
+def reference_bfs(adjacency: list[list[int]], source: int) -> list[int]:
+    """Plain local BFS, for verifying the remote traversal."""
+    levels = [-1] * len(adjacency)
+    levels[source] = 0
+    frontier = [source]
+    depth = 0
+    while frontier:
+        depth += 1
+        next_frontier = []
+        for vertex in frontier:
+            for neighbor in adjacency[vertex]:
+                if levels[neighbor] == -1:
+                    levels[neighbor] = depth
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return levels

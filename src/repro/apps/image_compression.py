@@ -1,0 +1,195 @@
+"""FaaS-style image compression utility (paper section 6, Figure 15).
+
+Each client (think: one user's photo collection) runs as its *own
+process* so collections are isolated from each other — on Clio this is
+free (a PID per client), while on RDMA every client needs its own MR for
+protection, which is exactly what makes RDMA's Figure 15 curve grow with
+the client count.
+
+The compressor is a real byte-level RLE codec, and images are synthetic
+grayscale rasters with run structure, so the workload moves real bytes
+through the remote-memory path and verifies them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.rdma import RDMAMemoryNode
+from repro.clib.client import ClioThread
+from repro.sim.rng import RandomStream
+
+#: CN-side compute cost of the codec, per input byte (a few cycles/byte).
+COMPRESS_NS_PER_BYTE = 1.2
+DECOMPRESS_NS_PER_BYTE = 0.8
+
+
+def synthetic_image(rng: RandomStream, side: int = 256) -> bytes:
+    """A side x side grayscale raster with run structure (compressible)."""
+    total = side * side
+    out = bytearray()
+    while len(out) < total:
+        run = min(rng.uniform_int(4, 64), total - len(out))
+        out.extend(bytes([rng.uniform_int(0, 255)]) * run)
+    return bytes(out)
+
+
+def rle_compress(data: bytes) -> bytes:
+    """Byte-level run-length encoding: (count, value) pairs, count <= 255."""
+    if not data:
+        return b""
+    out = bytearray()
+    current = data[0]
+    count = 1
+    for byte in data[1:]:
+        if byte == current and count < 255:
+            count += 1
+        else:
+            out.append(count)
+            out.append(current)
+            current = byte
+            count = 1
+    out.append(count)
+    out.append(current)
+    return bytes(out)
+
+
+def rle_decompress(data: bytes) -> bytes:
+    """Inverse of :func:`rle_compress`."""
+    if len(data) % 2:
+        raise ValueError("RLE stream must have even length")
+    out = bytearray()
+    for index in range(0, len(data), 2):
+        out.extend(bytes([data[index + 1]]) * data[index])
+    return bytes(out)
+
+
+class ImageCompressionClient:
+    """One client of the utility on Clio: two remote arrays + the codec."""
+
+    def __init__(self, thread: ClioThread, rng: RandomStream,
+                 image_side: int = 256, slots: int = 16):
+        self.thread = thread
+        self.env = thread.env
+        self.rng = rng
+        self.image_side = image_side
+        self.image_bytes = image_side * image_side
+        self.slots = slots
+        # Compressed slots get 2x room (RLE can expand adversarial input).
+        self.compressed_slot = 2 * self.image_bytes
+        self.original_va: Optional[int] = None
+        self.compressed_va: Optional[int] = None
+        self.images_processed = 0
+
+    def setup(self):
+        """Process-generator: allocate the two arrays and upload originals."""
+        self.original_va = yield from self.thread.ralloc(
+            self.slots * self.image_bytes)
+        self.compressed_va = yield from self.thread.ralloc(
+            self.slots * self.compressed_slot)
+        for slot in range(self.slots):
+            image = synthetic_image(self.rng, self.image_side)
+            yield from self.thread.rwrite(
+                self.original_va + slot * self.image_bytes, image)
+
+    def compress_one(self, slot: int):
+        """Process-generator: rread original -> compress -> rwrite back.
+
+        Returns the compressed size.
+        """
+        image = yield from self.thread.rread(
+            self.original_va + slot * self.image_bytes, self.image_bytes)
+        yield self.env.timeout(int(len(image) * COMPRESS_NS_PER_BYTE))
+        compressed = rle_compress(image)
+        header = len(compressed).to_bytes(4, "little")
+        yield from self.thread.rwrite(
+            self.compressed_va + slot * self.compressed_slot,
+            header + compressed)
+        self.images_processed += 1
+        return len(compressed)
+
+    def decompress_one(self, slot: int):
+        """Process-generator: read compressed, decode, verify roundtrip.
+
+        Returns the decoded image.
+        """
+        header = yield from self.thread.rread(
+            self.compressed_va + slot * self.compressed_slot, 4)
+        length = int.from_bytes(header, "little")
+        compressed = yield from self.thread.rread(
+            self.compressed_va + slot * self.compressed_slot + 4, length)
+        yield self.env.timeout(int(self.image_bytes * DECOMPRESS_NS_PER_BYTE))
+        self.images_processed += 1
+        return rle_decompress(compressed)
+
+    def run_workload(self, operations: int):
+        """Process-generator: alternate compress/decompress over the slots.
+
+        Returns total runtime in ns.
+        """
+        start = self.env.now
+        for index in range(operations):
+            slot = index % self.slots
+            yield from self.compress_one(slot)
+            yield from self.decompress_one(slot)
+        return self.env.now - start
+
+
+class RDMAImageCompressionClient:
+    """The same utility on native RDMA: one MR per client (protection)."""
+
+    def __init__(self, env, node: RDMAMemoryNode, rng: RandomStream,
+                 image_side: int = 256, slots: int = 16):
+        self.env = env
+        self.node = node
+        self.rng = rng
+        self.image_side = image_side
+        self.image_bytes = image_side * image_side
+        self.slots = slots
+        self.compressed_slot = 2 * self.image_bytes
+        self.qp = node.create_qp()
+        self.region = None
+
+    def setup(self):
+        """Process-generator: register this client's MR + upload originals.
+
+        The per-client MR is mandatory — clients' photos must be protected
+        from each other, and the MR is RDMA's only protection domain.
+        """
+        size = self.slots * (self.image_bytes + self.compressed_slot)
+        self.region = yield from self.node.register_mr(size, pinned=True)
+        for slot in range(self.slots):
+            image = synthetic_image(self.rng, self.image_side)
+            yield from self.node.write(self.qp, self.region,
+                                       slot * self.image_bytes, image)
+
+    def _compressed_offset(self, slot: int) -> int:
+        return self.slots * self.image_bytes + slot * self.compressed_slot
+
+    def compress_one(self, slot: int):
+        image, _ = yield from self.node.read(
+            self.qp, self.region, slot * self.image_bytes, self.image_bytes)
+        yield self.env.timeout(int(len(image) * COMPRESS_NS_PER_BYTE))
+        compressed = rle_compress(image)
+        header = len(compressed).to_bytes(4, "little")
+        yield from self.node.write(self.qp, self.region,
+                                   self._compressed_offset(slot),
+                                   header + compressed)
+        return len(compressed)
+
+    def decompress_one(self, slot: int):
+        header, _ = yield from self.node.read(
+            self.qp, self.region, self._compressed_offset(slot), 4)
+        length = int.from_bytes(header, "little")
+        compressed, _ = yield from self.node.read(
+            self.qp, self.region, self._compressed_offset(slot) + 4, length)
+        yield self.env.timeout(int(self.image_bytes * DECOMPRESS_NS_PER_BYTE))
+        return rle_decompress(compressed)
+
+    def run_workload(self, operations: int):
+        start = self.env.now
+        for index in range(operations):
+            slot = index % self.slots
+            yield from self.compress_one(slot)
+            yield from self.decompress_one(slot)
+        return self.env.now - start

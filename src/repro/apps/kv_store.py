@@ -1,0 +1,232 @@
+"""Clio-KV: a key-value store running at the MN as an offload (section 6).
+
+The KV module has its *own* remote virtual address space: a chained hash
+table (bucket-head array + linked entries) and the key-value payloads all
+live in that RAS, accessed through the same virtual-memory API client
+processes use.  Clients on any CN reach it through a key-value interface
+(one OFFLOAD request per operation — one network round trip, which is why
+Clio-KV beats the RTT-heavy Clover in Figure 17).
+
+Consistency: writes (create/update/delete) serialize through per-bucket
+locks — atomic writes with cross-bucket parallelism; reads run unlocked
+against committed chain state — read committed.
+
+Access-count optimizations (what the FPGA implementation does in RTL):
+the chain walk reads an entry's header *and* its key in one DRAM access
+(sized by the probe key — a length mismatch is rejected from the header
+alone), so a get costs bucket-head + one access per chain step + one
+value read.
+
+Entry layout in RAS (little-endian):
+
+    +0   key length  (u16)
+    +2   value length (u16)
+    +4   reserved     (u32)
+    +8   next-entry VA (u64; 0 = end of chain)
+    +16  key bytes, then value bytes
+"""
+
+from __future__ import annotations
+
+from repro.clib.client import ClioThread
+from repro.core.addr import jenkins_mix
+from repro.core.extend import ExtendPath, OffloadContext, OffloadError
+from repro.sim import Resource
+
+ENTRY_HEADER = 16
+#: FPGA cycles of hashing/compare logic per chain step.
+STEP_CYCLES = 6
+
+
+def _hash_bucket(key: bytes, buckets: int) -> int:
+    """Mix every 8-byte chunk so keys with shared prefixes spread out."""
+    digest = jenkins_mix(len(key))
+    for offset in range(0, len(key), 8):
+        chunk = int.from_bytes(key[offset:offset + 8].ljust(8, b"\0"),
+                               "little")
+        digest = jenkins_mix(digest ^ chunk)
+    return digest % buckets
+
+
+def _pack_entry(key: bytes, value: bytes, next_va: int) -> bytes:
+    return (len(key).to_bytes(2, "little")
+            + len(value).to_bytes(2, "little")
+            + bytes(4)
+            + next_va.to_bytes(8, "little")
+            + key + value)
+
+
+class _KVState:
+    """Offload-module state: RAS layout roots + per-bucket write locks."""
+
+    def __init__(self, buckets: int, capacity: int):
+        self.buckets = buckets
+        self.capacity = capacity
+        self.heads_va = 0        # VA of the bucket-head array
+        self.heap_va = 0         # VA of the entry heap
+        self.heap_used = ENTRY_HEADER   # offset 0 reserved: 0 stays "null"
+        self.init_lock: Resource | None = None
+        self.bucket_locks: dict[int, Resource] = {}
+        self.entries = 0
+
+    def lock_for(self, env, bucket: int) -> Resource:
+        lock = self.bucket_locks.get(bucket)
+        if lock is None:
+            lock = Resource(env, capacity=1)
+            self.bucket_locks[bucket] = lock
+        return lock
+
+
+def register_kv_offload(extend_path: ExtendPath, name: str = "clio-kv",
+                        buckets: int = 4096,
+                        capacity: int = 64 << 20) -> None:
+    """Deploy Clio-KV on a CBoard's extend path."""
+    state = _KVState(buckets, capacity)
+    state.init_lock = Resource(extend_path.env, capacity=1)
+
+    def ensure_init(ctx: OffloadContext):
+        """Idempotent, lock-guarded module initialization.
+
+        heads_va is published *last*, so a concurrent invocation either
+        sees the fully-initialized module or waits on the lock.
+        """
+        if state.heads_va:
+            return
+        token = state.init_lock.request()
+        yield token
+        try:
+            if state.heads_va == 0:
+                heads_va = yield from ctx.alloc(8 * state.buckets)
+                state.heap_va = yield from ctx.alloc(state.capacity)
+                state.heads_va = heads_va
+        finally:
+            state.init_lock.release(token)
+
+    def read_head(ctx, bucket: int):
+        head = yield from ctx.read_u64(state.heads_va + 8 * bucket)
+        return head
+
+    def find(ctx, key: bytes):
+        """Walk the chain; one combined header+key read per step.
+
+        Returns (entry_va, prev_va, val_len, next_va), all None/0 when
+        the key is absent.
+        """
+        bucket = _hash_bucket(key, state.buckets)
+        entry_va = yield from read_head(ctx, bucket)
+        prev_va = 0
+        while entry_va != 0:
+            yield from ctx._compute(STEP_CYCLES)
+            blob = yield from ctx.read(entry_va, ENTRY_HEADER + len(key))
+            key_len = int.from_bytes(blob[0:2], "little")
+            val_len = int.from_bytes(blob[2:4], "little")
+            next_va = int.from_bytes(blob[8:16], "little")
+            if key_len == len(key) and blob[ENTRY_HEADER:] == key:
+                return entry_va, prev_va, val_len, next_va
+            prev_va = entry_va
+            entry_va = next_va
+        return None, None, None, 0
+
+    def take_heap(size: int) -> int:
+        aligned = (size + 7) & ~7
+        if state.heap_used + aligned > state.capacity:
+            raise OffloadError("Clio-KV heap exhausted")
+        va = state.heap_va + state.heap_used
+        state.heap_used += aligned
+        return va
+
+    def kv_offload(ctx: OffloadContext, args):
+        yield from ensure_init(ctx)
+        op = args[0]
+
+        if op == "get":
+            _, key = args
+            found_va, _, val_len, _ = yield from find(ctx, key)
+            if found_va is None:
+                return None
+            value = yield from ctx.read(
+                found_va + ENTRY_HEADER + len(key), val_len)
+            return value
+
+        # Mutations hold this key's bucket lock (atomic writes; buckets
+        # mutate in parallel).
+        bucket = _hash_bucket(args[1], state.buckets)
+        lock = state.lock_for(ctx.env, bucket)
+        token = lock.request()
+        yield token
+        try:
+            if op == "put":
+                _, key, value = args
+                found_va, prev_va, val_len, next_va = yield from find(ctx, key)
+                if found_va is not None and len(value) <= val_len:
+                    # In-place update: new header + value, one write each.
+                    header = (len(key).to_bytes(2, "little")
+                              + len(value).to_bytes(2, "little"))
+                    yield from ctx.write(found_va, header)
+                    yield from ctx.write(
+                        found_va + ENTRY_HEADER + len(key), value)
+                    return "updated"
+                if found_va is not None:
+                    # Growing update: the old entry must leave the chain,
+                    # or a later delete of the new entry would resurrect
+                    # the stale value.
+                    if prev_va == 0:
+                        yield from ctx.write_u64(
+                            state.heads_va + 8 * bucket, next_va)
+                    else:
+                        yield from ctx.write_u64(prev_va + 8, next_va)
+                    state.entries -= 1
+                head = yield from read_head(ctx, bucket)
+                entry_va = take_heap(ENTRY_HEADER + len(key) + len(value))
+                yield from ctx.write(entry_va, _pack_entry(key, value, head))
+                yield from ctx.write_u64(state.heads_va + 8 * bucket,
+                                         entry_va)
+                state.entries += 1
+                return "created"
+
+            if op == "delete":
+                _, key = args
+                found_va, prev_va, _, next_va = yield from find(ctx, key)
+                if found_va is None:
+                    return False
+                if prev_va == 0:
+                    yield from ctx.write_u64(state.heads_va + 8 * bucket,
+                                             next_va)
+                else:
+                    yield from ctx.write_u64(prev_va + 8, next_va)
+                state.entries -= 1
+                return True
+
+            raise OffloadError(f"unknown Clio-KV op {op!r}")
+        finally:
+            lock.release(token)
+
+    extend_path.register(name, kv_offload, on_fpga=True)
+
+
+class ClioKV:
+    """Client-side handle: a key-value interface over OFFLOAD requests."""
+
+    def __init__(self, thread: ClioThread, name: str = "clio-kv"):
+        self.thread = thread
+        self.name = name
+
+    def put(self, key: bytes, value: bytes):
+        """Process-generator: create or update; returns 'created'/'updated'."""
+        if not key:
+            raise ValueError("empty keys unsupported")
+        result = yield from self.thread.invoke_offload(
+            self.name, ("put", bytes(key), bytes(value)))
+        return result
+
+    def get(self, key: bytes):
+        """Process-generator: returns the value bytes or None."""
+        value = yield from self.thread.invoke_offload(
+            self.name, ("get", bytes(key)))
+        return value
+
+    def delete(self, key: bytes):
+        """Process-generator: returns True when the key existed."""
+        removed = yield from self.thread.invoke_offload(
+            self.name, ("delete", bytes(key)))
+        return removed

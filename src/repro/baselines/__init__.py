@@ -1,0 +1,31 @@
+"""Baseline systems the paper evaluates against (section 7).
+
+* :mod:`repro.baselines.rdma` — native one-sided RDMA on a commodity RNIC,
+  with its finite QP/PTE/MR caches, PCIe miss penalties, MR registration,
+  and the 16.8 ms ODP page-fault path.
+* :mod:`repro.baselines.legoos` — LegoOS-style software virtual memory at
+  the MN (thread pool + hash lookup) over RDMA.
+* :mod:`repro.baselines.clover` — Clover adapted as passive disaggregated
+  memory (PDM): no MN processing, client-side management, >= 2 RTT writes.
+* :mod:`repro.baselines.herd` — HERD RPC key-value over RDMA, on a host
+  CPU or on a BlueField SmartNIC (chip-crossing penalty).
+
+These are timing models calibrated to the paper's cited measurements, not
+packet-level simulations: the comparison figures depend on cache-capacity
+cliffs, fault-path costs, and per-op handling budgets, all of which are
+first-class here.
+"""
+
+from repro.baselines.clover import CloverStore
+from repro.baselines.herd import HERDServer
+from repro.baselines.legoos import LegoOSMemoryNode
+from repro.baselines.rdma import MRRegistrationError, RDMAMemoryNode, MemoryRegion
+
+__all__ = [
+    "CloverStore",
+    "HERDServer",
+    "LegoOSMemoryNode",
+    "MRRegistrationError",
+    "MemoryRegion",
+    "RDMAMemoryNode",
+]

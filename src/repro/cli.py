@@ -1,0 +1,339 @@
+"""Command-line experiment runner: ``python -m repro <command>``.
+
+Quick, scriptable access to the common experiments without writing a
+simulation program:
+
+* ``latency``  — end-to-end read/write latency distribution on Clio;
+* ``goodput``  — end-to-end goodput for a thread count / request size;
+* ``compare``  — one-op latency across Clio and every baseline;
+* ``alloc``    — VA/PA allocation costs vs RDMA MR registration;
+* ``ycsb``     — Clio-KV under a YCSB mix.
+
+Every command prints a table via :mod:`repro.analysis.report` and returns
+a process exit code of 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.analysis.report import render_table
+from repro.analysis.stats import LatencyRecorder, rate_gbps
+from repro.cluster import ClioCluster
+from repro.params import ClioParams
+
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+
+
+def _parse_size(text: str) -> int:
+    """'64', '4KB', '16MB', '2GB' -> bytes."""
+    text = text.strip().upper()
+    for suffix, factor in (("GB", GB), ("MB", MB), ("KB", KB), ("B", 1)):
+        if text.endswith(suffix):
+            return int(float(text[: -len(suffix)]) * factor)
+    return int(text)
+
+
+def _profile(name: str) -> ClioParams:
+    profiles = {
+        "prototype": ClioParams.prototype,
+        "asic": ClioParams.asic_projection,
+        "cloudlab": ClioParams.cloudlab,
+    }
+    if name not in profiles:
+        raise SystemExit(f"unknown profile {name!r}; "
+                         f"choose from {sorted(profiles)}")
+    return profiles[name]()
+
+
+# -- commands ----------------------------------------------------------------------
+
+
+def cmd_latency(args) -> int:
+    cluster = ClioCluster(params=_profile(args.profile), seed=args.seed,
+                          mn_capacity=1 * GB)
+    thread = cluster.cn(0).process("mn0").thread()
+    recorder = LatencyRecorder("clio")
+    size = _parse_size(args.size)
+    payload = b"x" * size
+
+    def app():
+        va = yield from thread.ralloc(max(size, 4 * MB))
+        yield from thread.rwrite(va, payload)
+        for _ in range(args.ops):
+            start = cluster.env.now
+            if args.write:
+                yield from thread.rwrite(va, payload)
+            else:
+                yield from thread.rread(va, size)
+            recorder.add(cluster.env.now - start)
+
+    cluster.run(until=cluster.env.process(app()))
+    summary = recorder.summary()
+    print(render_table(
+        f"Clio {'write' if args.write else 'read'} latency, "
+        f"{size}B x {args.ops} ops ({args.profile})",
+        ["median us", "mean us", "p99 us", "p99.9 us", "max us"],
+        [[summary["median_us"], summary["mean_us"], summary["p99_us"],
+          summary["p999_us"], summary["max_us"]]]))
+    return 0
+
+
+def cmd_goodput(args) -> int:
+    size = _parse_size(args.size)
+    cluster = ClioCluster(params=_profile(args.profile), seed=args.seed,
+                          num_cns=min(4, args.threads), mn_capacity=2 * GB,
+                          page_size=64 * KB)
+    ready = []
+
+    def setup():
+        for index in range(args.threads):
+            thread = cluster.cn(index % len(cluster.cns)).process(
+                "mn0").thread()
+            va = yield from thread.ralloc(8 * MB)
+            for offset in range(0, 8 * MB, 64 * KB):
+                yield from thread.rwrite(va + offset, b"\0" * 64)
+            ready.append((thread, va))
+
+    cluster.run(until=cluster.env.process(setup()))
+    payload = b"g" * size
+    started = cluster.env.now
+
+    def worker(thread, va):
+        outstanding = []
+        page = 64 * KB
+        for index in range(args.ops):
+            offset = (index * page) % (8 * MB - size)
+            if args.asynchronous:
+                handle = yield from thread.rwrite_async(va + offset, payload)
+                outstanding.append(handle)
+                if len(outstanding) >= 16:
+                    yield from thread.rpoll([outstanding.pop(0)])
+            else:
+                yield from thread.rwrite(va + offset, payload)
+        yield from thread.rpoll(outstanding)
+
+    procs = [cluster.env.process(worker(thread, va))
+             for thread, va in ready]
+    cluster.run(until=cluster.env.all_of(procs))
+    total = args.threads * args.ops * size
+    goodput = rate_gbps(total, cluster.env.now - started)
+    print(render_table(
+        f"Clio write goodput ({args.profile})",
+        ["threads", "size_B", "mode", "goodput_Gbps"],
+        [[args.threads, size,
+          "async" if args.asynchronous else "sync", round(goodput, 2)]]))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.baselines.herd import HERDServer
+    from repro.baselines.legoos import LegoOSMemoryNode
+    from repro.baselines.rdma import RDMAMemoryNode
+    from repro.sim import Environment
+
+    size = _parse_size(args.size)
+    params = _profile(args.profile)
+    rows = []
+
+    # Clio
+    cluster = ClioCluster(params=params, seed=args.seed, mn_capacity=1 * GB)
+    thread = cluster.cn(0).process("mn0").thread()
+    recorder = LatencyRecorder("clio")
+
+    def clio_app():
+        va = yield from thread.ralloc(4 * MB)
+        yield from thread.rwrite(va, b"p" * size)
+        for _ in range(args.ops):
+            start = cluster.env.now
+            yield from thread.rread(va, size)
+            recorder.add(cluster.env.now - start)
+
+    cluster.run(until=cluster.env.process(clio_app()))
+    rows.append(["Clio", round(recorder.median_ns / 1000, 2),
+                 round(recorder.p99_ns / 1000, 2)])
+
+    # RDMA
+    env = Environment()
+    node = RDMAMemoryNode(env, params, dram_capacity=1 * GB)
+    samples = LatencyRecorder("rdma")
+
+    def rdma_app():
+        region = yield from node.register_mr(4 * MB, pinned=True)
+        qp = node.create_qp()
+        for _ in range(args.ops):
+            _, latency = yield from node.read(qp, region, 0, size)
+            samples.add(latency)
+
+    env.run(until=env.process(rdma_app()))
+    rows.append(["RDMA", round(samples.median_ns / 1000, 2),
+                 round(samples.p99_ns / 1000, 2)])
+
+    # HERD / HERD-BF
+    for bluefield in (False, True):
+        env = Environment()
+        server = HERDServer(env, params, on_bluefield=bluefield,
+                            dram_capacity=1 * GB)
+        samples = LatencyRecorder("herd")
+
+        def herd_app(server=server, samples=samples):
+            for _ in range(args.ops):
+                _, latency = yield from server.raw_read(0, size)
+                samples.add(latency)
+
+        env.run(until=env.process(herd_app()))
+        rows.append(["HERD-BF" if bluefield else "HERD",
+                     round(samples.median_ns / 1000, 2),
+                     round(samples.p99_ns / 1000, 2)])
+
+    # LegoOS
+    env = Environment()
+    lego = LegoOSMemoryNode(env, params, dram_capacity=1 * GB)
+    lego.map_range(pid=1, va=0, size=4 * MB)
+    samples = LatencyRecorder("legoos")
+
+    def lego_app():
+        for _ in range(args.ops):
+            _, latency = yield from lego.read(1, 0, size)
+            samples.add(latency)
+
+    env.run(until=env.process(lego_app()))
+    rows.append(["LegoOS", round(samples.median_ns / 1000, 2),
+                 round(samples.p99_ns / 1000, 2)])
+
+    print(render_table(f"{size}B read latency across systems ({args.profile})",
+                       ["system", "median us", "p99 us"], rows))
+    return 0
+
+
+def cmd_alloc(args) -> int:
+    from repro.baselines.rdma import RDMAMemoryNode
+    from repro.sim import Environment
+
+    size = _parse_size(args.size)
+    params = _profile(args.profile)
+    cluster = ClioCluster(params=params, seed=args.seed, mn_capacity=8 * GB)
+    board = cluster.mn
+    timings = {}
+
+    def clio_app():
+        start = cluster.env.now
+        response = yield from board.slow_path.handle_alloc(pid=1, size=size)
+        timings["va_us"] = (cluster.env.now - start) / 1000
+        timings["retries"] = response.retries
+        start = cluster.env.now
+        yield from board.slow_path.single_pa_alloc()
+        timings["pa_us"] = (cluster.env.now - start) / 1000
+
+    cluster.run(until=cluster.env.process(clio_app()))
+
+    env = Environment()
+    node = RDMAMemoryNode(env, params, dram_capacity=8 * GB)
+
+    def rdma_app():
+        start = env.now
+        yield from node.register_mr(size, pinned=True)
+        timings["mr_us"] = (env.now - start) / 1000
+
+    env.run(until=env.process(rdma_app()))
+    print(render_table(
+        f"Allocation costs for {args.size} ({args.profile})",
+        ["Clio VA us", "retries", "Clio PA us", "RDMA MR reg us"],
+        [[timings["va_us"], timings["retries"], timings["pa_us"],
+          timings["mr_us"]]]))
+    return 0
+
+
+def cmd_ycsb(args) -> int:
+    from repro.apps.kv_store import ClioKV, register_kv_offload
+    from repro.sim.rng import RandomStream
+    from repro.workloads.ycsb import YCSB_WORKLOADS, YCSBWorkload
+
+    mix = args.workload.upper()
+    if mix not in YCSB_WORKLOADS:
+        raise SystemExit(f"unknown YCSB workload {mix!r}; choose A, B, or C")
+    cluster = ClioCluster(params=_profile(args.profile), seed=args.seed,
+                          num_cns=2, mn_capacity=2 * GB)
+    register_kv_offload(cluster.mn.extend_path, buckets=4 * args.keys)
+    kv = ClioKV(cluster.cn(0).process("mn0").thread())
+    workload = YCSBWorkload(YCSB_WORKLOADS[mix], RandomStream(args.seed, "cli"),
+                            num_keys=args.keys, value_size=1024)
+    recorder = LatencyRecorder("ycsb")
+
+    def app():
+        for key, value in workload.load_phase():
+            yield from kv.put(key, value)
+        for op in workload.operations(args.ops):
+            start = cluster.env.now
+            if op[0] == "get":
+                yield from kv.get(op[1])
+            else:
+                yield from kv.put(op[1], op[2])
+            recorder.add(cluster.env.now - start)
+
+    cluster.run(until=cluster.env.process(app()))
+    summary = recorder.summary()
+    print(render_table(
+        f"Clio-KV YCSB-{mix}: {args.keys} keys, {args.ops} ops "
+        f"({args.profile})",
+        ["median us", "mean us", "p99 us"],
+        [[summary["median_us"], summary["mean_us"], summary["p99_us"]]]))
+    return 0
+
+
+# -- argument parsing ---------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clio reproduction: command-line experiment runner")
+    parser.add_argument("--profile", default="prototype",
+                        choices=("prototype", "asic", "cloudlab"),
+                        help="parameter profile (default: prototype)")
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    latency = sub.add_parser("latency", help="Clio latency distribution")
+    latency.add_argument("--size", default="16")
+    latency.add_argument("--ops", type=int, default=2000)
+    latency.add_argument("--write", action="store_true")
+    latency.set_defaults(func=cmd_latency)
+
+    goodput = sub.add_parser("goodput", help="Clio end-to-end goodput")
+    goodput.add_argument("--size", default="1KB")
+    goodput.add_argument("--threads", type=int, default=4)
+    goodput.add_argument("--ops", type=int, default=150)
+    goodput.add_argument("--async", dest="asynchronous",
+                         action="store_true")
+    goodput.set_defaults(func=cmd_goodput)
+
+    compare = sub.add_parser("compare", help="latency across systems")
+    compare.add_argument("--size", default="16")
+    compare.add_argument("--ops", type=int, default=400)
+    compare.set_defaults(func=cmd_compare)
+
+    alloc = sub.add_parser("alloc", help="allocation cost comparison")
+    alloc.add_argument("--size", default="64MB")
+    alloc.set_defaults(func=cmd_alloc)
+
+    ycsb = sub.add_parser("ycsb", help="Clio-KV under YCSB")
+    ycsb.add_argument("--workload", default="B")
+    ycsb.add_argument("--keys", type=int, default=500)
+    ycsb.add_argument("--ops", type=int, default=500)
+    ycsb.set_defaults(func=cmd_ycsb)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

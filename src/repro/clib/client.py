@@ -1,0 +1,322 @@
+"""Compute-node objects: ComputeNode, ClioProcess, ClioThread.
+
+A :class:`ComputeNode` is a regular server with one Ethernet NIC and one
+CLib transport endpoint.  A :class:`ClioProcess` owns a remote virtual
+address space (RAS) identified by a global PID assigned at start, bound
+to one MN.  A :class:`ClioThread` carries the per-thread ordering state:
+synchronous calls block the thread; asynchronous calls return an
+:class:`AsyncHandle` after dependency admission.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from repro.clib.handles import AsyncHandle
+from repro.core.addr import Permission
+from repro.core.pipeline import Status
+from repro.core.sync import AtomicOp, AtomicResult
+from repro.net.packet import PacketType
+from repro.params import ClioParams
+from repro.sim import Environment
+from repro.transport.clib_transport import RequestOutcome, Transport
+from repro.transport.ordering import DependencyTracker
+
+#: Global PID source — "a unique global PID across all CNs" (section 3.1).
+_pids = itertools.count(1)
+
+
+class RemoteAccessError(Exception):
+    """An MN rejected the access (bad VA, permission, or out of memory)."""
+
+    def __init__(self, status: Status, message: str):
+        super().__init__(f"{message}: {status.value}")
+        self.status = status
+
+
+class ComputeNode:
+    """A regular server attached to the ToR switch, running CLib."""
+
+    def __init__(self, env: Environment, name: str, topology,
+                 params: ClioParams, default_page_size: Optional[int] = None):
+        self.env = env
+        self.name = name
+        self.params = params
+        self.default_page_size = (default_page_size
+                                  or params.cboard.default_page_size)
+        self.transport = Transport(env, name, topology, params)
+
+    def process(self, mn: str, page_size: Optional[int] = None) -> "ClioProcess":
+        """Start an application process with a fresh RAS on MN ``mn``.
+
+        ``page_size`` must match the target MN's configured page size —
+        CLib tracks dependencies and splits requests at that granularity.
+        """
+        return ClioProcess(self, mn, next(_pids),
+                           page_size or self.default_page_size)
+
+
+class ClioProcess:
+    """One application process: a PID plus its RAS on a single MN."""
+
+    def __init__(self, node: ComputeNode, mn: str, pid: int, page_size: int):
+        from repro.core.addr import PageSpec
+        self.node = node
+        self.mn = mn
+        self.pid = pid
+        self.page_spec = PageSpec(page_size)
+
+    def thread(self, ordering_granularity: str = "page") -> "ClioThread":
+        """New thread; ``ordering_granularity`` is "page" (paper default)
+        or "byte" (exact ranges — no false dependencies, more metadata)."""
+        return ClioThread(self, ordering_granularity=ordering_granularity)
+
+
+class ClioThread:
+    """Per-thread API surface with intra-thread ordering enforcement."""
+
+    def __init__(self, process: ClioProcess,
+                 ordering_granularity: str = "page"):
+        self.process = process
+        self.env = process.node.env
+        self._transport = process.node.transport
+        self._tracker = DependencyTracker(self.env, process.page_spec,
+                                          granularity=ordering_granularity)
+        self.ops_issued = 0
+
+    # -- internals -----------------------------------------------------------------
+
+    @property
+    def tracker(self) -> DependencyTracker:
+        return self._tracker
+
+    def _check(self, outcome: RequestOutcome, what: str) -> RequestOutcome:
+        status = outcome.body.status if outcome.body is not None else Status.INVALID_VA
+        if status is not Status.OK:
+            raise RemoteAccessError(status, what)
+        return outcome
+
+    def _data_request(self, packet_type: PacketType, va: int, size: int,
+                      data: Optional[bytes]):
+        process = self.process
+        outcome = yield from self._transport.request(
+            process.mn, packet_type, pid=process.pid, va=va, size=size,
+            data=data)
+        return outcome
+
+    # -- metadata (slow path) ---------------------------------------------------------
+
+    def ralloc(self, size: int,
+               permission: Permission = Permission.READ_WRITE,
+               fixed_va: Optional[int] = None):
+        """Process-generator: allocate ``size`` bytes in the RAS, return VA."""
+        self.ops_issued += 1
+        outcome = yield from self._transport.request(
+            self.process.mn, PacketType.ALLOC, pid=self.process.pid,
+            payload=(size, permission, fixed_va))
+        self._check(outcome, f"ralloc({size})")
+        return outcome.body.value.va
+
+    def rfree(self, va: int):
+        """Process-generator: free an allocation.
+
+        Metadata/data consistency (section 3.1): conflicting operations
+        execute synchronously in program order, so the free first drains
+        any in-flight access of this thread.
+        """
+        self.ops_issued += 1
+        yield from self._tracker.drain()
+        outcome = yield from self._transport.request(
+            self.process.mn, PacketType.FREE, pid=self.process.pid, va=va)
+        self._check(outcome, f"rfree({va:#x})")
+        return outcome.body.value.freed_pages
+
+    # -- asynchronous metadata (section 3.1 offers both versions) ---------------------
+
+    def ralloc_async(self, size: int,
+                     permission: Permission = Permission.READ_WRITE):
+        """Process-generator: issue a non-blocking ralloc, return a handle.
+
+        The handle's result is the allocated VA.  A fresh allocation can
+        conflict with nothing in flight, so issuing never blocks.
+        """
+        self.ops_issued += 1
+
+        def runner():
+            outcome = yield from self._transport.request(
+                self.process.mn, PacketType.ALLOC, pid=self.process.pid,
+                payload=(size, permission, None))
+            self._check(outcome, f"async ralloc({size})")
+            return outcome.body.value.va
+
+        process = self.env.process(runner())
+        return AsyncHandle(self.env, process, "alloc")
+        # Unreachable yield: keeps this a generator like every other
+        # async API, so call sites uniformly use `yield from`.
+        yield  # pragma: no cover
+
+    def rfree_async(self, va: int, size_hint: int = 0):
+        """Process-generator: issue a non-blocking rfree, return a handle.
+
+        Consistency with data operations (section 3.1): the free is
+        registered as a *write* over the freed range, so any later access
+        of this thread to that range blocks until the free completes (and
+        then fails with INVALID_VA, as it must).  ``size_hint`` bounds the
+        tracked range; when 0 one page is assumed.
+        """
+        self.ops_issued += 1
+        span = max(size_hint, 1)
+        yield from self._tracker.wait_for_conflicts(va, span, is_write=True)
+        done = self._tracker.register(va, span, is_write=True)
+
+        def runner():
+            try:
+                outcome = yield from self._transport.request(
+                    self.process.mn, PacketType.FREE, pid=self.process.pid,
+                    va=va)
+                self._check(outcome, f"async rfree({va:#x})")
+                return outcome.body.value.freed_pages
+            finally:
+                if not done.triggered:
+                    done.succeed()
+
+        process = self.env.process(runner())
+        return AsyncHandle(self.env, process, "free")
+
+    # -- synchronous data path ----------------------------------------------------------
+
+    def rread(self, va: int, size: int):
+        """Process-generator: blocking read; returns the bytes."""
+        self.ops_issued += 1
+        yield from self._tracker.wait_for_conflicts(va, size, is_write=False)
+        outcome = yield from self._data_request(PacketType.READ, va, size, None)
+        self._check(outcome, f"rread({va:#x}, {size})")
+        return outcome.data
+
+    def rwrite(self, va: int, data: bytes):
+        """Process-generator: blocking write."""
+        if not data:
+            raise ValueError("rwrite needs a non-empty payload")
+        self.ops_issued += 1
+        yield from self._tracker.wait_for_conflicts(va, len(data), is_write=True)
+        outcome = yield from self._data_request(
+            PacketType.WRITE, va, len(data), bytes(data))
+        self._check(outcome, f"rwrite({va:#x}, {len(data)})")
+
+    # -- asynchronous data path ------------------------------------------------------------
+
+    def _async_op(self, packet_type: PacketType, va: int, size: int,
+                  data: Optional[bytes], done):
+        try:
+            outcome = yield from self._data_request(packet_type, va, size, data)
+            self._check(
+                outcome,
+                f"async {packet_type.value}({va:#x}, {size})")
+            return outcome.data
+        finally:
+            if not done.triggered:
+                done.succeed()
+
+    def rread_async(self, va: int, size: int):
+        """Process-generator: issue a non-blocking read, return a handle.
+
+        Issuing blocks only while a WAR/RAW/WAW conflict with an in-flight
+        request of this thread drains (section 4.5).
+        """
+        self.ops_issued += 1
+        yield from self._tracker.wait_for_conflicts(va, size, is_write=False)
+        done = self._tracker.register(va, size, is_write=False)
+        process = self.env.process(
+            self._async_op(PacketType.READ, va, size, None, done))
+        return AsyncHandle(self.env, process, "read")
+
+    def rwrite_async(self, va: int, data: bytes):
+        """Process-generator: issue a non-blocking write, return a handle."""
+        if not data:
+            raise ValueError("rwrite needs a non-empty payload")
+        self.ops_issued += 1
+        size = len(data)
+        yield from self._tracker.wait_for_conflicts(va, size, is_write=True)
+        done = self._tracker.register(va, size, is_write=True)
+        process = self.env.process(
+            self._async_op(PacketType.WRITE, va, size, bytes(data), done))
+        return AsyncHandle(self.env, process, "write")
+
+    def rpoll(self, handles: Sequence[AsyncHandle]):
+        """Process-generator: wait for the given async operations."""
+        results = []
+        for handle in handles:
+            result = yield from handle.poll()
+            results.append(result)
+        return results
+
+    # -- synchronization ---------------------------------------------------------------------
+
+    def _atomic(self, va: int, op: AtomicOp) -> "AtomicResult":
+        self.ops_issued += 1
+        outcome = yield from self._transport.request(
+            self.process.mn, PacketType.ATOMIC, pid=self.process.pid,
+            va=va, payload=op)
+        self._check(outcome, f"atomic {op.kind}({va:#x})")
+        return outcome.body.atomic
+
+    def rlock(self, lock_va: int, backoff_ns: int = 200,
+              max_backoff_ns: int = 8000):
+        """Process-generator: acquire a remote lock (TAS with backoff)."""
+        wait = backoff_ns
+        attempts = 0
+        while True:
+            result = yield from self._atomic(lock_va, AtomicOp(kind="tas"))
+            attempts += 1
+            if result.success:
+                return attempts
+            yield self.env.timeout(wait)
+            wait = min(wait * 2, max_backoff_ns)
+
+    def runlock(self, lock_va: int):
+        """Process-generator: release a lock (release semantics).
+
+        All earlier asynchronous operations of this thread complete before
+        the unlock is issued — the release ordering of section 3.1.
+        """
+        yield from self._tracker.drain()
+        yield from self._atomic(lock_va, AtomicOp(kind="store", value=0))
+
+    def rfence(self):
+        """Process-generator: full fence.
+
+        Drains this thread's in-flight requests, then asks the MN to
+        block all future requests until its own in-flight ones complete.
+        """
+        yield from self._tracker.drain()
+        self.ops_issued += 1
+        outcome = yield from self._transport.request(
+            self.process.mn, PacketType.FENCE, pid=self.process.pid)
+        self._check(outcome, "rfence")
+
+    def rfaa(self, va: int, delta: int):
+        """Process-generator: fetch-and-add; returns the old value."""
+        result = yield from self._atomic(va, AtomicOp(kind="faa", value=delta))
+        return result.old_value
+
+    def rcas(self, va: int, expected: int, value: int):
+        """Process-generator: compare-and-swap; returns (old, success)."""
+        result = yield from self._atomic(
+            va, AtomicOp(kind="cas", expected=expected, value=value))
+        return result.old_value, result.success
+
+    # -- extend path -----------------------------------------------------------------------------
+
+    def invoke_offload(self, name: str, args):
+        """Process-generator: call a computation offload at the MN."""
+        self.ops_issued += 1
+        outcome = yield from self._transport.request(
+            self.process.mn, PacketType.OFFLOAD, pid=self.process.pid,
+            payload=(name, args))
+        self._check(outcome, f"offload {name}")
+        result = outcome.body.value
+        if not result.ok:
+            raise RemoteAccessError(Status.INVALID_VA,
+                                    f"offload {name}: {result.error}")
+        return result.value

@@ -1,0 +1,46 @@
+"""Completion handles for asynchronous CLib operations."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.sim import Environment, Process
+
+
+class AsyncHandle:
+    """Handle returned by asynchronous rread/rwrite; redeemed via rpoll.
+
+    Wraps the background simulation process executing the request.  The
+    result (read bytes, or None for writes) is available after the handle
+    completes; touching it earlier raises.
+    """
+
+    def __init__(self, env: Environment, process: Process, kind: str):
+        self.env = env
+        self._process = process
+        self.kind = kind
+        # The failure (e.g. RequestFailedError after exhausted retries)
+        # belongs to whoever polls the handle, not to the event loop:
+        # mark the process defused so an early failure waits for rpoll.
+        process._defused = True  # type: ignore[attr-defined]
+
+    @property
+    def completion_event(self) -> Process:
+        return self._process
+
+    @property
+    def complete(self) -> bool:
+        return not self._process.is_alive
+
+    @property
+    def result(self) -> Optional[Any]:
+        if self._process.is_alive:
+            raise RuntimeError("async operation still in flight; rpoll first")
+        return self._process.value
+
+    def poll(self):
+        """Process-generator: wait for completion, return the result."""
+        if self._process.is_alive:
+            yield self._process
+            return self._process.value
+        return self._process.value

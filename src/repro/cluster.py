@@ -1,0 +1,93 @@
+"""One-call cluster assembly: CNs + ToR switch + CBoard(s).
+
+This is the entry point most examples and benchmarks use::
+
+    cluster = ClioCluster(num_cns=2)
+    thread = cluster.cn(0).process("mn0").thread()
+    ...
+    cluster.run()
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clib.client import ComputeNode
+from repro.core.cboard import CBoard
+from repro.net.switch import Topology
+from repro.params import ClioParams
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+
+
+class ClioCluster:
+    """A star cluster: ``num_cns`` compute nodes and ``num_mns`` CBoards."""
+
+    def __init__(self, params: Optional[ClioParams] = None, seed: int = 0,
+                 num_cns: int = 1, num_mns: int = 1,
+                 mn_capacity: Optional[int] = None,
+                 page_size: Optional[int] = None):
+        if num_cns < 1 or num_mns < 1:
+            raise ValueError("need at least one CN and one MN")
+        self.params = params or ClioParams.prototype()
+        self.env = Environment()
+        self.rng = RandomStream(seed, "cluster")
+        self.topology = Topology(self.env, self.params.network,
+                                 rng=self.rng.fork("net"))
+        self.mns: list[CBoard] = []
+        for index in range(num_mns):
+            board = CBoard(self.env, self.params, name=f"mn{index}",
+                           dram_capacity=mn_capacity, page_size=page_size)
+            board.attach(self.topology)
+            self.mns.append(board)
+        self.cns: list[ComputeNode] = [
+            ComputeNode(self.env, f"cn{index}", self.topology, self.params,
+                        default_page_size=page_size)
+            for index in range(num_cns)
+        ]
+
+    @property
+    def mn(self) -> CBoard:
+        """The first (often only) memory node."""
+        return self.mns[0]
+
+    def cn(self, index: int = 0) -> ComputeNode:
+        return self.cns[index]
+
+    def run(self, until=None):
+        """Drive the simulation (see :meth:`repro.sim.Environment.run`).
+
+        ``until`` is required: the CBoard's background processes (async
+        buffer refill) run forever, so an open-ended run would never
+        return.  Pass an event/process to wait for, or a deadline in ns.
+        """
+        if until is None:
+            raise ValueError(
+                "ClioCluster.run() needs `until` (an event or a time): "
+                "background MN processes never drain the event queue")
+        return self.env.run(until=until)
+
+    def run_all(self, processes):
+        """Run until every given simulation process completes."""
+        gather = self.env.all_of(list(processes))
+        return self.env.run(until=gather)
+
+    def report(self) -> dict:
+        """Cluster-wide health snapshot: per-board and per-CN counters."""
+        return {
+            "now_ns": self.env.now,
+            "boards": {board.name: board.stats() for board in self.mns},
+            "cns": {
+                node.name: {
+                    "requests_completed": node.transport.requests_completed,
+                    "total_retries": node.transport.total_retries,
+                    "stale_responses": node.transport.stale_responses,
+                    "cwnd": {
+                        mn: controller.cwnd
+                        for mn, controller in
+                        node.transport._congestion.items()
+                    },
+                }
+                for node in self.cns
+            },
+        }

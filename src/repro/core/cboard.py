@@ -1,0 +1,395 @@
+"""CBoard: the complete memory-node device (paper Figure 3).
+
+An incoming packet crosses the thin MN network stack (integrity check +
+ack generation only — the MN is "transportless"), then a Match-and-Action
+Table routes it:
+
+* **fast path** (ASIC): READ/WRITE/ATOMIC/FENCE — the deterministic
+  hardware virtual-memory pipeline in :mod:`repro.core.pipeline`;
+* **slow path** (ARM): ALLOC/FREE — metadata operations in
+  :mod:`repro.core.slowpath`;
+* **extend path** (FPGA/ARM): OFFLOAD — application computation in
+  :mod:`repro.core.extend`.
+
+The only two kinds of state the MN keeps beyond the page table are
+reproduced here exactly: the bounded retry-dedup ring and the (bounded,
+infrequent) synchronization state — fence drain tracking and the single
+atomic unit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.addr import AccessType, PageSpec
+from repro.core.extend import ExtendPath
+from repro.core.mat import MatchActionTable, Path
+from repro.core.memory import DRAM
+from repro.core.pa_allocator import AsyncBuffer, PAAllocator
+from repro.core.page_table import HashPageTable
+from repro.core.pipeline import Breakdown, FastPath, Status
+from repro.core.retry_buffer import RetryBuffer
+from repro.core.slowpath import SlowPath
+from repro.core.sync import AtomicOp, AtomicResult, AtomicUnit
+from repro.core.tlb import TLB
+from repro.core.va_allocator import VAAllocator
+from repro.net.packet import ClioHeader, Packet, PacketType, fragment_payload
+from repro.params import ClioParams
+from repro.sim import Environment
+
+
+@dataclass
+class ResponseBody:
+    """Payload of a RESPONSE packet."""
+
+    status: Status
+    data: Optional[bytes] = None          # read data fragment
+    value: Any = None                      # alloc VA / offload result
+    atomic: Optional[AtomicResult] = None
+    breakdown: Optional[Breakdown] = None  # instrumentation (not on wire)
+
+
+@dataclass
+class _WriteProgress:
+    """Per-request fragment countdown for multi-packet writes.
+
+    Bounded: entries live only while a request's fragments are in the
+    pipeline, and they are dropped as soon as the response is generated.
+    """
+
+    remaining: int
+    status: Status = Status.OK
+    breakdown: Breakdown = field(default_factory=Breakdown)
+
+
+class CBoard:
+    """One memory node: fast + slow + extend paths over on-board DRAM."""
+
+    def __init__(self, env: Environment, params: ClioParams,
+                 name: str = "mn0", dram_capacity: Optional[int] = None,
+                 page_size: Optional[int] = None):
+        self.env = env
+        self.params = params
+        self.name = name
+        cb = params.cboard
+        self.page_spec = PageSpec(page_size or cb.default_page_size)
+        capacity = dram_capacity or cb.dram_capacity
+        physical_pages = capacity // self.page_spec.page_size
+        if physical_pages <= 0:
+            raise ValueError("DRAM capacity below one page")
+
+        self.dram = DRAM(capacity, cb.dram_access_ns, cb.dram_bandwidth_bps)
+        self.page_table = HashPageTable(
+            physical_pages, slots_per_bucket=cb.page_table_slots_per_bucket,
+            overprovision=cb.page_table_overprovision,
+            page_spec=self.page_spec)
+        self.tlb = TLB(cb.tlb_entries)
+        self.pa_allocator = PAAllocator(physical_pages)
+        self.async_buffer = AsyncBuffer(
+            env, self.pa_allocator, depth=min(cb.async_buffer_depth,
+                                              physical_pages),
+            refill_ns=cb.arm_pa_alloc_ns)
+        self.async_buffer.prefill()
+        self.va_allocator = VAAllocator(self.page_table, self.page_spec)
+        self.fast_path = FastPath(env, cb, self.dram, self.page_table,
+                                  self.tlb, self.async_buffer, self.page_spec)
+        self.slow_path = SlowPath(env, cb, self.va_allocator,
+                                  self.pa_allocator, self.tlb, dram=self.dram)
+        self.extend_path = ExtendPath(env, cb, self.fast_path, self.slow_path)
+        self.atomic_unit = AtomicUnit(env, self.dram)
+        self.retry_buffer = RetryBuffer(cb.retry_buffer_bytes)
+        self.mat = MatchActionTable()
+
+        self.topology = None
+        self._write_progress: dict[int, _WriteProgress] = {}
+
+        # Fence state: all future requests block until in-flight ones drain.
+        self._inflight = 0
+        self._fence_barrier = None
+        self._drain_events: deque = deque()
+
+        # Counters
+        self.requests_served = 0
+        self.nacks_sent = 0
+        self.bytes_served = 0
+        self.last_breakdown: Optional[Breakdown] = None
+
+    # -- wiring -------------------------------------------------------------------
+
+    def attach(self, topology) -> None:
+        """Connect the board's Ethernet port to the ToR switch."""
+        self.topology = topology
+        topology.add_node(self.name, self.receive,
+                          port_rate_bps=self.params.cboard.port_rate_bps)
+
+    # -- network receive (the transportless MN stack) ------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        self.env.process(self._handle(packet))
+
+    def _handle(self, packet: Packet):
+        header = packet.header
+        # Thin netstack: integrity check; corrupt packets get an immediate NACK.
+        if packet.corrupt:
+            yield self.env.timeout(
+                int(round(self.params.cboard.netstack_cycles
+                          * self.params.cboard.cycle_ns)))
+            self.nacks_sent += 1
+            self._send(header.src, header.request_id, PacketType.NACK,
+                       ResponseBody(status=Status.OK))
+            return
+
+        # MAT dispatch: which path (or drop) handles this packet.
+        path = self.mat.classify(header)
+        if path is Path.DROP:
+            return
+
+        # Fence barrier: anything arriving after a fence waits for the drain.
+        while self._fence_barrier is not None and header.packet_type is not PacketType.FENCE:
+            yield self._fence_barrier
+
+        if header.packet_type is PacketType.FENCE:
+            yield from self._handle_fence(packet)
+            return
+
+        self._inflight += 1
+        try:
+            if path is Path.FAST:
+                if header.packet_type is PacketType.READ:
+                    yield from self._handle_read(packet)
+                elif header.packet_type is PacketType.WRITE:
+                    yield from self._handle_write(packet)
+                elif header.packet_type is PacketType.ATOMIC:
+                    yield from self._handle_atomic(packet)
+            elif path is Path.SLOW:
+                if header.packet_type is PacketType.ALLOC:
+                    yield from self._handle_alloc(packet)
+                elif header.packet_type is PacketType.FREE:
+                    yield from self._handle_free(packet)
+            elif path is Path.EXTEND:
+                yield from self._handle_offload(packet)
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                while self._drain_events:
+                    self._drain_events.popleft().succeed()
+
+    # -- fast path handlers -----------------------------------------------------------
+
+    def _handle_read(self, packet: Packet):
+        header = packet.header
+        result = yield from self.fast_path.execute(
+            header.pid, AccessType.READ, header.va, header.size,
+            wire_bytes=packet.wire_bytes)
+        self.last_breakdown = result.breakdown
+        self.requests_served += 1
+        if result.status is not Status.OK:
+            self._send(header.src, header.request_id, PacketType.RESPONSE,
+                       ResponseBody(status=result.status,
+                                    breakdown=result.breakdown))
+            return
+        self.bytes_served += header.size
+        # Read responses larger than MTU go back as independent fragments.
+        mtu = self.params.network.mtu
+        fragments = fragment_payload(header.size, mtu)
+        for index, (offset, size) in enumerate(fragments):
+            body = ResponseBody(
+                status=Status.OK,
+                data=result.data[offset:offset + size],
+                breakdown=result.breakdown if index == 0 else None)
+            self._send(header.src, header.request_id, PacketType.RESPONSE,
+                       body, fragment=index, fragments=len(fragments),
+                       payload_bytes=size, total_size=header.size)
+
+    def _handle_write(self, packet: Packet):
+        header = packet.header
+        progress = self._write_progress.get(header.request_id)
+        if progress is None:
+            progress = _WriteProgress(remaining=header.fragments)
+            self._write_progress[header.request_id] = progress
+
+        executed, _cached = self.retry_buffer.check(header.retry_of)
+        if executed:
+            # A retried write whose original already executed must not run
+            # again — re-executing could undo a newer write (section 4.5).
+            yield self.env.timeout(
+                int(round(self.params.cboard.netstack_cycles
+                          * self.params.cboard.cycle_ns)))
+        else:
+            result = yield from self.fast_path.execute(
+                header.pid, AccessType.WRITE, header.va, header.size,
+                data=packet.payload, wire_bytes=packet.wire_bytes)
+            progress.breakdown.merge(result.breakdown)
+            if result.status is not Status.OK:
+                progress.status = result.status
+            else:
+                self.bytes_served += header.size
+
+        progress.remaining -= 1
+        if progress.remaining > 0:
+            return
+        # Whole request done: remember it for retry dedup, ack once.
+        del self._write_progress[header.request_id]
+        self.requests_served += 1
+        self.last_breakdown = progress.breakdown
+        if progress.status is Status.OK:
+            self.retry_buffer.remember(header.request_id)
+            if header.retry_of is not None:
+                self.retry_buffer.remember(header.retry_of)
+        self._send(header.src, header.request_id, PacketType.RESPONSE,
+                   ResponseBody(status=progress.status,
+                                breakdown=progress.breakdown))
+
+    def _handle_atomic(self, packet: Packet):
+        header = packet.header
+        op: AtomicOp = packet.payload
+        executed, cached = self.retry_buffer.check(header.retry_of)
+        if executed:
+            self._send(header.src, header.request_id, PacketType.RESPONSE,
+                       ResponseBody(status=Status.OK, atomic=cached))
+            return
+        # Pay the fixed pipeline cost (ingest + stages) then translate.
+        ingest = self.fast_path.ingest_delay_ns(packet.wire_bytes)
+        yield self.env.timeout(ingest + self.params.cboard.pipeline_ns())
+        status, pa = yield from self.fast_path.translate_only(
+            header.pid, AccessType.ATOMIC, header.va)
+        if status is not Status.OK:
+            self._send(header.src, header.request_id, PacketType.RESPONSE,
+                       ResponseBody(status=status))
+            return
+        result = yield from self.atomic_unit.execute(pa, op)
+        self.requests_served += 1
+        self.retry_buffer.remember(header.request_id, result)
+        if header.retry_of is not None:
+            self.retry_buffer.remember(header.retry_of, result)
+        self._send(header.src, header.request_id, PacketType.RESPONSE,
+                   ResponseBody(status=Status.OK, atomic=result))
+
+    def _handle_fence(self, packet: Packet):
+        header = packet.header
+        # Chain behind any fence already draining.
+        while self._fence_barrier is not None:
+            yield self._fence_barrier
+        barrier = self.env.event()
+        self._fence_barrier = barrier
+        while self._inflight > 0:
+            drain = self.env.event()
+            self._drain_events.append(drain)
+            yield drain
+        self.requests_served += 1
+        self._send(header.src, header.request_id, PacketType.RESPONSE,
+                   ResponseBody(status=Status.OK))
+        self._fence_barrier = None
+        barrier.succeed()
+
+    # -- slow path handlers ---------------------------------------------------------
+
+    def _dedup_response(self, header: ClioHeader) -> bool:
+        """Replay a cached response for a retry of an executed non-
+        idempotent request (alloc/free/offload); True when replayed.
+
+        Re-executing these would double-allocate or double-apply side
+        effects, so they get the same dedup treatment as writes/atomics.
+        """
+        executed, cached = self.retry_buffer.check(header.retry_of)
+        if executed and isinstance(cached, ResponseBody):
+            self._send(header.src, header.request_id, PacketType.RESPONSE,
+                       cached)
+            return True
+        return False
+
+    def _remember_response(self, header: ClioHeader,
+                           body: ResponseBody) -> None:
+        self.retry_buffer.remember(header.request_id, body)
+        if header.retry_of is not None:
+            self.retry_buffer.remember(header.retry_of, body)
+
+    def _handle_alloc(self, packet: Packet):
+        header = packet.header
+        if self._dedup_response(header):
+            return
+        size, permission, fixed_va = packet.payload
+        response = yield from self.slow_path.handle_alloc(
+            header.pid, size, permission=permission, fixed_va=fixed_va)
+        status = Status.OK if response.ok else Status.INVALID_VA
+        self.requests_served += 1
+        body = ResponseBody(status=status, value=response)
+        self._remember_response(header, body)
+        self._send(header.src, header.request_id, PacketType.RESPONSE, body)
+
+    def _handle_free(self, packet: Packet):
+        header = packet.header
+        if self._dedup_response(header):
+            return
+        response = yield from self.slow_path.handle_free(header.pid, header.va)
+        status = Status.OK if response.ok else Status.INVALID_VA
+        self.requests_served += 1
+        body = ResponseBody(status=status, value=response)
+        self._remember_response(header, body)
+        self._send(header.src, header.request_id, PacketType.RESPONSE, body)
+
+    # -- extend path ---------------------------------------------------------------
+
+    def _handle_offload(self, packet: Packet):
+        header = packet.header
+        if self._dedup_response(header):
+            return
+        name, args = packet.payload
+        result = yield from self.extend_path.invoke(name, args,
+                                                    caller_pid=header.pid)
+        self.requests_served += 1
+        status = Status.OK if result.ok else Status.INVALID_VA
+        body = ResponseBody(status=status, value=result)
+        self._remember_response(header, body)
+        self._send(header.src, header.request_id, PacketType.RESPONSE, body)
+
+    # -- response generation -----------------------------------------------------------
+
+    def _send(self, dst: str, request_id: int, packet_type: PacketType,
+              body: ResponseBody, fragment: int = 0, fragments: int = 1,
+              payload_bytes: int = 0, total_size: int = 0) -> None:
+        if self.topology is None:
+            return  # locally-driven board (on-board benchmarks): no network
+        header = ClioHeader(
+            src=self.name, dst=dst, request_id=request_id,
+            packet_type=packet_type, size=payload_bytes,
+            total_size=total_size or payload_bytes,
+            fragment=fragment, fragments=fragments)
+        wire = self.params.network.header_bytes + payload_bytes
+        self.topology.send(Packet(header=header, payload=body,
+                                  wire_bytes=wire, sent_at=self.env.now))
+
+    # -- direct (on-board) execution for benchmarks -------------------------------------
+
+    def execute_local(self, pid: int, access: AccessType, va: int, size: int,
+                      data: Optional[bytes] = None):
+        """Process-generator: drive the fast path without the network.
+
+        Used by the on-board traffic generator experiments (Figure 9) and
+        by unit tests; semantics identical to the packet path for a
+        single-fragment request.
+        """
+        result = yield from self.fast_path.execute(
+            pid, access, va, size, data=data, wire_bytes=size + 64)
+        self.last_breakdown = result.breakdown
+        return result
+
+    # -- diagnostics ----------------------------------------------------------------------
+
+    @property
+    def memory_utilization(self) -> float:
+        return self.pa_allocator.utilization
+
+    def stats(self) -> dict:
+        return {
+            "requests_served": self.requests_served,
+            "bytes_served": self.bytes_served,
+            "tlb_hit_rate": self.tlb.hit_rate,
+            "page_faults": self.fast_path.faults,
+            "nacks_sent": self.nacks_sent,
+            "retry_dedups": self.retry_buffer.dedup_hits,
+            "memory_utilization": self.memory_utilization,
+            "pt_entries": self.page_table.entry_count,
+        }

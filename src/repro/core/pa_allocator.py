@@ -1,0 +1,127 @@
+"""Physical page allocation and the async free-page buffer (section 4.3).
+
+Single PA allocations are slow (complex free-list manipulation on the
+ARM), so they never sit on the fault path.  Instead the ARM continuously
+*reserves* free physical pages into a bounded async buffer; the hardware
+page-fault handler pops a pre-reserved page in bounded time.  The refill
+throughput exceeds line-rate fault arrival, so the buffer only underruns
+when physical memory is exhausted (oversubscription pressure), which the
+model surfaces explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.sim import Environment, Store
+
+
+class OutOfMemoryError(Exception):
+    """The MN has no free physical pages left."""
+
+
+class PAAllocator:
+    """Free-list of physical page numbers with utilization accounting."""
+
+    def __init__(self, physical_pages: int):
+        if physical_pages <= 0:
+            raise ValueError(f"physical_pages must be positive, got {physical_pages}")
+        self.physical_pages = physical_pages
+        self._free: deque[int] = deque(range(physical_pages))
+        self._reserved = 0  # pages sitting in the async buffer
+
+    @property
+    def free_pages(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_pages(self) -> int:
+        return self.physical_pages - len(self._free) - self._reserved
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of physical pages mapped or reserved."""
+        return 1.0 - len(self._free) / self.physical_pages
+
+    def allocate(self) -> int:
+        """Take one free page (slow-path operation)."""
+        if not self._free:
+            raise OutOfMemoryError("no free physical pages")
+        return self._free.popleft()
+
+    def free(self, ppn: int) -> None:
+        """Return a page to the free list."""
+        if not 0 <= ppn < self.physical_pages:
+            raise ValueError(f"ppn {ppn} out of range")
+        self._free.append(ppn)
+
+
+class AsyncBuffer:
+    """Bounded buffer of pre-reserved free PPNs, refilled by the ARM.
+
+    The fast path's fault handler calls :meth:`pop`; the refill process
+    (:meth:`refill_process`) runs forever on the simulation environment,
+    paying the slow-path allocation cost per page *off* the critical path.
+    """
+
+    def __init__(self, env: Environment, allocator: PAAllocator,
+                 depth: int, refill_ns: int):
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        if refill_ns < 0:
+            raise ValueError(f"refill_ns must be non-negative, got {refill_ns}")
+        self.env = env
+        self.allocator = allocator
+        self.depth = depth
+        self.refill_ns = refill_ns
+        self._store = Store(env, capacity=depth)
+        self.underruns = 0
+        self._proc = env.process(self.refill_process())
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def prefill(self) -> None:
+        """Synchronously fill the buffer (board initialization)."""
+        while (len(self._store.items) < self.depth
+               and self.allocator.free_pages > 0):
+            self.allocator._reserved += 1
+            self._store.items.append(self.allocator.allocate())
+        # allocate() decrements _free; fix reserved accounting:
+        # pages were moved free -> reserved, so _reserved counted above.
+
+    def refill_process(self):
+        """ARM background task: keep the buffer topped up."""
+        while True:
+            if (len(self._store.items) >= self.depth
+                    or self.allocator.free_pages == 0):
+                # Nothing to do; poll again after one allocation period.
+                yield self.env.timeout(max(1, self.refill_ns))
+                continue
+            yield self.env.timeout(self.refill_ns)
+            if self.allocator.free_pages == 0:
+                continue
+            ppn = self.allocator.allocate()
+            self.allocator._reserved += 1
+            yield self._store.put(ppn)
+
+    def pop(self):
+        """Event yielding a pre-reserved PPN; immediate when stocked.
+
+        An empty buffer (memory exhausted or refill outrun) registers an
+        underrun — the condition the paper's design guarantees is rare.
+        """
+        if not self._store.items:
+            self.underruns += 1
+        get = self._store.get()
+
+        def _account(event):
+            if event.ok:
+                self.allocator._reserved -= 1
+        get.callbacks.append(_account)
+        return get
+
+    def return_unused(self, ppn: int) -> None:
+        """Recycle a popped-but-unused page back to the free list."""
+        self.allocator.free(ppn)

@@ -1,0 +1,137 @@
+"""The ARM software slow path (paper sections 4.2-4.3, 5).
+
+Metadata operations (ralloc/rfree) leave the ASIC through an RX ring that
+a dedicated ARM core busy-polls; worker threads run the VA allocator
+(including its hash-overflow retry loop) and post responses to a TX ring.
+The 40 us FPGA<->ARM interconnect delay is mitigated exactly the way the
+paper describes: polling (so each hop costs the ~2 us handoff, not 40 us)
+and a shadow copy of the page table in ARM-local DRAM that is synced in
+the background.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.addr import Permission
+from repro.core.pa_allocator import PAAllocator
+from repro.core.tlb import TLB
+from repro.core.va_allocator import AllocationError, VAAllocator
+from repro.params import CBoardParams
+from repro.sim import Environment, Resource
+
+
+@dataclass
+class AllocResponse:
+    """Result of a slow-path ralloc."""
+
+    ok: bool
+    va: int = 0
+    size: int = 0
+    retries: int = 0
+    error: Optional[str] = None
+
+
+@dataclass
+class FreeResponse:
+    ok: bool
+    freed_pages: int = 0
+    error: Optional[str] = None
+
+
+class SlowPath:
+    """ARM-side metadata handling with explicit crossing/handling costs."""
+
+    def __init__(self, env: Environment, params: CBoardParams,
+                 va_allocator: VAAllocator, pa_allocator: PAAllocator,
+                 tlb: TLB, dram=None):
+        self.env = env
+        self.params = params
+        self.va_allocator = va_allocator
+        self.pa_allocator = pa_allocator
+        self.tlb = tlb
+        self.dram = dram
+        # One polling core hands work to the remaining worker cores.
+        self._workers = Resource(env, capacity=max(1, params.arm_cores - 1))
+        self.allocs = 0
+        self.frees = 0
+        self.shadow_syncs = 0
+
+    def _handoff(self):
+        """RX-ring poll pickup plus TX-ring response posting."""
+        yield self.env.timeout(self.params.arm_polling_handoff_ns)
+
+    def handle_alloc(self, pid: int, size: int,
+                     permission: Permission = Permission.READ_WRITE,
+                     fixed_va: Optional[int] = None):
+        """Process-generator for ralloc; returns :class:`AllocResponse`.
+
+        Cost = handoff in + VA-tree search + 0.5 ms per overflow retry
+        (paper section 7.1) + handoff out.  The PTE inserts are forwarded
+        to the fast path's table as *valid, not present* entries.
+        """
+        worker = self._workers.request()
+        yield worker
+        try:
+            yield from self._handoff()
+            yield self.env.timeout(self.params.arm_va_search_ns)
+            try:
+                outcome = self.va_allocator.allocate(
+                    pid, size, permission=permission, fixed_va=fixed_va)
+            except (AllocationError, ValueError) as exc:
+                yield from self._handoff()
+                return AllocResponse(ok=False, error=str(exc))
+            if outcome.retries:
+                yield self.env.timeout(outcome.retries * self.params.arm_retry_ns)
+            self.allocs += 1
+            # Shadow page table kept in ARM-local DRAM; the sync to the
+            # on-board table happens in the background (not on this path).
+            self.shadow_syncs += 1
+            yield from self._handoff()
+            return AllocResponse(ok=True, va=outcome.allocation.va,
+                                 size=outcome.allocation.size,
+                                 retries=outcome.retries)
+        finally:
+            self._workers.release(worker)
+
+    def handle_free(self, pid: int, va: int):
+        """Process-generator for rfree; returns :class:`FreeResponse`.
+
+        Recycled physical pages are zeroed before reuse so a future owner
+        can never observe stale bytes (R5), and stale TLB translations are
+        shot down for consistency with in-flight operations.
+        """
+        worker = self._workers.request()
+        yield worker
+        try:
+            yield from self._handoff()
+            yield self.env.timeout(self.params.arm_va_search_ns)
+            try:
+                allocation, freed_ppns = self.va_allocator.free(pid, va)
+            except KeyError as exc:
+                yield from self._handoff()
+                return FreeResponse(ok=False, error=str(exc))
+            page_size = self.va_allocator.page_spec.page_size
+            first_vpn = allocation.va // page_size
+            for vpn in range(first_vpn, first_vpn + allocation.size // page_size):
+                self.tlb.invalidate(pid, vpn)
+            for ppn in freed_ppns:
+                if self.dram is not None:
+                    self.dram.zero(ppn * page_size, page_size)
+                self.pa_allocator.free(ppn)
+            self.frees += 1
+            yield from self._handoff()
+            return FreeResponse(ok=True, freed_pages=len(freed_ppns))
+        finally:
+            self._workers.release(worker)
+
+    def single_pa_alloc(self):
+        """Process-generator: one synchronous PA allocation (Figure 12).
+
+        Exposed so the allocation benchmark can measure the paper's
+        '<20 us' number directly; the data path never calls this — it pops
+        the async buffer instead.
+        """
+        yield self.env.timeout(self.params.arm_pa_alloc_ns)
+        return self.pa_allocator.allocate()

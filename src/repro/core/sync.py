@@ -1,0 +1,97 @@
+"""MN-side synchronization primitives (paper sections 3.1 and 4.5).
+
+Locks, fences, and atomics must live at the MN because the threads they
+coordinate may run on different CNs.  Atomic operations execute through a
+single hardware atomic unit — the MN blocks further atomics until the
+current one completes — and each executes in bounded time, so the state
+kept here is one of only two kinds of MN state, and it is bounded.
+
+Atomic words are 8 bytes, little-endian, resident in the target RAS page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.memory import DRAM
+from repro.sim import Environment, Resource
+
+ATOMIC_WIDTH = 8
+
+
+@dataclass(frozen=True)
+class AtomicOp:
+    """Descriptor carried in an ATOMIC packet's payload."""
+
+    kind: str                      # "tas" | "cas" | "faa" | "store"
+    expected: Optional[int] = None  # cas only
+    value: Optional[int] = None     # cas/faa/store
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("tas", "cas", "faa", "store"):
+            raise ValueError(f"unknown atomic kind {self.kind!r}")
+        if self.kind == "cas" and (self.expected is None or self.value is None):
+            raise ValueError("cas needs expected and value")
+        if self.kind in ("faa", "store") and self.value is None:
+            raise ValueError(f"{self.kind} needs a value")
+
+
+@dataclass(frozen=True)
+class AtomicResult:
+    """Old value plus a success bit (TAS/CAS acquisition outcome)."""
+
+    old_value: int
+    success: bool
+
+    def to_bytes(self) -> bytes:
+        return self.old_value.to_bytes(ATOMIC_WIDTH, "little") + (
+            b"\x01" if self.success else b"\x00")
+
+
+class AtomicUnit:
+    """Serializes atomic read-modify-write operations against DRAM.
+
+    Each operation costs one DRAM read plus one DRAM write (RMW) of the
+    8-byte word; the unit holds a lock for that duration so concurrent
+    atomics to any address serialize, matching the hardware's behaviour.
+    """
+
+    def __init__(self, env: Environment, dram: DRAM):
+        self.env = env
+        self.dram = dram
+        self._unit = Resource(env, capacity=1)
+        self.operations = 0
+
+    def execute(self, pa: int, op: AtomicOp):
+        """Process-generator performing the RMW; returns AtomicResult."""
+        request = self._unit.request()
+        yield request
+        try:
+            yield self.env.timeout(self.dram.access_time_ns(ATOMIC_WIDTH))
+            old = int.from_bytes(self.dram.read(pa, ATOMIC_WIDTH), "little")
+            new, success = self._apply(old, op)
+            if new is not None:
+                self.dram.write(pa, new.to_bytes(ATOMIC_WIDTH, "little"))
+                yield self.env.timeout(self.dram.access_time_ns(ATOMIC_WIDTH))
+            self.operations += 1
+            return AtomicResult(old_value=old, success=success)
+        finally:
+            self._unit.release(request)
+
+    @staticmethod
+    def _apply(old: int, op: AtomicOp) -> tuple[Optional[int], bool]:
+        """Return (new value to write or None, success flag)."""
+        mask = (1 << (8 * ATOMIC_WIDTH)) - 1
+        if op.kind == "tas":
+            if old == 0:
+                return 1, True
+            return None, False
+        if op.kind == "cas":
+            if old == op.expected:
+                return op.value & mask, True
+            return None, False
+        if op.kind == "faa":
+            return (old + op.value) & mask, True
+        # store
+        return op.value & mask, True

@@ -1,0 +1,194 @@
+"""The global controller: coarse-grained placement plus migration.
+
+Placement follows the LegoOS two-level split: the controller only decides
+*which MN* backs each coarse region (and moves regions when an MN runs
+hot); everything fine-grained — translation, faults, permissions — stays
+on the individual CBoards, unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.cboard import CBoard
+from repro.sim import Environment
+
+#: Controller bookkeeping cost per request (it is off the data path).
+CONTROLLER_NS = 2_000
+
+
+@dataclass
+class RegionLease:
+    """One coarse-grained region: a VA range on a specific MN."""
+
+    region_id: int
+    mn: str                 # board currently backing the region
+    va: int                 # VA of the backing allocation on that board
+    size: int
+    pid: int                # PID used on the backing board
+    generation: int = 0     # bumped on every migration
+
+
+@dataclass
+class _BoardState:
+    board: CBoard
+    regions: set = field(default_factory=set)
+
+
+class PlacementError(Exception):
+    """No MN can host the requested region."""
+
+
+class GlobalController:
+    """Places coarse regions on boards; migrates under memory pressure.
+
+    The controller is deliberately *not* on the data path: CNs cache
+    leases and talk to boards directly; they come back here only to
+    allocate, free, or refresh a lease after a migration.
+    """
+
+    _region_ids = itertools.count(1)
+
+    def __init__(self, env: Environment, boards: list[CBoard],
+                 pressure_threshold: float = 0.85):
+        if not boards:
+            raise ValueError("need at least one board")
+        if not 0.0 < pressure_threshold <= 1.0:
+            raise ValueError(
+                f"pressure_threshold must be in (0, 1], got {pressure_threshold}")
+        self.env = env
+        self.pressure_threshold = pressure_threshold
+        self._boards = {board.name: _BoardState(board) for board in boards}
+        self._leases: dict[int, RegionLease] = {}
+        self.migrations = 0
+
+    # -- placement ---------------------------------------------------------------------
+
+    def _utilization(self, name: str) -> float:
+        board = self._boards[name].board
+        return board.page_table.entry_count / board.page_table.physical_pages
+
+    def _pick_board(self, size: int) -> Optional[str]:
+        """Least-utilized board that can still host ``size`` bytes."""
+        candidates = sorted(self._boards, key=self._utilization)
+        for name in candidates:
+            board = self._boards[name].board
+            pages_needed = board.page_spec.page_count(size)
+            free_slots = (board.page_table.physical_pages
+                          - board.page_table.entry_count)
+            if pages_needed <= free_slots:
+                return name
+        return None
+
+    def allocate(self, pid: int, size: int):
+        """Process-generator: place and allocate a region; returns a lease."""
+        yield self.env.timeout(CONTROLLER_NS)
+        name = self._pick_board(size)
+        if name is None:
+            raise PlacementError(f"no MN can host {size} bytes")
+        state = self._boards[name]
+        response = yield from state.board.slow_path.handle_alloc(pid, size)
+        if not response.ok:
+            raise PlacementError(
+                f"{name} rejected a {size}-byte region: {response.error}")
+        lease = RegionLease(region_id=next(self._region_ids), mn=name,
+                            va=response.va, size=response.size, pid=pid)
+        self._leases[lease.region_id] = lease
+        state.regions.add(lease.region_id)
+        return lease
+
+    def free(self, region_id: int):
+        """Process-generator: release a region on its current board."""
+        yield self.env.timeout(CONTROLLER_NS)
+        lease = self._leases.pop(region_id, None)
+        if lease is None:
+            raise KeyError(f"unknown region {region_id}")
+        state = self._boards[lease.mn]
+        state.regions.discard(region_id)
+        yield from state.board.slow_path.handle_free(lease.pid, lease.va)
+
+    def lookup(self, region_id: int) -> RegionLease:
+        """Current lease (CNs call this to refresh after a migration)."""
+        lease = self._leases.get(region_id)
+        if lease is None:
+            raise KeyError(f"unknown region {region_id}")
+        return lease
+
+    # -- migration ------------------------------------------------------------------------
+
+    def pressured_boards(self) -> list[str]:
+        return [name for name in self._boards
+                if self._utilization(name) > self.pressure_threshold]
+
+    def rebalance(self):
+        """Process-generator: migrate regions off boards over threshold.
+
+        Returns the number of regions moved.  Data is copied through the
+        controller (read from the old board, written to the new one) and
+        the lease generation is bumped so CN caches invalidate.
+        """
+        moved = 0
+        for name in self.pressured_boards():
+            state = self._boards[name]
+            # Move the largest region first (fastest pressure relief).
+            region_ids = sorted(
+                state.regions,
+                key=lambda rid: self._leases[rid].size, reverse=True)
+            for region_id in region_ids:
+                if self._utilization(name) <= self.pressure_threshold:
+                    break
+                lease = self._leases[region_id]
+                target = self._pick_target(exclude=name, size=lease.size)
+                if target is None:
+                    break
+                yield from self._migrate(lease, target)
+                moved += 1
+        return moved
+
+    def _pick_target(self, exclude: str, size: int) -> Optional[str]:
+        candidates = sorted((name for name in self._boards
+                             if name != exclude), key=self._utilization)
+        for name in candidates:
+            board = self._boards[name].board
+            pages = board.page_spec.page_count(size)
+            free_slots = (board.page_table.physical_pages
+                          - board.page_table.entry_count)
+            if (pages <= free_slots
+                    and self._utilization(name) < self.pressure_threshold):
+                return name
+        return None
+
+    def _migrate(self, lease: RegionLease, target: str):
+        yield self.env.timeout(CONTROLLER_NS)
+        source_state = self._boards[lease.mn]
+        target_state = self._boards[target]
+        response = yield from target_state.board.slow_path.handle_alloc(
+            lease.pid, lease.size)
+        if not response.ok:
+            raise PlacementError(
+                f"migration target {target} rejected region {lease.region_id}")
+        # Copy in page-sized chunks (only pages that were ever touched
+        # carry data; untouched pages read as zero on both sides).
+        from repro.core.addr import AccessType
+        from repro.core.pipeline import Status
+        page = source_state.board.page_spec.page_size
+        offset = 0
+        while offset < lease.size:
+            chunk = min(page, lease.size - offset)
+            result = yield from source_state.board.execute_local(
+                lease.pid, AccessType.READ, lease.va + offset, chunk)
+            if result.status is Status.OK and any(result.data):
+                yield from target_state.board.execute_local(
+                    lease.pid, AccessType.WRITE, response.va + offset,
+                    chunk, data=result.data)
+            offset += chunk
+        yield from source_state.board.slow_path.handle_free(
+            lease.pid, lease.va)
+        source_state.regions.discard(lease.region_id)
+        target_state.regions.add(lease.region_id)
+        lease.mn = target
+        lease.va = response.va
+        lease.generation += 1
+        self.migrations += 1

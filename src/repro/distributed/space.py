@@ -1,0 +1,135 @@
+"""A unified virtual address space spanning multiple CBoards.
+
+CN-side companion to the global controller: applications allocate from a
+single flat *distributed* address space; each allocation becomes a coarse
+region placed on some board.  Data accesses go **directly** to the
+backing board (the controller is not on the data path); when a region has
+migrated, the stale access fails fast and the space transparently
+refreshes its cached lease and retries.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.clib.client import ClioThread, ComputeNode, RemoteAccessError
+from repro.distributed.controller import GlobalController, RegionLease
+
+
+@dataclass
+class _Mapping:
+    """CN-cached *snapshot* of a lease (the controller's copy may move on)."""
+
+    base: int              # distributed VA base
+    region_id: int
+    size: int
+    cached_mn: str
+    cached_va: int
+    cached_generation: int
+
+
+class DistributedAddressSpace:
+    """One process's RAS federated across every board the controller owns."""
+
+    def __init__(self, node: ComputeNode, controller: GlobalController,
+                 pid: int):
+        self.node = node
+        self.controller = controller
+        self.pid = pid
+        self._threads: dict[str, ClioThread] = {}
+        self._bases: list[int] = []
+        self._mappings: list[_Mapping] = []
+        self._next_base = 1 << 22
+        self.lease_refreshes = 0
+
+    # -- board access -------------------------------------------------------------
+
+    def _thread(self, mn: str) -> ClioThread:
+        thread = self._threads.get(mn)
+        if thread is None:
+            process = self.node.process(mn)
+            process.pid = self.pid   # one PID across all backing boards
+            thread = process.thread()
+            self._threads[mn] = thread
+        return thread
+
+    # -- allocation ------------------------------------------------------------------
+
+    def alloc(self, size: int):
+        """Process-generator: allocate a region; returns its distributed VA."""
+        lease = yield from self.controller.allocate(self.pid, size)
+        base = self._next_base
+        self._next_base += lease.size
+        mapping = _Mapping(base=base, region_id=lease.region_id,
+                           size=lease.size, cached_mn=lease.mn,
+                           cached_va=lease.va,
+                           cached_generation=lease.generation)
+        index = bisect.bisect_left(self._bases, base)
+        self._bases.insert(index, base)
+        self._mappings.insert(index, mapping)
+        return base
+
+    def free(self, dva: int):
+        """Process-generator: release the region at ``dva``."""
+        index = bisect.bisect_left(self._bases, dva)
+        if index >= len(self._bases) or self._bases[index] != dva:
+            raise KeyError(f"no region at dva={dva:#x}")
+        mapping = self._mappings[index]
+        yield from self.controller.free(mapping.region_id)
+        self._bases.pop(index)
+        self._mappings.pop(index)
+
+    def _resolve(self, dva: int, size: int) -> tuple[_Mapping, int]:
+        index = bisect.bisect_right(self._bases, dva) - 1
+        if index < 0:
+            raise ValueError(f"dva {dva:#x} unmapped")
+        mapping = self._mappings[index]
+        offset = dva - mapping.base
+        if offset + size > mapping.size:
+            raise ValueError(
+                f"access [{dva:#x}, +{size}) crosses region boundary")
+        return mapping, offset
+
+    # -- data path ----------------------------------------------------------------------
+
+    def _refresh(self, mapping: _Mapping) -> None:
+        lease = self.controller.lookup(mapping.region_id)
+        mapping.cached_mn = lease.mn
+        mapping.cached_va = lease.va
+        mapping.cached_generation = lease.generation
+        self.lease_refreshes += 1
+
+    def read(self, dva: int, size: int):
+        """Process-generator: read, chasing a migrated region if needed."""
+        mapping, offset = self._resolve(dva, size)
+        for attempt in range(2):
+            thread = self._thread(mapping.cached_mn)
+            try:
+                data = yield from thread.rread(mapping.cached_va + offset,
+                                               size)
+                return data
+            except RemoteAccessError:
+                if attempt == 1:
+                    raise
+                self._refresh(mapping)
+
+    def write(self, dva: int, data: bytes):
+        """Process-generator: write, chasing a migrated region if needed."""
+        mapping, offset = self._resolve(dva, len(data))
+        for attempt in range(2):
+            thread = self._thread(mapping.cached_mn)
+            try:
+                yield from thread.rwrite(mapping.cached_va + offset, data)
+                return
+            except RemoteAccessError:
+                if attempt == 1:
+                    raise
+                self._refresh(mapping)
+
+    # -- diagnostics ------------------------------------------------------------------------
+
+    def placement(self) -> dict[int, str]:
+        """dva base -> board name the CN currently believes (cached)."""
+        return {mapping.base: mapping.cached_mn
+                for mapping in self._mappings}

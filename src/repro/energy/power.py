@@ -1,0 +1,103 @@
+"""Energy accounting for workload runs (paper Figure 18).
+
+The paper's method: collect total busy cycles of each active component
+(CPU core, ARM, FPGA) over the run, multiply by the per-unit Watts, omit
+DRAM and NIC energy.  Energy therefore reflects both per-op efficiency
+*and* total runtime — which is how HERD-BF ends up worst despite its
+low-power ARM (slow ops -> long runtime -> more joules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.params import EnergyParams, SEC
+
+
+@dataclass
+class EnergyAccount:
+    """Busy-time ledger of one system over one workload run."""
+
+    name: str
+    mn_cpu_busy_ns: int = 0        # host Xeon cores at the MN
+    mn_arm_busy_ns: int = 0        # ARM cores (CBoard slow path / BlueField)
+    mn_fpga_busy_ns: int = 0       # CBoard FPGA active time
+    cn_busy_ns: int = 0            # CN library/management cycles
+    runtime_ns: int = 0
+
+    def merge(self, other: "EnergyAccount") -> None:
+        self.mn_cpu_busy_ns += other.mn_cpu_busy_ns
+        self.mn_arm_busy_ns += other.mn_arm_busy_ns
+        self.mn_fpga_busy_ns += other.mn_fpga_busy_ns
+        self.cn_busy_ns += other.cn_busy_ns
+        self.runtime_ns = max(self.runtime_ns, other.runtime_ns)
+
+
+@dataclass
+class EnergyReport:
+    """Joules per component plus the MN/CN split Figure 18 plots."""
+
+    name: str
+    mn_joules: float
+    cn_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        return self.mn_joules + self.cn_joules
+
+
+def energy_of(account: EnergyAccount, params: EnergyParams) -> EnergyReport:
+    """Convert a busy-time ledger into joules."""
+    mn = (account.mn_cpu_busy_ns / SEC * params.xeon_core_watt
+          + account.mn_arm_busy_ns / SEC * params.arm_core_watt
+          + account.mn_fpga_busy_ns / SEC * params.fpga_watt)
+    cn = account.cn_busy_ns / SEC * params.cn_library_watt
+    return EnergyReport(name=account.name, mn_joules=mn, cn_joules=cn)
+
+
+@dataclass(frozen=True)
+class SystemPowerProfile:
+    """Active power draw of one system while a workload runs.
+
+    The paper's Figure 18 method multiplies active power by total
+    runtime: RPC servers busy-poll (their cores draw full power for the
+    whole run), the FPGA fabric is always on, and CN client threads spin
+    on completions.  This is why HERD-BF — low-power ARM but the slowest
+    runtime — consumes the *most* energy.
+    """
+
+    name: str
+    mn_watts: float
+    cn_watts: float
+
+    def energy(self, runtime_ns: int) -> EnergyReport:
+        seconds = runtime_ns / SEC
+        return EnergyReport(name=self.name,
+                            mn_joules=self.mn_watts * seconds,
+                            cn_joules=self.cn_watts * seconds)
+
+
+def default_profiles(params: EnergyParams,
+                     cn_threads: int = 1,
+                     herd_server_cores: int = 4,
+                     bluefield_cores: int = 8) -> dict[str, SystemPowerProfile]:
+    """The Figure 18 contenders' power profiles."""
+    cn = cn_threads * params.cn_library_watt
+    return {
+        "Clio": SystemPowerProfile(
+            "Clio", mn_watts=params.fpga_watt + params.arm_core_watt,
+            cn_watts=cn),
+        "Clover": SystemPowerProfile(
+            # Passive MN: zero processing watts at the memory side, but
+            # the CN burns extra management cycles (modeled as +50% CN
+            # power: the client cores do the MN's job too).
+            "Clover", mn_watts=0.0, cn_watts=cn * 1.5),
+        "HERD": SystemPowerProfile(
+            "HERD", mn_watts=herd_server_cores * params.xeon_core_watt,
+            cn_watts=cn),
+        "HERD-BF": SystemPowerProfile(
+            "HERD-BF",
+            mn_watts=(bluefield_cores * params.arm_core_watt
+                      + params.bluefield_watt),
+            cn_watts=cn),
+    }

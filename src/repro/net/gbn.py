@@ -1,0 +1,149 @@
+"""Go-Back-N: the conventional reliable transport Clio argues against.
+
+Figure 19 lists a Go-Back-N block among the Clio-built FPGA components —
+the authors implemented the traditional design to compare against.  This
+module reproduces it as a connection-oriented, sequence-numbered,
+cumulative-ack transport:
+
+* the **sender** keeps a window of unacknowledged packets and retransmits
+  the whole window on timeout (go back N);
+* the **receiver** accepts only in-order sequence numbers and acks
+  cumulatively.
+
+Its purpose here is the paper's Challenge 2 argument: every connection
+costs both endpoints buffers and sequence state that grow with the
+connection count, which is exactly what the transportless MN design
+eliminates.  :func:`connection_state_bytes` quantifies that footprint for
+the on-chip state benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim import Environment, Event
+
+#: Per-packet bookkeeping a hardware GBN keeps in the retransmit buffer.
+PACKET_SLOT_BYTES = 64 + 1500      # descriptor + payload staging
+#: Fixed per-connection registers (sequence numbers, timers, peer).
+CONNECTION_FIXED_BYTES = 64
+
+
+def connection_state_bytes(window: int) -> int:
+    """On-chip bytes ONE endpoint holds per GBN connection."""
+    return CONNECTION_FIXED_BYTES + window * PACKET_SLOT_BYTES
+
+
+@dataclass
+class _Unacked:
+    seq: int
+    payload: bytes
+    sent_at: int
+
+
+class GBNSender:
+    """Sender half of one connection."""
+
+    def __init__(self, env: Environment, window: int, timeout_ns: int,
+                 transmit: Callable[[int, bytes], None]):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if timeout_ns <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout_ns}")
+        self.env = env
+        self.window = window
+        self.timeout_ns = timeout_ns
+        self.transmit = transmit
+        self.next_seq = 0
+        self.base = 0
+        self._unacked: list[_Unacked] = []
+        self._window_open: Optional[Event] = None
+        self._timer: Optional[Event] = None
+        self.retransmissions = 0
+        self.delivered = 0
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._unacked)
+
+    def state_bytes(self) -> int:
+        return connection_state_bytes(self.window)
+
+    # -- sending -------------------------------------------------------------------
+
+    def send(self, payload: bytes):
+        """Process-generator: block until the window admits, then send."""
+        while len(self._unacked) >= self.window:
+            if self._window_open is None or self._window_open.triggered:
+                self._window_open = self.env.event()
+            yield self._window_open
+        packet = _Unacked(seq=self.next_seq, payload=payload,
+                          sent_at=self.env.now)
+        self._unacked.append(packet)
+        self.next_seq += 1
+        self.transmit(packet.seq, payload)
+        if self._timer is None:
+            self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        timer = self.env.timeout(self.timeout_ns)
+        self._timer = timer
+        timer.callbacks.append(self._on_timer)
+
+    def _on_timer(self, event) -> None:
+        if event is not self._timer:
+            return   # superseded by an ack re-arming
+        self._timer = None
+        if not self._unacked:
+            return
+        # Go back N: retransmit the entire outstanding window.
+        for packet in self._unacked:
+            self.retransmissions += 1
+            self.transmit(packet.seq, packet.payload)
+        self._arm_timer()
+
+    # -- feedback -------------------------------------------------------------------
+
+    def on_ack(self, cumulative_seq: int) -> None:
+        """Receiver acked everything below ``cumulative_seq``."""
+        before = len(self._unacked)
+        self._unacked = [packet for packet in self._unacked
+                         if packet.seq >= cumulative_seq]
+        acked = before - len(self._unacked)
+        if acked > 0:
+            self.delivered += acked
+            self.base = cumulative_seq
+            if self._window_open is not None and not self._window_open.triggered:
+                self._window_open.succeed()
+            self._timer = None          # cancel logically
+            if self._unacked:
+                self._arm_timer()
+
+
+class GBNReceiver:
+    """Receiver half: in-order delivery plus cumulative acks."""
+
+    def __init__(self, deliver: Callable[[bytes], None],
+                 send_ack: Callable[[int], None], window: int = 1):
+        self.deliver = deliver
+        self.send_ack = send_ack
+        self.window = window
+        self.expected_seq = 0
+        self.accepted = 0
+        self.discarded = 0
+
+    def state_bytes(self) -> int:
+        # A pure GBN receiver buffers nothing, but it still keeps the
+        # per-connection expected-sequence register set.
+        return CONNECTION_FIXED_BYTES
+
+    def on_packet(self, seq: int, payload: bytes) -> None:
+        if seq == self.expected_seq:
+            self.expected_seq += 1
+            self.accepted += 1
+            self.deliver(payload)
+        else:
+            # Out-of-order (ahead) or duplicate: discard, re-ack.
+            self.discarded += 1
+        self.send_ack(self.expected_seq)

@@ -1,0 +1,81 @@
+"""Point-to-point link: serialization, propagation, loss, and corruption.
+
+A link serializes packets one at a time at its configured rate (so an
+overloaded link builds queueing delay — the congestion signal CLib's
+delay-based AIMD reacts to) and delivers each after a propagation delay
+plus bounded jitter.  Loss and corruption are Bernoulli per packet from a
+dedicated seeded stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+from repro.params import SEC
+from repro.sim import Environment, Store
+from repro.sim.rng import RandomStream
+
+Deliver = Callable[[Packet], None]
+
+
+class Link:
+    """Unidirectional link with a FIFO transmit queue."""
+
+    def __init__(self, env: Environment, name: str, rate_bps: int,
+                 propagation_ns: int, deliver: Deliver,
+                 rng: Optional[RandomStream] = None,
+                 loss_rate: float = 0.0, corruption_rate: float = 0.0,
+                 jitter_ns: int = 0):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if propagation_ns < 0:
+            raise ValueError(f"propagation must be non-negative, got {propagation_ns}")
+        self.env = env
+        self.name = name
+        self.rate_bps = rate_bps
+        self.propagation_ns = propagation_ns
+        self.deliver = deliver
+        self.rng = rng or RandomStream(0, f"link/{name}")
+        self.loss_rate = loss_rate
+        self.corruption_rate = corruption_rate
+        self.jitter_ns = jitter_ns
+        self._queue = Store(env)
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.packets_corrupted = 0
+        self.bytes_sent = 0
+        env.process(self._pump())
+
+    def send(self, packet: Packet) -> None:
+        """Enqueue a packet for transmission (non-blocking)."""
+        self._queue.items.append(packet)
+        self._queue._trigger()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def transmit_ns(self, wire_bytes: int) -> int:
+        return max(1, (wire_bytes * 8 * SEC) // self.rate_bps)
+
+    def _pump(self):
+        while True:
+            packet = yield self._queue.get()
+            yield self.env.timeout(self.transmit_ns(packet.wire_bytes))
+            self.packets_sent += 1
+            self.bytes_sent += packet.wire_bytes
+            if self.rng.chance(self.loss_rate):
+                self.packets_dropped += 1
+                continue
+            if self.rng.chance(self.corruption_rate):
+                self.packets_corrupted += 1
+                packet.corrupt = True
+            delay = self.propagation_ns
+            if self.jitter_ns:
+                delay += self.rng.uniform_int(0, self.jitter_ns)
+            self.env.process(self._deliver_after(packet, delay))
+
+    def _deliver_after(self, packet: Packet, delay: int):
+        yield self.env.timeout(delay)
+        self.deliver(packet)

@@ -1,0 +1,90 @@
+"""Link-layer packets and the Clio header.
+
+Every packet is self-describing (sender/receiver addresses, request ID,
+request type, fragment geometry) so the MN can treat each packet
+independently and execute it on arrival, in any order (Principle 5).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class PacketType(enum.Enum):
+    """Clio header request/response types (the MAT dispatches on these)."""
+
+    READ = "read"            # fast path
+    WRITE = "write"          # fast path
+    ATOMIC = "atomic"        # fast path (synchronization unit)
+    FENCE = "fence"          # fast path barrier
+    ALLOC = "alloc"          # slow path
+    FREE = "free"            # slow path
+    OFFLOAD = "offload"      # extend path
+    RESPONSE = "response"
+    NACK = "nack"            # corruption detected at MN
+
+
+#: Fast-path types the MAT keeps in the ASIC pipeline.
+FAST_PATH_TYPES = frozenset(
+    {PacketType.READ, PacketType.WRITE, PacketType.ATOMIC, PacketType.FENCE})
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ClioHeader:
+    """Per-packet header: everything needed to process the packet alone."""
+
+    src: str                      # sender node name
+    dst: str                      # receiver node name
+    request_id: int               # unique per request *and* per retry
+    packet_type: PacketType
+    pid: int = 0                  # global process ID (RAS selector)
+    va: int = 0                   # target virtual address of this fragment
+    size: int = 0                 # payload bytes covered by this fragment
+    total_size: int = 0           # bytes of the whole request/response
+    fragment: int = 0             # fragment index within the request
+    fragments: int = 1            # total fragments of the request
+    retry_of: Optional[int] = None  # request ID of the failed original
+
+
+@dataclass
+class Packet:
+    """A link-layer packet: header + (simulated) payload."""
+
+    header: ClioHeader
+    payload: Any = None           # bytes for data fragments, or op descriptor
+    wire_bytes: int = 0           # total on-wire size incl. headers
+    corrupt: bool = False
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    sent_at: int = 0              # set by the sender for RTT measurement
+
+    def __repr__(self) -> str:
+        h = self.header
+        return (f"<Packet {h.packet_type.value} req={h.request_id} "
+                f"{h.src}->{h.dst} frag={h.fragment}/{h.fragments} "
+                f"{self.wire_bytes}B>")
+
+
+def fragment_payload(total_size: int, mtu: int) -> list[tuple[int, int]]:
+    """Split a request body into (offset, size) fragments of at most MTU.
+
+    Zero-byte requests (pure control, e.g. fence) still occupy one
+    header-only fragment.
+    """
+    if total_size < 0:
+        raise ValueError(f"total_size must be non-negative, got {total_size}")
+    if mtu <= 0:
+        raise ValueError(f"mtu must be positive, got {mtu}")
+    if total_size == 0:
+        return [(0, 0)]
+    fragments = []
+    offset = 0
+    while offset < total_size:
+        size = min(mtu, total_size - offset)
+        fragments.append((offset, size))
+        offset += size
+    return fragments

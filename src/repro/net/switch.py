@@ -1,0 +1,104 @@
+"""ToR switch and cluster topology.
+
+The switch has one downlink per attached node; an arriving packet pays the
+forwarding latency, then queues on its destination's downlink.  Incast to
+the MN therefore shows up as queueing delay on the MN's downlink — which
+is precisely the RTT inflation CLib's congestion window reacts to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.params import NetworkParams
+
+Deliver = Callable[[Packet], None]
+
+
+class Switch:
+    """Output-queued ToR switch."""
+
+    def __init__(self, env: Environment, forward_ns: int):
+        self.env = env
+        self.forward_ns = forward_ns
+        self._downlinks: dict[str, Link] = {}
+        self.packets_forwarded = 0
+        self.unroutable = 0
+
+    def attach(self, node: str, downlink: Link) -> None:
+        if node in self._downlinks:
+            raise ValueError(f"node {node!r} already attached")
+        self._downlinks[node] = downlink
+
+    def ingress(self, packet: Packet) -> None:
+        """Receive a packet from any uplink and forward it."""
+        self.env.process(self._forward(packet))
+
+    def _forward(self, packet: Packet):
+        yield self.env.timeout(self.forward_ns)
+        downlink = self._downlinks.get(packet.header.dst)
+        if downlink is None:
+            self.unroutable += 1
+            return
+        self.packets_forwarded += 1
+        downlink.send(packet)
+
+    def downlink_queue_depth(self, node: str) -> int:
+        return self._downlinks[node].queue_depth
+
+
+class Topology:
+    """A star topology: every node hangs off one ToR switch.
+
+    Nodes register a name, a receive callback, and a port rate; the
+    topology builds the uplink (node -> switch) and downlink (switch ->
+    node) pair and exposes ``send`` for node-to-node packet transfer.
+    """
+
+    def __init__(self, env: Environment, params: NetworkParams,
+                 rng: Optional[RandomStream] = None):
+        self.env = env
+        self.params = params
+        self.rng = rng or RandomStream(0, "net")
+        self.switch = Switch(env, params.switch_forward_ns)
+        self._uplinks: dict[str, Link] = {}
+        self._receivers: dict[str, Deliver] = {}
+
+    def add_node(self, name: str, receive: Deliver,
+                 port_rate_bps: Optional[int] = None) -> None:
+        """Attach a node; ``port_rate_bps`` defaults to the CN NIC rate."""
+        if name in self._uplinks:
+            raise ValueError(f"node {name!r} already exists")
+        rate = port_rate_bps or self.params.cn_nic_rate_bps
+        self._receivers[name] = receive
+        self._uplinks[name] = Link(
+            self.env, f"{name}->tor", rate, self.params.propagation_ns,
+            deliver=self.switch.ingress, rng=self.rng.fork(f"up/{name}"),
+            loss_rate=self.params.loss_rate,
+            corruption_rate=self.params.corruption_rate,
+            jitter_ns=self.params.jitter_ns)
+        downlink = Link(
+            self.env, f"tor->{name}", rate, self.params.propagation_ns,
+            deliver=lambda packet, _name=name: self._receivers[_name](packet),
+            rng=self.rng.fork(f"down/{name}"),
+            loss_rate=self.params.loss_rate,
+            corruption_rate=self.params.corruption_rate,
+            jitter_ns=self.params.jitter_ns)
+        self.switch.attach(name, downlink)
+
+    def send(self, packet: Packet) -> None:
+        """Inject a packet at its source node's uplink."""
+        uplink = self._uplinks.get(packet.header.src)
+        if uplink is None:
+            raise KeyError(f"unknown source node {packet.header.src!r}")
+        uplink.send(packet)
+
+    def node_names(self) -> list[str]:
+        return sorted(self._uplinks)
+
+    def uplink(self, name: str) -> Link:
+        return self._uplinks[name]

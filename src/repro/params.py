@@ -1,0 +1,321 @@
+"""Calibration parameters for the Clio reproduction.
+
+Every timing, capacity, and energy constant used by the simulation lives
+here, in one frozen dataclass per subsystem, so that experiments can swap
+profiles (FPGA prototype, ASIC projection, CloudLab RNIC) without touching
+model code.  The values are taken from the paper's text and its cited
+measurements; see DESIGN.md section 4 for the provenance of each number.
+
+All times are integer nanoseconds; all sizes are bytes; all rates are
+bits per second unless a name says otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+# ---------------------------------------------------------------------------
+# Unit helpers
+# ---------------------------------------------------------------------------
+
+NS = 1
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+TB = 1 << 40
+
+GBPS = 1_000_000_000  # bits per second
+
+
+def transmit_time_ns(size_bytes: int, rate_bps: int) -> int:
+    """Serialization delay of ``size_bytes`` on a ``rate_bps`` link, in ns."""
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    return max(1, (size_bytes * 8 * SEC) // rate_bps)
+
+
+# ---------------------------------------------------------------------------
+# CBoard (memory node) parameters
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CBoardParams:
+    """Timing/capacity model of the CBoard memory node.
+
+    The prototype profile matches the Xilinx ZCU106 board used in the
+    paper (250 MHz FPGA, 512-bit datapath, 2 GB on-board DRAM); the ASIC
+    projection scales the clock to 2 GHz and uses server-class DDR access
+    time, mirroring the paper's Figure 6 projection methodology.
+    """
+
+    # Fast-path clock
+    cycle_ns: float = 4.0                  # 250 MHz FPGA
+    datapath_bits: int = 512               # bits ingested per cycle (II = 1)
+
+    # Pipeline stage depths, in cycles.  The paper says every request
+    # completes in a fixed number of cycles; these depths reflect the
+    # described stages (MAT dispatch, translation, permission check,
+    # request decode/response formation).
+    mat_cycles: int = 2
+    decode_cycles: int = 3
+    translate_cycles: int = 2              # TLB CAM lookup
+    permission_cycles: int = 1
+    fault_cycles: int = 3                  # bounded page-fault handling
+    response_cycles: int = 3
+
+    # Memory system
+    dram_capacity: int = 2 * GB
+    dram_access_ns: int = 300              # FPGA board memory controller
+    dram_bandwidth_bps: int = 120 * GBPS   # on-board DDR4 stream bandwidth
+    tlb_entries: int = 64
+    page_table_slots_per_bucket: int = 8   # 8 x 16B PTEs = one DRAM burst
+    page_table_overprovision: float = 2.0  # 2x extra slots (paper default)
+    default_page_size: int = 4 * MB        # huge pages (paper default)
+
+    # Network stack on the board (thin checksum + ack layer)
+    netstack_cycles: int = 4
+    port_rate_bps: int = 10 * GBPS         # ZCU106 SFP+ port
+
+    # Slow path (ARM Cortex-A53)
+    arm_cores: int = 4
+    fpga_arm_crossing_ns: int = 40 * US    # interconnect delay (paper §5)
+    arm_polling_handoff_ns: int = 2 * US   # RX-ring poll + worker handoff
+    arm_va_search_ns: int = 3 * US         # one VA-tree search pass
+    arm_retry_ns: int = 500 * US           # per retry when PT nearly full (paper: ~0.5ms)
+    arm_pa_alloc_ns: int = 15 * US         # single PA allocation (paper: <20us)
+    # Pre-reserved free PAs.  Each entry is one 8-byte PPN, so a deep
+    # buffer is still tiny on-chip state; depth bounds how large a fault
+    # burst the board absorbs before the ARM's refill rate matters.
+    async_buffer_depth: int = 512
+
+    # Retry dedup buffer: 3 x TIMEOUT x bandwidth (30 KB in the paper)
+    retry_buffer_bytes: int = 30 * KB
+
+    @property
+    def pipeline_cycles(self) -> int:
+        """Fixed number of cycles a no-fault request spends in the pipeline."""
+        return (
+            self.mat_cycles
+            + self.decode_cycles
+            + self.translate_cycles
+            + self.permission_cycles
+            + self.response_cycles
+            + self.netstack_cycles
+        )
+
+    def pipeline_ns(self, faulted: bool = False) -> int:
+        cycles = self.pipeline_cycles + (self.fault_cycles if faulted else 0)
+        return int(round(cycles * self.cycle_ns))
+
+    def asic_projection(self) -> "CBoardParams":
+        """Scale FPGA clock to a 2 GHz ASIC and use server DDR access time."""
+        return replace(self, cycle_ns=0.5, dram_access_ns=100)
+
+
+# ---------------------------------------------------------------------------
+# Network parameters
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Ethernet fabric model: CN NIC -- ToR switch -- CBoard."""
+
+    mtu: int = 1500                        # link-layer payload bytes
+    header_bytes: int = 64                 # Ethernet + Clio header per packet
+    cn_nic_rate_bps: int = 40 * GBPS       # ConnectX-3 at the CN
+    mn_port_rate_bps: int = 10 * GBPS      # ZCU106 SFP+ at the MN
+    switch_rate_bps: int = 40 * GBPS
+    propagation_ns: int = 200              # per hop
+    switch_forward_ns: int = 300
+    loss_rate: float = 0.0                 # packet loss probability
+    corruption_rate: float = 0.0           # packet corruption probability
+    jitter_ns: int = 120                   # per-packet uniform jitter bound
+
+
+# ---------------------------------------------------------------------------
+# CLib (compute-node library) parameters
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CLibParams:
+    """CN-side library costs and transport policy."""
+
+    request_overhead_ns: int = 250         # total CLib processing (paper §7.1)
+    poll_interval_ns: int = 100
+    # Data-path retry TIMEOUT.  Must sit comfortably above the RTT band
+    # the congestion controller tolerates (target_rtt), or healthy
+    # requests under load retry spuriously and feed the queue they wait in.
+    timeout_ns: int = 30 * US
+    # Slow-path and offload requests legitimately take far longer than a
+    # data access (VA allocation can retry for milliseconds near-full), so
+    # they use a separate, generous timeout.
+    slow_timeout_ns: int = 100 * MS
+    max_retries: int = 4                   # retries before reporting an error
+
+    # Congestion control. The algorithm is CN-side software and therefore
+    # swappable (R7): "swift" (delay AIMD, the paper's design), "timely"
+    # (gradient-based), or "static" (fixed window).
+    cc_algorithm: str = "swift"
+    cwnd_init: float = 8.0
+    cwnd_min: float = 0.1                  # may fall below one packet
+    cwnd_max: float = 256.0
+    cwnd_additive_increase: float = 1.0
+    cwnd_multiplicative_decrease: float = 0.7
+    # Delay target for AIMD.  Keeping ~10 bulk responses queued at a
+    # 10 Gbps port costs ~9 us, so the target must allow that much
+    # standing queue or the controller throttles below line rate.
+    target_rtt_ns: int = 15 * US
+
+    # Incast control
+    iwnd_bytes: int = 256 * KB             # max outstanding expected response bytes
+
+
+# ---------------------------------------------------------------------------
+# RDMA baseline parameters
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RDMAParams:
+    """Model of a commodity RNIC (ConnectX-3 'local' profile by default).
+
+    The scalability cliffs (Figure 4/5) come from finite on-chip caches for
+    QP state, page-table entries (MTT), and memory-region metadata, with a
+    PCIe crossing on every miss; the fault path goes through the host OS.
+    """
+
+    base_read_rtt_ns: int = 2000           # no-miss 16B read round trip (CX3)
+    base_write_rtt_ns: int = 1200          # RNIC acks writes before DRAM commit
+    per_byte_ns_num: int = 8               # serialization handled by net model
+    qp_cache_entries: int = 256
+    pte_cache_entries: int = 256           # 2^8 local cluster profile
+    mr_cache_entries: int = 256
+    pcie_miss_penalty_ns: int = 900        # PCIe round trip to host memory
+    miss_amplification: float = 4.0        # paper: 4x when metadata off-chip
+    qp_state_bytes: int = 375              # per-connection state
+    max_mrs: int = 1 << 18                 # RDMA fails beyond 2^18 MRs
+    mr_register_base_ns: int = 10 * US
+    mr_register_per_page_ns: int = 600     # pinning cost per 4 KB page
+    odp_page_fault_ns: int = 16_800 * US   # 16.8 ms (paper measurement)
+    host_page_size: int = 4 * KB
+
+    @classmethod
+    def cloudlab(cls) -> "RDMAParams":
+        """ConnectX-5 profile: bigger caches, same cliffs later (2^12)."""
+        return cls(
+            base_read_rtt_ns=1500,
+            base_write_rtt_ns=1100,
+            qp_cache_entries=1024,
+            pte_cache_entries=4096,        # 2^12
+            mr_cache_entries=1024,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Other baselines
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LegoOSParams:
+    """LegoOS software MN: thread pool + software hash translation over RDMA."""
+
+    software_handling_ns: int = 2400       # per-request MN software cost
+    thread_pool_size: int = 8
+    peak_goodput_bps: int = 77 * GBPS      # paper measurement
+
+
+@dataclass(frozen=True)
+class CloverParams:
+    """Clover-style passive disaggregated memory (PDM)."""
+
+    write_round_trips: int = 3             # "at least 2 RTTs" per write:
+                                           # out-of-place data write, cursor
+                                           # lookup, metadata CAS commit
+    metadata_lookup_ns: int = 450          # CN-side management work per op
+    cursor_chase_probability: float = 0.15 # extra RTT chance on reads under contention
+
+
+@dataclass(frozen=True)
+class HERDParams:
+    """HERD RPC key-value over RDMA; optionally on a BlueField SmartNIC."""
+
+    cpu_handling_ns: int = 350             # MN CPU per-op RPC processing
+    cpu_per_byte_ns: float = 0.8           # request/response memcpy on CPU
+    bluefield_crossing_ns: int = 1500      # ConnectX-5 chip <-> ARM chip hop
+    bluefield_handling_ns: int = 900       # slower ARM cores
+    bluefield_per_byte_ns: float = 1.6     # slower ARM memcpy
+    server_cores: int = 4                  # dedicated RPC polling cores
+
+
+# ---------------------------------------------------------------------------
+# Energy / cost model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-unit power draw used in Figure 18 / section 7.3 accounting."""
+
+    xeon_core_watt: float = 9.5            # Intel Xeon Gold 5218 per active core
+    arm_core_watt: float = 0.75            # Cortex-A53 per core
+    fpga_watt: float = 9.0                 # measured FPGA power (paper)
+    bluefield_watt: float = 20.0           # BlueField card
+    cn_library_watt: float = 9.5           # one busy CN core running CLib
+
+    # CapEx inputs (USD, market prices circa the paper).  The paper's
+    # framing: "a server box costs more than the DRAM it hosts".
+    server_base_cost: float = 4500.0       # 2-socket host server, no DRAM
+    cboard_cost: float = 2495.0            # ZCU106 market price (paper §5)
+    dram_cost_per_gb: float = 4.0
+    optane_cost_per_gb: float = 2.0
+    server_idle_watt: float = 120.0
+    cboard_idle_watt: float = 20.0
+    optane_watt_per_dimm: float = 15.0     # host-attached, full-power mode
+    optane_lowpower_watt_per_dimm: float = 2.0  # CBoard-driven standby mode
+    dram_watt_per_64gb: float = 5.0
+
+
+# ---------------------------------------------------------------------------
+# Top-level bundle
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClioParams:
+    """Bundle of all subsystem parameter sets, with named profiles."""
+
+    cboard: CBoardParams = field(default_factory=CBoardParams)
+    network: NetworkParams = field(default_factory=NetworkParams)
+    clib: CLibParams = field(default_factory=CLibParams)
+    rdma: RDMAParams = field(default_factory=RDMAParams)
+    legoos: LegoOSParams = field(default_factory=LegoOSParams)
+    clover: CloverParams = field(default_factory=CloverParams)
+    herd: HERDParams = field(default_factory=HERDParams)
+    energy: EnergyParams = field(default_factory=EnergyParams)
+
+    @classmethod
+    def prototype(cls) -> "ClioParams":
+        """The FPGA prototype used for all headline numbers."""
+        return cls()
+
+    @classmethod
+    def asic_projection(cls) -> "ClioParams":
+        """Figure 6's 'Clio if built as a 2 GHz ASIC' projection."""
+        base = cls()
+        return replace(base, cboard=base.cboard.asic_projection())
+
+    @classmethod
+    def cloudlab(cls) -> "ClioParams":
+        """CloudLab profile: ConnectX-5 RNIC baseline parameters."""
+        return replace(cls(), rdma=RDMAParams.cloudlab())
+
+
+DEFAULT_PARAMS = ClioParams.prototype()

@@ -1,0 +1,336 @@
+"""Event loop, events, and processes for the simulation engine.
+
+Time is an integer number of nanoseconds.  The scheduler is a binary heap
+keyed on ``(time, priority, sequence)`` so that simultaneous events fire in
+insertion order, which keeps every run bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(Exception):
+    """Raised for illegal engine operations (double-trigger, bad yields)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Scheduling priorities: URGENT fires before NORMAL at the same timestamp.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* (scheduled to fire), then *processed* (its
+    callbacks run).  ``succeed`` sets a value; ``fail`` sets an exception
+    that propagates into every waiting process.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._ok: Optional[bool] = None  # None = untriggered
+
+    @property
+    def triggered(self) -> bool:
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._exception = exception
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.env.now}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` ns after creation."""
+
+    def __init__(self, env: "Environment", delay: int, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a process at its creation time."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator ends.
+
+    The generator yields :class:`Event` instances; the process resumes when
+    the yielded event fires, receiving its value (or exception).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"process() needs a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._exception = Interrupt(cause)
+        event._defused = True  # type: ignore[attr-defined]
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, URGENT)
+        # Detach from whatever the process was waiting on.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+
+    def _resume(self, event: Event) -> None:
+        env = self.env
+        env._active_process = self
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True  # type: ignore[attr-defined]
+                    next_event = self._generator.throw(event._exception)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                env._schedule(self, NORMAL)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._exception = exc
+                env._schedule(self, NORMAL)
+                break
+
+            if not isinstance(next_event, Event):
+                exc = SimulationError(
+                    f"process yielded a non-event: {next_event!r}")
+                self._ok = False
+                self._exception = exc
+                env._schedule(self, NORMAL)
+                break
+
+            if next_event.callbacks is not None:
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Already-processed event: continue immediately with its outcome.
+            event = next_event
+
+        env._active_process = None
+
+
+class Condition(Event):
+    """Waits on several events; fires according to ``evaluate``."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event],
+                 evaluate: Callable[[list[Event], int], bool]):
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+        for event in self._events:
+            if not isinstance(event, Event):
+                raise TypeError(f"condition needs events, got {event!r}")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        # Timeouts are born triggered (_ok set at creation), so membership
+        # must be judged by *processed* (callbacks drained), not triggered.
+        return {
+            event: event._value
+            for event in self._events
+            if event.callbacks is None and event._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self._ok is not None:
+            return
+        if not event._ok:
+            event._defused = True  # type: ignore[attr-defined]
+            self.fail(event._exception)  # type: ignore[arg-type]
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Fires once every constituent event has fired."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, lambda events, count: count >= len(events))
+
+
+class AnyOf(Condition):
+    """Fires as soon as any constituent event fires."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, lambda events, count: count >= 1)
+
+
+class Environment:
+    """The simulation driver: clock plus event queue."""
+
+    def __init__(self, initial_time: int = 0):
+        self._now = int(initial_time)
+        self._queue: list[tuple[int, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, int(delay), value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: int = 0) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process one event; raises :class:`SimulationError` when empty."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not hasattr(event, "_defused"):
+            raise event._exception  # type: ignore[misc]
+
+    def run(self, until: Optional[int | Event] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be an absolute time (ns) or an :class:`Event`; when an
+        event is given, its value is returned.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before the awaited event fired")
+                self.step()
+            return sentinel.value
+
+        deadline = int(until)
+        if deadline < self._now:
+            raise ValueError(
+                f"until={deadline} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None

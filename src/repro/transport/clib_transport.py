@@ -1,0 +1,267 @@
+"""Connectionless request-response transport in CLib (paper section 4.4).
+
+There are no connections: CLib stamps every request with a unique ID and
+matches the MN's response (which carries the same ID) as the ACK.  A
+request is retried — with a *fresh* ID plus the original's ID in
+``retry_of`` — when a NACK arrives, the response is corrupted, or nothing
+arrives within TIMEOUT.  Reliability and ordering live entirely at this
+layer; packets may reorder freely underneath.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.net.packet import ClioHeader, Packet, PacketType, fragment_payload
+from repro.params import ClioParams
+from repro.sim import Environment, Event
+from repro.transport.congestion import (
+    CongestionController,
+    IncastController,
+    make_congestion_controller,
+)
+
+#: Global request-ID source: unique across CNs and across retries.
+_request_ids = itertools.count(1)
+
+
+class RequestFailedError(Exception):
+    """Original request and every retry failed (paper: report the error)."""
+
+
+@dataclass
+class RequestOutcome:
+    """A completed request: response body plus transport telemetry."""
+
+    body: Any                 # ResponseBody from the MN
+    data: Optional[bytes]     # reassembled read payload (if any)
+    rtt_ns: int
+    retries: int
+    request_id: int
+
+
+@dataclass
+class _Pending:
+    """Reassembly and completion state for one in-flight request ID."""
+
+    done: Event
+    sent_at: int
+    expected_fragments: int = 1
+    fragments: dict[int, Packet] = field(default_factory=dict)
+    nacked: bool = False
+    corrupted: bool = False
+
+
+class Transport:
+    """One CN's transport endpoint: send requests, match responses."""
+
+    def __init__(self, env: Environment, node_name: str, topology,
+                 params: ClioParams):
+        self.env = env
+        self.node_name = node_name
+        self.topology = topology
+        self.params = params
+        clib = params.clib
+        self._congestion: dict[str, CongestionController] = {}
+        self._incast = IncastController(clib)
+        self._pending: dict[int, _Pending] = {}
+        self._send_waiters: deque[Event] = deque()
+        self._last_send: dict[str, int] = {}
+        self.stale_responses = 0
+        self.total_retries = 0
+        self.requests_completed = 0
+        topology.add_node(node_name, self.receive,
+                          port_rate_bps=params.network.cn_nic_rate_bps)
+
+    def congestion(self, mn: str) -> CongestionController:
+        controller = self._congestion.get(mn)
+        if controller is None:
+            controller = make_congestion_controller(self.params.clib)
+            self._congestion[mn] = controller
+        return controller
+
+    # -- receive side -------------------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        header = packet.header
+        state = self._pending.get(header.request_id)
+        if state is None:
+            self.stale_responses += 1   # response to an already-retried ID
+            return
+        if header.packet_type is PacketType.NACK:
+            state.nacked = True
+            if not state.done.triggered:
+                state.done.succeed()
+            return
+        if packet.corrupt:
+            state.corrupted = True
+            if not state.done.triggered:
+                state.done.succeed()
+            return
+        state.expected_fragments = header.fragments
+        state.fragments[header.fragment] = packet
+        if len(state.fragments) >= state.expected_fragments:
+            if not state.done.triggered:
+                state.done.succeed()
+
+    # -- admission (congestion + incast) ---------------------------------------------
+
+    def _admit(self, mn: str, expected_response_bytes: int):
+        congestion = self.congestion(mn)
+        while True:
+            now = self.env.now
+            last = self._last_send.get(mn, -(10 ** 12))
+            if (congestion.can_send(now, last)
+                    and self._incast.can_send(expected_response_bytes)):
+                return
+            if congestion.cwnd < 1.0 and congestion.outstanding == 0:
+                # Paced sub-packet window: sleep until the pacing gap closes.
+                wait = max(1, congestion.pacing_interval_ns() - (now - last))
+                yield self.env.timeout(wait)
+            else:
+                gate = self.env.event()
+                self._send_waiters.append(gate)
+                yield gate
+
+    def _wake_senders(self) -> None:
+        while self._send_waiters:
+            gate = self._send_waiters.popleft()
+            if not gate.triggered:
+                gate.succeed()
+
+    # -- send side -------------------------------------------------------------------
+
+    def _emit(self, mn: str, request_id: int, packet_type: PacketType,
+              pid: int, va: int, size: int, data: Optional[bytes],
+              payload: Any, retry_of: Optional[int]) -> None:
+        """Fragment one request into link-layer packets and transmit."""
+        header_bytes = self.params.network.header_bytes
+        mtu = self.params.network.mtu
+        if packet_type is PacketType.WRITE and size > 0:
+            fragments = fragment_payload(size, mtu)
+        else:
+            fragments = [(0, 0)]
+        count = len(fragments)
+        for index, (offset, chunk) in enumerate(fragments):
+            body = payload
+            chunk_size = size if count == 1 else chunk
+            if packet_type is PacketType.WRITE:
+                body = data[offset:offset + chunk] if data is not None else None
+                chunk_size = chunk
+            header = ClioHeader(
+                src=self.node_name, dst=mn, request_id=request_id,
+                packet_type=packet_type, pid=pid, va=va + offset,
+                size=chunk_size, total_size=size,
+                fragment=index, fragments=count, retry_of=retry_of)
+            self.topology.send(Packet(
+                header=header, payload=body,
+                wire_bytes=header_bytes + (len(body) if isinstance(body, (bytes, bytearray)) else 0),
+                sent_at=self.env.now))
+
+    #: Request types handled off the fast path: they get the long timeout.
+    SLOW_TYPES = frozenset({PacketType.ALLOC, PacketType.FREE,
+                            PacketType.OFFLOAD, PacketType.FENCE})
+
+    def request(self, mn: str, packet_type: PacketType, pid: int = 0,
+                va: int = 0, size: int = 0, data: Optional[bytes] = None,
+                payload: Any = None,
+                expected_response_bytes: Optional[int] = None,
+                timeout_ns: Optional[int] = None):
+        """Process-generator: issue one request, retrying per section 4.5.
+
+        Returns a :class:`RequestOutcome`; raises
+        :class:`RequestFailedError` after the original + ``max_retries``
+        attempts all fail.
+        """
+        clib = self.params.clib
+        if expected_response_bytes is None:
+            expected_response_bytes = self.params.network.header_bytes + (
+                size if packet_type is PacketType.READ else 0)
+        if timeout_ns is None:
+            if packet_type in self.SLOW_TYPES:
+                timeout_ns = clib.slow_timeout_ns
+            else:
+                # Large requests legitimately spend longer on the wire
+                # (the MN port is the bottleneck); scale the TIMEOUT with
+                # the expected wire occupancy so bulk transfers under load
+                # don't spuriously retry.
+                wire_ns = ((size + expected_response_bytes) * 8 * 1_000_000_000
+                           // self.params.network.mn_port_rate_bps)
+                timeout_ns = clib.timeout_ns + 4 * wire_ns
+        congestion = self.congestion(mn)
+        original_id: Optional[int] = None
+        retries = 0
+
+        for attempt in range(clib.max_retries + 1):
+            yield from self._admit(mn, expected_response_bytes)
+            request_id = next(_request_ids)
+            if original_id is None:
+                original_id = request_id
+            retry_of = original_id if attempt > 0 else None
+            state = _Pending(done=self.env.event(), sent_at=self.env.now)
+            self._pending[request_id] = state
+
+            # Claim the window slot *synchronously* with admission — any
+            # later claim would let concurrent senders overrun the window.
+            congestion.on_send()
+            self._incast.on_send(expected_response_bytes)
+            self._last_send[mn] = self.env.now
+
+            # CLib processing cost, then kernel-bypass raw Ethernet send.
+            yield self.env.timeout(clib.request_overhead_ns // 2)
+            self._emit(mn, request_id, packet_type, pid, va, size, data,
+                       payload, retry_of)
+
+            # Exponential backoff: each retry doubles the TIMEOUT, so a
+            # transient incast queue drains instead of being re-fed.
+            attempt_timeout = min(timeout_ns << attempt, clib.slow_timeout_ns)
+            timeout = self.env.timeout(attempt_timeout)
+            yield self.env.any_of([state.done, timeout])
+
+            self._incast.on_complete(expected_response_bytes)
+            if state.done.triggered and not state.nacked and not state.corrupted:
+                rtt = self.env.now - state.sent_at
+                congestion.on_ack(rtt)
+                self._wake_senders()
+                del self._pending[request_id]
+                yield self.env.timeout(clib.request_overhead_ns
+                                       - clib.request_overhead_ns // 2)
+                body, response_data = self._assemble(state)
+                self.requests_completed += 1
+                self.total_retries += retries
+                return RequestOutcome(body=body, data=response_data,
+                                      rtt_ns=rtt, retries=retries,
+                                      request_id=request_id)
+
+            # NACK, corrupted response, or TIMEOUT: retry with a fresh ID.
+            if state.done.triggered:
+                congestion.on_ack(self.env.now - state.sent_at)
+            else:
+                congestion.on_timeout()
+            self._wake_senders()
+            del self._pending[request_id]
+            if attempt < clib.max_retries:
+                retries += 1   # another attempt will actually be sent
+
+        self.total_retries += retries
+        raise RequestFailedError(
+            f"request to {mn} failed after {retries + 1} attempts "
+            f"(type={packet_type.value}, va={va:#x})")
+
+    @staticmethod
+    def _assemble(state: _Pending) -> tuple[Any, Optional[bytes]]:
+        """Reassemble response fragments into (body, read payload)."""
+        first = state.fragments.get(0)
+        body = first.payload if first is not None else None
+        if state.expected_fragments == 1:
+            data = body.data if body is not None else None
+            return body, data
+        parts = []
+        for index in range(state.expected_fragments):
+            fragment_body = state.fragments[index].payload
+            if fragment_body.data is not None:
+                parts.append(fragment_body.data)
+        return body, b"".join(parts)

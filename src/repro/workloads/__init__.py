@@ -1,0 +1,12 @@
+"""Workload generators: YCSB (A/B/C, Zipf keys) and microbenchmark drivers."""
+
+from repro.workloads.microbench import AccessPattern, MicrobenchDriver
+from repro.workloads.ycsb import YCSB_WORKLOADS, YCSBConfig, YCSBWorkload
+
+__all__ = [
+    "AccessPattern",
+    "MicrobenchDriver",
+    "YCSB_WORKLOADS",
+    "YCSBConfig",
+    "YCSBWorkload",
+]

@@ -1,0 +1,52 @@
+"""Microbenchmark drivers: the access patterns behind Figures 4-11.
+
+A driver issues read/write streams against any object exposing the
+process-generator data API and records per-op latency for the analysis
+helpers to summarize.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.sim.rng import RandomStream
+
+
+class AccessPattern(enum.Enum):
+    SEQUENTIAL = "sequential"
+    UNIFORM = "uniform"
+    SAME_ADDRESS = "same_address"
+
+
+class MicrobenchDriver:
+    """Generates target offsets for a latency/throughput sweep."""
+
+    def __init__(self, pattern: AccessPattern, region_bytes: int,
+                 access_bytes: int, rng: Optional[RandomStream] = None,
+                 alignment: int = 64):
+        if region_bytes < access_bytes:
+            raise ValueError("region smaller than a single access")
+        if alignment <= 0:
+            raise ValueError(f"alignment must be positive, got {alignment}")
+        self.pattern = pattern
+        self.region_bytes = region_bytes
+        self.access_bytes = access_bytes
+        self.alignment = alignment
+        self.rng = rng or RandomStream(0, "microbench")
+        self._cursor = 0
+        self._slots = max(1, (region_bytes - access_bytes) // alignment + 1)
+
+    def next_offset(self) -> int:
+        """Byte offset of the next access."""
+        if self.pattern is AccessPattern.SAME_ADDRESS:
+            return 0
+        if self.pattern is AccessPattern.SEQUENTIAL:
+            offset = (self._cursor * self.alignment) % (
+                self._slots * self.alignment)
+            self._cursor += 1
+            return offset
+        return self.rng.uniform_int(0, self._slots - 1) * self.alignment
+
+    def offsets(self, count: int) -> list[int]:
+        return [self.next_offset() for _ in range(count)]

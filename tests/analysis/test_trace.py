@@ -1,0 +1,106 @@
+"""Tests for request lifecycle tracing."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.analysis.trace import TraceCollector, TraceEvent
+from repro.cluster import ClioCluster
+from repro.params import ClioParams
+
+MB = 1 << 20
+
+
+def run_simple_workload(cluster, ops=5):
+    thread = cluster.cn(0).process("mn0").thread()
+
+    def app():
+        va = yield from thread.ralloc(4 * MB)
+        for index in range(ops):
+            yield from thread.rwrite(va, bytes([index]) * 32)
+            yield from thread.rread(va, 32)
+
+    cluster.run(until=cluster.env.process(app()))
+
+
+def test_traces_full_request_lifecycle():
+    cluster = ClioCluster(mn_capacity=256 * MB)
+    collector = TraceCollector()
+    collector.attach(cluster)
+    run_simple_workload(cluster, ops=3)
+
+    completed = collector.completed()
+    assert len(completed) >= 7      # alloc + 3 writes + 3 reads
+    for timeline in completed:
+        events = [record.event for record in timeline.records]
+        assert events[0] is TraceEvent.ISSUED
+        assert TraceEvent.SENT in events
+        assert TraceEvent.MN_RESPONSE in events
+        assert events[-1] is TraceEvent.COMPLETED
+        # Timestamps are monotone along the timeline.
+        times = [record.at_ns for record in timeline.records]
+        assert times == sorted(times)
+
+
+def test_latency_and_turnaround_derivations():
+    cluster = ClioCluster(mn_capacity=256 * MB)
+    collector = TraceCollector()
+    collector.attach(cluster)
+    run_simple_workload(cluster, ops=2)
+    for timeline in collector.completed():
+        assert timeline.latency_ns is not None
+        assert timeline.latency_ns > 0
+        assert timeline.mn_turnaround_ns is not None
+        assert 0 < timeline.mn_turnaround_ns < timeline.latency_ns
+
+
+def test_summary_counts():
+    cluster = ClioCluster(mn_capacity=256 * MB)
+    collector = TraceCollector()
+    collector.attach(cluster)
+    run_simple_workload(cluster, ops=2)
+    summary = collector.summary()
+    assert summary["completed"] == summary["traced_requests"]
+    assert summary["dropped"] == 0
+    assert summary["mean_latency_ns"] > 0
+
+
+def test_retry_attempts_visible_in_trace():
+    base = ClioParams.prototype()
+    params = replace(base, network=replace(base.network, loss_rate=0.25),
+                     clib=replace(base.clib, max_retries=8))
+    cluster = ClioCluster(params=params, seed=9, mn_capacity=256 * MB)
+    collector = TraceCollector()
+    collector.attach(cluster)
+    run_simple_workload(cluster, ops=8)
+    retried = [timeline for timeline in collector.timelines()
+               if any("retry of" in record.detail
+                      for record in timeline.records)]
+    assert retried     # with 25% loss some attempt carried retry_of
+
+
+def test_detach_restores_hooks():
+    cluster = ClioCluster(mn_capacity=256 * MB)
+    collector = TraceCollector()
+    transport = cluster.cn(0).transport
+    collector.attach(cluster)
+    assert "_emit" in transport.__dict__        # instance override active
+    collector.detach()
+    assert "_emit" not in transport.__dict__    # class method restored
+    assert transport._emit.__func__ is type(transport)._emit
+    run_simple_workload(cluster, ops=1)
+    assert collector.summary()["traced_requests"] == 0
+
+
+def test_bounded_memory_drops_over_capacity():
+    cluster = ClioCluster(mn_capacity=256 * MB)
+    collector = TraceCollector(max_requests=3)
+    collector.attach(cluster)
+    run_simple_workload(cluster, ops=5)
+    assert len(collector.timelines()) == 3
+    assert collector.dropped > 0
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        TraceCollector(max_requests=0)

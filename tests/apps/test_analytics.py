@@ -1,0 +1,141 @@
+"""Tests for the columnar analytics kernels."""
+
+import pytest
+
+from repro.apps.analytics import RemoteColumnTable
+from repro.cluster import ClioCluster
+from repro.sim.rng import RandomStream
+
+MB = 1 << 20
+
+
+def make_table(chunk_rows=64, pipeline_depth=4):
+    cluster = ClioCluster(mn_capacity=512 * MB)
+    thread = cluster.cn(0).process("mn0").thread()
+    return cluster, RemoteColumnTable(thread, chunk_rows=chunk_rows,
+                                      pipeline_depth=pipeline_depth)
+
+
+def run_app(cluster, generator):
+    return cluster.run(until=cluster.env.process(generator))
+
+
+def sample_data(rows=500, seed=3):
+    rng = RandomStream(seed, "analytics")
+    return {
+        "price": [rng.uniform_int(-100, 1000) for _ in range(rows)],
+        "qty": [rng.uniform_int(0, 50) for _ in range(rows)],
+    }
+
+
+@pytest.mark.parametrize("asynchronous", [False, True])
+def test_scan_roundtrip(asynchronous):
+    cluster, table = make_table()
+    data = sample_data()
+    result = {}
+
+    def app():
+        yield from table.load(data)
+        result["price"] = yield from table.scan(
+            "price", asynchronous=asynchronous)
+
+    run_app(cluster, app())
+    assert result["price"] == data["price"]
+
+
+def test_scan_handles_negative_values():
+    cluster, table = make_table()
+    values = [-1, -(1 << 40), 0, 1 << 40]
+    result = {}
+
+    def app():
+        yield from table.load({"col": values})
+        result["col"] = yield from table.scan("col")
+
+    run_app(cluster, app())
+    assert result["col"] == values
+
+
+def test_filter_aggregate_matches_python():
+    cluster, table = make_table()
+    data = sample_data()
+    expected_matches = sum(1 for value in data["price"] if value > 500)
+    expected_total = sum(qty for price, qty in zip(data["price"],
+                                                   data["qty"])
+                         if price > 500)
+    result = {}
+
+    def app():
+        yield from table.load(data)
+        result["out"] = yield from table.filter_aggregate(
+            "price", lambda value: value > 500, aggregate_column="qty")
+
+    run_app(cluster, app())
+    assert result["out"] == (expected_matches, expected_total)
+
+
+def test_minmax():
+    cluster, table = make_table()
+    data = sample_data()
+    result = {}
+
+    def app():
+        yield from table.load(data)
+        result["mm"] = yield from table.column_minmax("price")
+
+    run_app(cluster, app())
+    assert result["mm"] == (min(data["price"]), max(data["price"]))
+
+
+def test_update_rows_visible_to_scan():
+    cluster, table = make_table()
+    data = {"col": list(range(100))}
+    result = {}
+
+    def app():
+        yield from table.load(data)
+        yield from table.update_rows("col", {0: -7, 99: 12345})
+        result["col"] = yield from table.scan("col")
+
+    run_app(cluster, app())
+    assert result["col"][0] == -7
+    assert result["col"][99] == 12345
+    assert result["col"][1:99] == list(range(1, 99))
+
+
+def test_async_scan_is_faster():
+    data = sample_data(rows=2000)
+
+    def timed(asynchronous):
+        cluster, table = make_table(chunk_rows=128, pipeline_depth=8)
+        start = {}
+
+        def app():
+            yield from table.load(data)
+            start["t"] = cluster.env.now
+            yield from table.scan("price", asynchronous=asynchronous)
+
+        run_app(cluster, app())
+        return cluster.env.now - start["t"]
+
+    assert timed(True) < timed(False) * 0.6
+
+
+def test_errors():
+    cluster, table = make_table()
+
+    def app():
+        with pytest.raises(ValueError):
+            yield from table.load({})
+        with pytest.raises(ValueError):
+            yield from table.load({"a": [1], "b": [1, 2]})
+        yield from table.load({"a": [1, 2, 3]})
+        with pytest.raises(KeyError):
+            yield from table.scan("ghost")
+        with pytest.raises(ValueError):
+            yield from table.update_rows("a", {5: 1})
+
+    run_app(cluster, app())
+    with pytest.raises(ValueError):
+        RemoteColumnTable(cluster.cn(0).process("mn0").thread(),
+                          chunk_rows=0)

@@ -1,0 +1,119 @@
+"""Tests for the remote embedding table (deep-learning workload)."""
+
+import struct
+
+import pytest
+
+from repro.apps.embeddings import (
+    RemoteEmbeddingTable,
+    register_gather_offload,
+)
+from repro.cluster import ClioCluster
+from repro.sim.rng import RandomStream
+
+MB = 1 << 20
+
+
+def make_table(rows=64, dim=16):
+    cluster = ClioCluster(mn_capacity=512 * MB)
+    register_gather_offload(cluster.mn.extend_path)
+    thread = cluster.cn(0).process("mn0").thread()
+    table = RemoteEmbeddingTable(thread, rows=rows, dim=dim)
+    return cluster, table
+
+
+def run_app(cluster, generator):
+    return cluster.run(until=cluster.env.process(generator))
+
+
+def init(cluster, table, seed=1):
+    def app():
+        yield from table.initialize(RandomStream(seed, "emb"))
+
+    run_app(cluster, app())
+
+
+@pytest.mark.parametrize("strategy", ["sync", "async", "offload"])
+def test_gather_strategies_agree(strategy):
+    cluster, table = make_table()
+    init(cluster, table)
+    rows = [0, 7, 63, 7, 31]
+    result = {}
+
+    def app():
+        result["got"] = yield from table.gather(rows, strategy=strategy)
+        result["reference"] = yield from table.gather(rows, strategy="sync")
+
+    run_app(cluster, app())
+    assert result["got"] == result["reference"]
+    assert len(result["got"]) == len(rows)
+    for blob in result["got"]:
+        values = table.unpack_row(blob)
+        assert len(values) == table.dim
+        assert all(-1.0 <= value <= 1.0 for value in values)
+
+
+def test_offload_gather_is_one_round_trip():
+    cluster, table = make_table(rows=128, dim=32)
+    init(cluster, table)
+    rows = list(range(0, 128, 4))   # 32-row batch
+    timings = {}
+
+    def app():
+        for strategy in ("sync", "async", "offload"):
+            start = cluster.env.now
+            yield from table.gather(rows, strategy=strategy)
+            timings[strategy] = cluster.env.now - start
+
+    run_app(cluster, app())
+    # One network round trip beats 32 sequential ones decisively...
+    assert timings["offload"] < timings["sync"] / 5
+    # ...and also beats the overlapped client-side variant (the response
+    # is one packed transfer instead of 32 response packets).
+    assert timings["offload"] < timings["async"]
+
+
+def test_update_row_visible_to_all_strategies():
+    cluster, table = make_table()
+    init(cluster, table)
+    new_row = struct.pack(f"<{table.dim}f", *([0.5] * table.dim))
+    result = {}
+
+    def app():
+        yield from table.update_row(9, new_row)
+        for strategy in ("sync", "async", "offload"):
+            (blob,) = yield from table.gather([9], strategy=strategy)
+            result[strategy] = blob
+
+    run_app(cluster, app())
+    for strategy, blob in result.items():
+        assert blob == new_row, strategy
+
+
+def test_zipf_batches_are_skewed_and_valid():
+    cluster, table = make_table(rows=1000)
+    rng = RandomStream(5, "batch")
+    batch = table.batch_of(500, rng)
+    assert all(0 <= row < 1000 for row in batch)
+    hot = sum(1 for row in batch if row < 20)
+    assert hot > 75   # the head dominates under zipf(0.9)
+
+
+def test_errors():
+    cluster, table = make_table()
+
+    def app():
+        with pytest.raises(RuntimeError):
+            yield from table.gather([0])
+        yield from table.initialize(RandomStream(1, "emb"))
+        with pytest.raises(ValueError):
+            yield from table.gather([table.rows])
+        with pytest.raises(ValueError):
+            yield from table.gather([0], strategy="teleport")
+        with pytest.raises(ValueError):
+            yield from table.update_row(0, b"short")
+
+    run_app(cluster, app())
+    with pytest.raises(ValueError):
+        RemoteEmbeddingTable(cluster.cn(0).process("mn0").thread(),
+                             rows=0, dim=4)

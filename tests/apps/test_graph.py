@@ -1,0 +1,135 @@
+"""Tests for graph processing over disaggregated memory."""
+
+import pytest
+
+from repro.apps.graph import RemoteGraph, random_graph, reference_bfs
+from repro.cluster import ClioCluster
+from repro.sim.rng import RandomStream
+
+MB = 1 << 20
+
+
+def make_graph_cluster():
+    cluster = ClioCluster(mn_capacity=512 * MB)
+    thread = cluster.cn(0).process("mn0").thread()
+    return cluster, RemoteGraph(thread)
+
+
+def run_app(cluster, generator):
+    return cluster.run(until=cluster.env.process(generator))
+
+
+def test_random_graph_shape():
+    adjacency = random_graph(50, avg_degree=4, rng=RandomStream(1, "g"))
+    assert len(adjacency) == 50
+    for vertex, neighbors in enumerate(adjacency):
+        assert vertex not in neighbors           # no self loops
+        assert all(0 <= n < 50 for n in neighbors)
+        assert neighbors == sorted(set(neighbors))
+
+
+def test_random_graph_deterministic():
+    a = random_graph(30, 3, RandomStream(2, "g"))
+    b = random_graph(30, 3, RandomStream(2, "g"))
+    assert a == b
+
+
+def test_random_graph_rejects_bad_args():
+    with pytest.raises(ValueError):
+        random_graph(0, 3, RandomStream(1, "g"))
+    with pytest.raises(ValueError):
+        random_graph(3, -1, RandomStream(1, "g"))
+
+
+def test_neighbors_roundtrip():
+    cluster, graph = make_graph_cluster()
+    adjacency = [[1, 2], [2], [], [0]]
+    result = {}
+
+    def app():
+        yield from graph.load(adjacency)
+        result["n0"] = yield from graph.neighbors(0)
+        result["n2"] = yield from graph.neighbors(2)
+        result["batch"] = yield from graph.neighbors_batch([3, 1])
+
+    run_app(cluster, app())
+    assert result["n0"] == [1, 2]
+    assert result["n2"] == []
+    assert result["batch"] == [[0], [2]]
+    assert graph.num_edges == 4
+
+
+def test_neighbors_out_of_range():
+    cluster, graph = make_graph_cluster()
+
+    def app():
+        yield from graph.load([[1], []])
+        with pytest.raises(ValueError):
+            yield from graph.neighbors(2)
+
+    run_app(cluster, app())
+
+
+@pytest.mark.parametrize("asynchronous", [False, True])
+def test_bfs_matches_reference(asynchronous):
+    cluster, graph = make_graph_cluster()
+    adjacency = random_graph(80, avg_degree=3, rng=RandomStream(7, "bfs"))
+    result = {}
+
+    def app():
+        yield from graph.load(adjacency)
+        result["levels"] = yield from graph.bfs(0,
+                                                asynchronous=asynchronous)
+
+    run_app(cluster, app())
+    assert result["levels"] == reference_bfs(adjacency, 0)
+
+
+def test_async_bfs_is_faster_on_wide_frontiers():
+    adjacency = random_graph(120, avg_degree=6, rng=RandomStream(9, "wide"))
+    # Start from the highest-degree vertex so the traversal covers a
+    # large component (an isolated source would finish instantly).
+    source = max(range(len(adjacency)), key=lambda v: len(adjacency[v]))
+
+    def timed(asynchronous):
+        cluster, graph = make_graph_cluster()
+        start = {}
+
+        def app():
+            yield from graph.load(adjacency)
+            start["t"] = cluster.env.now
+            levels = yield from graph.bfs(source,
+                                          asynchronous=asynchronous)
+            assert sum(1 for level in levels if level >= 0) > 20
+
+        run_app(cluster, app())
+        return cluster.env.now - start["t"]
+
+    sync_ns = timed(False)
+    async_ns = timed(True)
+    assert async_ns < sync_ns * 0.7   # overlapped round trips
+
+
+def test_degree_histogram_local():
+    cluster, graph = make_graph_cluster()
+    adjacency = [[1, 2], [2], [], [0]]
+
+    def app():
+        yield from graph.load(adjacency)
+
+    run_app(cluster, app())
+    fetched_before = graph.bytes_fetched
+    histogram = graph.degree_histogram()
+    assert histogram == {2: 1, 1: 2, 0: 1}
+    assert graph.bytes_fetched == fetched_before   # no remote traffic
+
+
+def test_disconnected_vertices_unreachable():
+    cluster, graph = make_graph_cluster()
+
+    def app():
+        yield from graph.load([[1], [], [3], [2]])
+        return (yield from graph.bfs(0))
+
+    levels = run_app(cluster, app())
+    assert levels == [0, 1, -1, -1]

@@ -1,0 +1,137 @@
+"""Tests for the image compression application."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.image_compression import (
+    ImageCompressionClient,
+    RDMAImageCompressionClient,
+    rle_compress,
+    rle_decompress,
+    synthetic_image,
+)
+from repro.baselines.rdma import RDMAMemoryNode
+from repro.cluster import ClioCluster
+from repro.params import ClioParams
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+
+MB = 1 << 20
+
+
+def test_rle_roundtrip_simple():
+    data = b"aaaabbbcc"
+    assert rle_decompress(rle_compress(data)) == data
+
+
+def test_rle_empty():
+    assert rle_compress(b"") == b""
+    assert rle_decompress(b"") == b""
+
+
+def test_rle_long_runs_split_at_255():
+    data = b"x" * 600
+    compressed = rle_compress(data)
+    assert rle_decompress(compressed) == data
+    assert len(compressed) == 6   # 255+255+90 -> three pairs
+
+
+def test_rle_compresses_runs():
+    image = synthetic_image(RandomStream(1, "img"), side=64)
+    compressed = rle_compress(image)
+    assert len(compressed) < len(image)
+
+
+def test_rle_odd_stream_rejected():
+    with pytest.raises(ValueError):
+        rle_decompress(b"\x01")
+
+
+@given(st.binary(min_size=0, max_size=2000))
+@settings(max_examples=100)
+def test_rle_roundtrip_property(data):
+    assert rle_decompress(rle_compress(data)) == data
+
+
+def test_synthetic_image_shape_and_determinism():
+    a = synthetic_image(RandomStream(5, "img"), side=32)
+    b = synthetic_image(RandomStream(5, "img"), side=32)
+    assert len(a) == 32 * 32
+    assert a == b
+
+
+def test_clio_client_compress_decompress_verifies():
+    cluster = ClioCluster(mn_capacity=512 * MB)
+    thread = cluster.cn(0).process("mn0").thread()
+    client = ImageCompressionClient(thread, RandomStream(2, "photos"),
+                                    image_side=32, slots=2)
+    result = {}
+
+    def app():
+        yield from client.setup()
+        size = yield from client.compress_one(0)
+        result["compressed_size"] = size
+        image = yield from client.decompress_one(0)
+        result["image"] = image
+        original = yield from thread.rread(client.original_va,
+                                           client.image_bytes)
+        result["original"] = original
+
+    cluster.run(until=cluster.env.process(app()))
+    assert result["image"] == result["original"]
+    assert 0 < result["compressed_size"] < client.image_bytes
+
+
+def test_clio_workload_counts_operations():
+    cluster = ClioCluster(mn_capacity=512 * MB)
+    thread = cluster.cn(0).process("mn0").thread()
+    client = ImageCompressionClient(thread, RandomStream(3, "photos"),
+                                    image_side=32, slots=2)
+
+    def app():
+        yield from client.setup()
+        runtime = yield from client.run_workload(4)
+        assert runtime > 0
+
+    cluster.run(until=cluster.env.process(app()))
+    assert client.images_processed == 8   # 4 compress + 4 decompress
+
+
+def test_rdma_client_matches_content_semantics():
+    env = Environment()
+    node = RDMAMemoryNode(env, ClioParams.prototype(),
+                          dram_capacity=512 * MB)
+    client = RDMAImageCompressionClient(env, node, RandomStream(4, "photos"),
+                                        image_side=32, slots=2)
+    result = {}
+
+    def app():
+        yield from client.setup()
+        yield from client.compress_one(0)
+        image = yield from client.decompress_one(0)
+        original, _ = yield from node.read(client.qp, client.region, 0,
+                                           client.image_bytes)
+        result["match"] = image == original
+
+    env.run(until=env.process(app()))
+    assert result["match"]
+
+
+def test_each_rdma_client_needs_its_own_mr():
+    env = Environment()
+    node = RDMAMemoryNode(env, ClioParams.prototype(),
+                          dram_capacity=512 * MB)
+    clients = [
+        RDMAImageCompressionClient(env, node, RandomStream(index, "photos"),
+                                   image_side=32, slots=1)
+        for index in range(3)
+    ]
+
+    def setup_all():
+        for client in clients:
+            yield from client.setup()
+
+    env.run(until=env.process(setup_all()))
+    mr_ids = {client.region.mr_id for client in clients}
+    assert len(mr_ids) == 3

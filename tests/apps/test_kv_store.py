@@ -1,0 +1,158 @@
+"""Tests for Clio-KV (the offloaded key-value store)."""
+
+import pytest
+
+from repro.apps.kv_store import ClioKV, register_kv_offload
+from repro.cluster import ClioCluster
+
+MB = 1 << 20
+
+
+def make_kv(num_cns=1, buckets=64):
+    cluster = ClioCluster(num_cns=num_cns, mn_capacity=512 * MB)
+    register_kv_offload(cluster.mn.extend_path, buckets=buckets,
+                        capacity=16 * MB)
+    threads = [cluster.cn(index).process("mn0").thread()
+               for index in range(num_cns)]
+    return cluster, [ClioKV(thread) for thread in threads]
+
+
+def test_put_get_roundtrip():
+    cluster, (kv,) = make_kv()
+    result = {}
+
+    def app():
+        status = yield from kv.put(b"alpha", b"value-alpha")
+        result["status"] = status
+        result["value"] = yield from kv.get(b"alpha")
+
+    cluster.run(until=cluster.env.process(app()))
+    assert result["status"] == "created"
+    assert result["value"] == b"value-alpha"
+
+
+def test_get_missing_returns_none():
+    cluster, (kv,) = make_kv()
+    result = {}
+
+    def app():
+        result["value"] = yield from kv.get(b"ghost")
+
+    cluster.run(until=cluster.env.process(app()))
+    assert result["value"] is None
+
+
+def test_update_in_place_and_grow():
+    cluster, (kv,) = make_kv()
+    result = {}
+
+    def app():
+        yield from kv.put(b"k", b"aaaa")
+        result["update"] = yield from kv.put(b"k", b"bb")     # shrink fits
+        result["short"] = yield from kv.get(b"k")
+        result["grow"] = yield from kv.put(b"k", b"cccccccccc")  # re-create
+        result["long"] = yield from kv.get(b"k")
+
+    cluster.run(until=cluster.env.process(app()))
+    assert result["update"] == "updated"
+    assert result["short"] == b"bb"
+    assert result["grow"] == "created"
+    assert result["long"] == b"cccccccccc"
+
+
+def test_delete_head_and_middle_of_chain():
+    # One bucket forces chaining: deletes must relink correctly.
+    cluster, (kv,) = make_kv(buckets=1)
+    result = {}
+
+    def app():
+        yield from kv.put(b"a", b"1")
+        yield from kv.put(b"b", b"2")
+        yield from kv.put(b"c", b"3")
+        result["del_b"] = yield from kv.delete(b"b")   # middle
+        result["del_c"] = yield from kv.delete(b"c")   # head (LIFO chain)
+        result["a"] = yield from kv.get(b"a")
+        result["b"] = yield from kv.get(b"b")
+        result["c"] = yield from kv.get(b"c")
+        result["del_ghost"] = yield from kv.delete(b"zz")
+
+    cluster.run(until=cluster.env.process(app()))
+    assert result["del_b"] and result["del_c"]
+    assert result["a"] == b"1"
+    assert result["b"] is None and result["c"] is None
+    assert not result["del_ghost"]
+
+
+def test_collisions_in_one_bucket_all_retrievable():
+    cluster, (kv,) = make_kv(buckets=1)
+    keys = [f"key{index}".encode() for index in range(12)]
+    result = {}
+
+    def app():
+        for index, key in enumerate(keys):
+            yield from kv.put(key, b"v%d" % index)
+        got = {}
+        for index, key in enumerate(keys):
+            got[key] = yield from kv.get(key)
+        result["got"] = got
+
+    cluster.run(until=cluster.env.process(app()))
+    for index, key in enumerate(keys):
+        assert result["got"][key] == b"v%d" % index
+
+
+def test_concurrent_clients_from_two_cns():
+    cluster, (kv0, kv1) = make_kv(num_cns=2)
+    result = {}
+
+    def client0():
+        for index in range(10):
+            yield from kv0.put(b"cn0-%d" % index, b"x%d" % index)
+
+    def client1():
+        for index in range(10):
+            yield from kv1.put(b"cn1-%d" % index, b"y%d" % index)
+
+    p0 = cluster.env.process(client0())
+    p1 = cluster.env.process(client1())
+    cluster.run(until=cluster.env.all_of([p0, p1]))
+
+    def verify():
+        values = []
+        for index in range(10):
+            values.append((yield from kv0.get(b"cn1-%d" % index)))
+            values.append((yield from kv1.get(b"cn0-%d" % index)))
+        result["values"] = values
+
+    cluster.run(until=cluster.env.process(verify()))
+    assert None not in result["values"]
+
+
+def test_concurrent_writes_to_same_key_end_committed():
+    """Atomic writes: the final value is one of the writers', not a blend."""
+    cluster, (kv0, kv1) = make_kv(num_cns=2)
+    result = {}
+
+    def writer(kv, payload):
+        for _ in range(5):
+            yield from kv.put(b"contended", payload)
+
+    p0 = cluster.env.process(writer(kv0, b"A" * 64))
+    p1 = cluster.env.process(writer(kv1, b"B" * 64))
+    cluster.run(until=cluster.env.all_of([p0, p1]))
+
+    def read_back():
+        result["value"] = yield from kv0.get(b"contended")
+
+    cluster.run(until=cluster.env.process(read_back()))
+    assert result["value"] in (b"A" * 64, b"B" * 64)
+
+
+def test_empty_key_rejected():
+    cluster, (kv,) = make_kv()
+
+    def app():
+        with pytest.raises(ValueError):
+            yield from kv.put(b"", b"v")
+
+    cluster.run(until=cluster.env.process(app()))

@@ -1,0 +1,49 @@
+"""Model-based testing: the Clio radix tree versus a plain dict."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.radix_tree import ClioRadixTree, register_chase_offload
+from repro.cluster import ClioCluster
+
+MB = 1 << 20
+
+keys = st.binary(min_size=1, max_size=6)
+operation = st.one_of(
+    st.tuples(st.just("insert"), keys,
+              st.integers(min_value=1, max_value=2 ** 32)),
+    st.tuples(st.just("search"), keys),
+)
+
+
+@given(st.lists(operation, min_size=1, max_size=25))
+@settings(max_examples=20, deadline=None)
+def test_radix_tree_matches_dict(ops):
+    cluster = ClioCluster(mn_capacity=512 * MB)
+    register_chase_offload(cluster.mn.extend_path)
+    thread = cluster.cn(0).process("mn0").thread()
+    tree = ClioRadixTree(thread)
+    reference: dict[bytes, int] = {}
+    observations = []
+
+    def app():
+        yield from tree.setup(capacity_nodes=4096)
+        for op in ops:
+            if op[0] == "insert":
+                _, key, value = op
+                yield from tree.insert(key, value)
+                reference[key] = value
+            else:
+                _, key = op
+                got = yield from tree.search(key)
+                observations.append((key, got, reference.get(key)))
+        # Final sweep over every key ever inserted plus a probe miss.
+        for key in list(reference):
+            got = yield from tree.search(key)
+            observations.append((key, got, reference[key]))
+        got = yield from tree.search(b"\xff-definitely-absent")
+        observations.append((b"absent", got, None))
+
+    cluster.run(until=cluster.env.process(app()))
+    for key, got, expected in observations:
+        assert got == expected, key

@@ -1,0 +1,350 @@
+"""Integration tests for the CLib API (the paper's Figure 1 semantics)."""
+
+import pytest
+
+from repro.clib.client import RemoteAccessError
+from repro.cluster import ClioCluster
+from repro.core.pipeline import Status
+
+MB = 1 << 20
+PAGE = 4 * MB
+
+
+def make_cluster(**kwargs):
+    kwargs.setdefault("mn_capacity", 256 * MB)
+    return ClioCluster(**kwargs)
+
+
+def run_app(cluster, generator):
+    return cluster.run(until=cluster.env.process(generator))
+
+
+def test_figure1_example_flow():
+    """The paper's Figure 1: alloc a page, locked async writes, sync read."""
+    cluster = make_cluster(num_cns=2)
+    process = cluster.cn(0).process("mn0")
+    writer = process.thread()
+    reader = process.thread()
+    state = {}
+
+    def setup():
+        remote_addr = yield from writer.ralloc(PAGE)
+        lock_va = yield from writer.ralloc(8)
+        state["addr"] = remote_addr
+        state["lock"] = lock_va
+
+    run_app(cluster, setup())
+    length = 64
+    wbuf1, wbuf2 = b"A" * length, b"B" * length
+
+    def thread1():
+        yield from writer.rlock(state["lock"])
+        e0 = yield from writer.rwrite_async(state["addr"], wbuf1)
+        e1 = yield from writer.rwrite_async(state["addr"] + length, wbuf2)
+        yield from writer.runlock(state["lock"])
+        yield from writer.rpoll([e0, e1])
+
+    def thread2():
+        yield from reader.rlock(state["lock"])
+        data = yield from reader.rread(state["addr"], 2 * length)
+        yield from reader.runlock(state["lock"])
+        state["read"] = data
+
+    p1 = cluster.env.process(thread1())
+    p2 = cluster.env.process(thread2())
+    cluster.run(until=cluster.env.all_of([p1, p2]))
+    # The lock guarantees atomicity: the reader saw either nothing or both
+    # writes, never a partial update.
+    assert state["read"] in (bytes(2 * length), wbuf1 + wbuf2)
+
+    # After both threads finish, the data is durably visible.
+    def verify():
+        state["final"] = yield from reader.rread(state["addr"], 2 * length)
+
+    run_app(cluster, verify())
+    assert state["final"] == wbuf1 + wbuf2
+
+
+def test_ralloc_rwrite_rread_roundtrip():
+    cluster = make_cluster()
+    thread = cluster.cn(0).process("mn0").thread()
+    result = {}
+
+    def app():
+        va = yield from thread.ralloc(1024)
+        yield from thread.rwrite(va, b"clio")
+        result["data"] = yield from thread.rread(va, 4)
+
+    run_app(cluster, app())
+    assert result["data"] == b"clio"
+
+
+def test_byte_granular_access_within_allocation():
+    cluster = make_cluster()
+    thread = cluster.cn(0).process("mn0").thread()
+    result = {}
+
+    def app():
+        va = yield from thread.ralloc(PAGE)
+        yield from thread.rwrite(va + 1001, b"xyz")
+        result["data"] = yield from thread.rread(va + 1000, 5)
+
+    run_app(cluster, app())
+    assert result["data"] == b"\x00xyz\x00"
+
+
+def test_rfree_then_access_raises():
+    cluster = make_cluster()
+    thread = cluster.cn(0).process("mn0").thread()
+    errors = []
+
+    def app():
+        va = yield from thread.ralloc(64)
+        yield from thread.rwrite(va, b"temp")
+        yield from thread.rfree(va)
+        try:
+            yield from thread.rread(va, 4)
+        except RemoteAccessError as exc:
+            errors.append(exc.status)
+
+    run_app(cluster, app())
+    assert errors == [Status.INVALID_VA]
+
+
+def test_processes_have_isolated_rases():
+    """R5: one process cannot read another's memory via the same VA."""
+    cluster = make_cluster(num_cns=2)
+    thread_a = cluster.cn(0).process("mn0").thread()
+    thread_b = cluster.cn(1).process("mn0").thread()
+    outcome = {}
+
+    def app_a():
+        va = yield from thread_a.ralloc(64)
+        yield from thread_a.rwrite(va, b"private!")
+        outcome["va"] = va
+
+    run_app(cluster, app_a())
+
+    def app_b():
+        try:
+            yield from thread_b.rread(outcome["va"], 8)
+            outcome["leak"] = True
+        except RemoteAccessError as exc:
+            outcome["status"] = exc.status
+
+    run_app(cluster, app_b())
+    assert "leak" not in outcome
+    assert outcome["status"] is Status.INVALID_VA
+
+
+def test_shared_ras_across_cns():
+    """Processes sharing a PID's RAS see each other's writes (section 3.1).
+
+    Sharing is modeled by threads of the same ClioProcess driven from
+    different CN transports in real Clio; here both threads come from the
+    same process object."""
+    cluster = make_cluster()
+    process = cluster.cn(0).process("mn0")
+    t1, t2 = process.thread(), process.thread()
+    result = {}
+
+    def app():
+        va = yield from t1.ralloc(64)
+        yield from t1.rwrite(va, b"shared")
+        result["data"] = yield from t2.rread(va, 6)
+
+    run_app(cluster, app())
+    assert result["data"] == b"shared"
+
+
+def test_async_write_returns_handle_then_rpoll():
+    cluster = make_cluster()
+    thread = cluster.cn(0).process("mn0").thread()
+    result = {}
+
+    def app():
+        va = yield from thread.ralloc(1024)
+        handle = yield from thread.rwrite_async(va, b"async-payload")
+        assert not handle.complete or True   # may complete quickly
+        yield from thread.rpoll([handle])
+        assert handle.complete
+        result["data"] = yield from thread.rread(va, 13)
+
+    run_app(cluster, app())
+    assert result["data"] == b"async-payload"
+
+
+def test_async_read_result_via_handle():
+    cluster = make_cluster()
+    thread = cluster.cn(0).process("mn0").thread()
+    result = {}
+
+    def app():
+        va = yield from thread.ralloc(64)
+        yield from thread.rwrite(va, b"deferred")
+        handle = yield from thread.rread_async(va, 8)
+        (data,) = yield from thread.rpoll([handle])
+        result["data"] = data
+        result["handle_result"] = handle.result
+
+    run_app(cluster, app())
+    assert result["data"] == b"deferred"
+    assert result["handle_result"] == b"deferred"
+
+
+def test_touching_incomplete_handle_raises():
+    cluster = make_cluster()
+    thread = cluster.cn(0).process("mn0").thread()
+    seen = {}
+
+    def app():
+        va = yield from thread.ralloc(64)
+        handle = yield from thread.rwrite_async(va, b"x" * 64)
+        try:
+            _ = handle.result
+            seen["early"] = True
+        except RuntimeError:
+            seen["raised"] = True
+        yield from thread.rpoll([handle])
+
+    run_app(cluster, app())
+    assert seen.get("raised")
+
+
+def test_waw_dependency_orders_async_writes():
+    """Two async writes to the same page must apply in program order."""
+    cluster = make_cluster()
+    thread = cluster.cn(0).process("mn0").thread()
+    result = {}
+
+    def app():
+        va = yield from thread.ralloc(64)
+        h1 = yield from thread.rwrite_async(va, b"first___")
+        h2 = yield from thread.rwrite_async(va, b"second__")
+        yield from thread.rpoll([h1, h2])
+        result["data"] = yield from thread.rread(va, 8)
+
+    run_app(cluster, app())
+    assert result["data"] == b"second__"
+    assert thread.tracker.blocked_count >= 1
+
+
+def test_raw_dependency_read_sees_prior_async_write():
+    cluster = make_cluster()
+    thread = cluster.cn(0).process("mn0").thread()
+    result = {}
+
+    def app():
+        va = yield from thread.ralloc(64)
+        handle = yield from thread.rwrite_async(va, b"ordered!")
+        data = yield from thread.rread(va, 8)   # must wait for the write
+        result["data"] = data
+        yield from thread.rpoll([handle])
+
+    run_app(cluster, app())
+    assert result["data"] == b"ordered!"
+
+
+def test_independent_pages_run_concurrently():
+    cluster = make_cluster()
+    thread = cluster.cn(0).process("mn0").thread()
+
+    def app():
+        va = yield from thread.ralloc(2 * PAGE)
+        h1 = yield from thread.rwrite_async(va, b"a" * 64)
+        h2 = yield from thread.rwrite_async(va + PAGE, b"b" * 64)
+        yield from thread.rpoll([h1, h2])
+
+    run_app(cluster, app())
+    assert thread.tracker.blocked_count == 0
+
+
+def test_rlock_mutual_exclusion_across_cns():
+    cluster = make_cluster(num_cns=2)
+    process = cluster.cn(0).process("mn0")
+    t1 = process.thread()
+    # Second CN thread shares the process RAS through its own transport.
+    from repro.clib.client import ClioThread
+
+    class CrossThread(ClioThread):
+        pass
+
+    t2 = CrossThread(process)
+    t2._transport = cluster.cn(1).transport
+    state = {"lock": None, "log": []}
+
+    def setup():
+        state["lock"] = yield from t1.ralloc(8)
+
+    run_app(cluster, setup())
+
+    def critical(thread, tag):
+        yield from thread.rlock(state["lock"])
+        state["log"].append((tag, "in"))
+        yield cluster.env.timeout(2000)
+        state["log"].append((tag, "out"))
+        yield from thread.runlock(state["lock"])
+
+    p1 = cluster.env.process(critical(t1, "t1"))
+    p2 = cluster.env.process(critical(t2, "t2"))
+    cluster.run(until=cluster.env.all_of([p1, p2]))
+    log = state["log"]
+    assert len(log) == 4
+    # No interleaving: each "in" is immediately followed by its own "out".
+    assert log[0][0] == log[1][0] and log[2][0] == log[3][0]
+
+
+def test_rfaa_and_rcas():
+    cluster = make_cluster()
+    thread = cluster.cn(0).process("mn0").thread()
+    result = {}
+
+    def app():
+        va = yield from thread.ralloc(8)
+        old0 = yield from thread.rfaa(va, 10)
+        old1 = yield from thread.rfaa(va, 5)
+        old2, ok = yield from thread.rcas(va, 15, 100)
+        _, bad = yield from thread.rcas(va, 15, 200)
+        result.update(old0=old0, old1=old1, old2=old2, ok=ok, bad=bad)
+
+    run_app(cluster, app())
+    assert result == {"old0": 0, "old1": 10, "old2": 15,
+                      "ok": True, "bad": False}
+
+
+def test_rfence_completes_after_async_ops():
+    cluster = make_cluster()
+    thread = cluster.cn(0).process("mn0").thread()
+    result = {}
+
+    def app():
+        va = yield from thread.ralloc(PAGE)
+        handles = []
+        for index in range(4):
+            handle = yield from thread.rwrite_async(
+                va + index * 128, bytes([index]) * 64)
+            handles.append(handle)
+        yield from thread.rfence()
+        # Release semantics: all writes visible after the fence.
+        result["all_done"] = all(handle.complete for handle in handles)
+
+    run_app(cluster, app())
+    assert result["all_done"]
+
+
+def test_empty_write_rejected():
+    cluster = make_cluster()
+    thread = cluster.cn(0).process("mn0").thread()
+
+    def app():
+        va = yield from thread.ralloc(64)
+        with pytest.raises(ValueError):
+            yield from thread.rwrite(va, b"")
+
+    run_app(cluster, app())
+
+
+def test_pids_are_globally_unique():
+    cluster = make_cluster(num_cns=2)
+    pids = {cluster.cn(i % 2).process("mn0").pid for i in range(10)}
+    assert len(pids) == 10

@@ -1,0 +1,173 @@
+"""Tests for the transparent (cached) remote-memory interface."""
+
+import pytest
+
+from repro.clib.transparent import TransparentMemory
+from repro.cluster import ClioCluster
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+def make_tmem(size=4 * MB, cache_pages=4, cache_page_size=64 * KB):
+    cluster = ClioCluster(mn_capacity=256 * MB)
+    thread = cluster.cn(0).process("mn0").thread()
+    tmem = TransparentMemory(thread, size, cache_pages=cache_pages,
+                             cache_page_size=cache_page_size)
+    return cluster, tmem
+
+
+def run_app(cluster, generator):
+    return cluster.run(until=cluster.env.process(generator))
+
+
+def test_write_read_roundtrip_through_cache():
+    cluster, tmem = make_tmem()
+    result = {}
+
+    def app():
+        yield from tmem.attach()
+        yield from tmem.write(1000, b"transparent!")
+        result["data"] = yield from tmem.read(1000, 12)
+
+    run_app(cluster, app())
+    assert result["data"] == b"transparent!"
+
+
+def test_unattached_access_rejected():
+    cluster, tmem = make_tmem()
+
+    def app():
+        with pytest.raises(RuntimeError):
+            yield from tmem.read(0, 4)
+        yield from tmem.attach()
+        with pytest.raises(RuntimeError):
+            yield from tmem.attach()
+
+    run_app(cluster, app())
+
+
+def test_out_of_region_access_rejected():
+    cluster, tmem = make_tmem(size=1 * MB)
+
+    def app():
+        yield from tmem.attach()
+        with pytest.raises(ValueError):
+            yield from tmem.read(1 * MB - 2, 4)
+        with pytest.raises(ValueError):
+            yield from tmem.write(-1, b"x")
+
+    run_app(cluster, app())
+
+
+def test_repeat_access_hits_locally():
+    cluster, tmem = make_tmem()
+
+    def app():
+        yield from tmem.attach()
+        yield from tmem.read(0, 64)        # miss, fetches the page
+        t0 = cluster.env.now
+        yield from tmem.read(100, 64)      # same cache page: local
+        assert cluster.env.now - t0 < 1000  # no network round trip
+        yield from tmem.read(200, 64)
+
+    run_app(cluster, app())
+    assert tmem.misses == 1
+    assert tmem.hits == 2
+    assert tmem.hit_rate == pytest.approx(2 / 3)
+
+
+def test_eviction_writes_back_dirty_pages():
+    cluster, tmem = make_tmem(cache_pages=2, cache_page_size=64 * KB)
+    result = {}
+
+    def app():
+        yield from tmem.attach()
+        yield from tmem.write(0, b"dirty-page-0")
+        # Touch pages 1 and 2: page 0 (LRU, dirty) gets written back.
+        yield from tmem.read(64 * KB, 16)
+        yield from tmem.read(128 * KB, 16)
+        assert tmem.writebacks == 1
+        # Re-reading page 0 must fetch the written-back content.
+        result["data"] = yield from tmem.read(0, 12)
+
+    run_app(cluster, app())
+    assert result["data"] == b"dirty-page-0"
+
+
+def test_clean_eviction_skips_writeback():
+    cluster, tmem = make_tmem(cache_pages=1)
+
+    def app():
+        yield from tmem.attach()
+        yield from tmem.read(0, 16)
+        yield from tmem.read(64 * KB, 16)   # evicts clean page 0
+
+    run_app(cluster, app())
+    assert tmem.writebacks == 0
+
+
+def test_flush_persists_to_remote():
+    cluster, tmem = make_tmem()
+    result = {}
+
+    def app():
+        yield from tmem.attach()
+        yield from tmem.write(500, b"durable")
+        yield from tmem.flush()
+        # Read through a *fresh* uncached path to verify remote content.
+        raw = yield from tmem.thread.rread(tmem._base_va + 500, 7)
+        result["raw"] = raw
+
+    run_app(cluster, app())
+    assert result["raw"] == b"durable"
+
+
+def test_access_spanning_cache_pages():
+    cluster, tmem = make_tmem(cache_page_size=64 * KB)
+    result = {}
+
+    def app():
+        yield from tmem.attach()
+        blob = bytes(range(256)) * 2
+        yield from tmem.write(64 * KB - 256, blob)
+        result["data"] = yield from tmem.read(64 * KB - 256, len(blob))
+
+    run_app(cluster, app())
+    assert result["data"] == bytes(range(256)) * 2
+
+
+def test_detach_flushes_and_frees():
+    cluster, tmem = make_tmem()
+
+    def app():
+        yield from tmem.attach()
+        yield from tmem.write(0, b"bye")
+        yield from tmem.detach()
+        assert tmem._base_va is None
+        assert tmem.cached_bytes == 0
+
+    run_app(cluster, app())
+
+
+def test_cache_bounded():
+    cluster, tmem = make_tmem(cache_pages=3, cache_page_size=64 * KB)
+
+    def app():
+        yield from tmem.attach()
+        for page in range(10):
+            yield from tmem.read(page * 64 * KB, 8)
+
+    run_app(cluster, app())
+    assert tmem.cached_bytes <= 3 * 64 * KB
+
+
+def test_invalid_construction():
+    cluster = ClioCluster(mn_capacity=256 * MB)
+    thread = cluster.cn(0).process("mn0").thread()
+    with pytest.raises(ValueError):
+        TransparentMemory(thread, 0)
+    with pytest.raises(ValueError):
+        TransparentMemory(thread, 1024, cache_pages=0)
+    with pytest.raises(ValueError):
+        TransparentMemory(thread, 1024, cache_page_size=3000)

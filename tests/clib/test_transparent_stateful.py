@@ -1,0 +1,60 @@
+"""Model-based testing: TransparentMemory versus a flat bytearray.
+
+Random interleavings of cached reads, writes, flushes, and (implicitly)
+evictions must be observably identical to a plain local buffer — and
+after a flush, the raw remote content must match the buffer too.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clib.transparent import TransparentMemory
+from repro.cluster import ClioCluster
+
+KB = 1 << 10
+MB = 1 << 20
+REGION = 256 * KB   # small region, tiny cache: lots of evictions
+
+operation = st.one_of(
+    st.tuples(st.just("write"),
+              st.integers(min_value=0, max_value=REGION - 64),
+              st.binary(min_size=1, max_size=64)),
+    st.tuples(st.just("read"),
+              st.integers(min_value=0, max_value=REGION - 64),
+              st.integers(min_value=1, max_value=64)),
+    st.tuples(st.just("flush")),
+)
+
+
+@given(st.lists(operation, min_size=1, max_size=30))
+@settings(max_examples=20, deadline=None)
+def test_transparent_memory_matches_buffer(ops):
+    cluster = ClioCluster(mn_capacity=256 * MB)
+    thread = cluster.cn(0).process("mn0").thread()
+    tmem = TransparentMemory(thread, REGION, cache_pages=2,
+                             cache_page_size=16 * KB)
+    reference = bytearray(REGION)
+    observations = []
+
+    def app():
+        yield from tmem.attach()
+        for op in ops:
+            if op[0] == "write":
+                _, addr, data = op
+                yield from tmem.write(addr, data)
+                reference[addr:addr + len(data)] = data
+            elif op[0] == "read":
+                _, addr, size = op
+                got = yield from tmem.read(addr, size)
+                observations.append(
+                    ("read", addr, got, bytes(reference[addr:addr + size])))
+            else:
+                yield from tmem.flush()
+        # Final flush, then verify the *remote* content uncached.
+        yield from tmem.flush()
+        raw = yield from thread.rread(tmem._base_va, REGION)
+        observations.append(("remote", 0, raw, bytes(reference)))
+
+    cluster.run(until=cluster.env.process(app()))
+    for kind, addr, got, expected in observations:
+        assert got == expected, (kind, addr)

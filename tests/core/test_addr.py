@@ -1,0 +1,114 @@
+"""Tests for page arithmetic and the PTE hash."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addr import (
+    PAGE_SIZES,
+    AccessType,
+    PageSpec,
+    Permission,
+    jenkins_mix,
+    pte_hash,
+)
+
+MB = 1 << 20
+
+
+def test_page_spec_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        PageSpec(3000)
+    with pytest.raises(ValueError):
+        PageSpec(0)
+
+
+def test_page_number_and_offset():
+    spec = PageSpec(4 * MB)
+    addr = 5 * 4 * MB + 123
+    assert spec.page_number(addr) == 5
+    assert spec.page_offset(addr) == 123
+    assert spec.page_base(addr) == 5 * 4 * MB
+
+
+def test_pages_spanned_single_page():
+    spec = PageSpec(4 * MB)
+    assert list(spec.pages_spanned(100, 16)) == [0]
+
+
+def test_pages_spanned_boundary_crossing():
+    spec = PageSpec(4 * MB)
+    addr = 4 * MB - 8
+    assert list(spec.pages_spanned(addr, 16)) == [0, 1]
+
+
+def test_pages_spanned_rejects_zero_size():
+    spec = PageSpec(4 * MB)
+    with pytest.raises(ValueError):
+        spec.pages_spanned(0, 0)
+
+
+def test_round_up():
+    spec = PageSpec(4 * MB)
+    assert spec.round_up(1) == 4 * MB
+    assert spec.round_up(4 * MB) == 4 * MB
+    assert spec.round_up(4 * MB + 1) == 8 * MB
+
+
+def test_page_count():
+    spec = PageSpec(4 * MB)
+    assert spec.page_count(1) == 1
+    assert spec.page_count(9 * MB) == 3
+
+
+def test_supported_page_sizes_are_powers_of_two():
+    for size in PAGE_SIZES:
+        assert size & (size - 1) == 0
+        PageSpec(size)  # must construct
+
+
+def test_access_type_permissions():
+    assert AccessType.READ.required_permission == Permission.READ
+    assert AccessType.WRITE.required_permission == Permission.WRITE
+    assert AccessType.ATOMIC.required_permission == Permission.WRITE
+
+
+def test_permission_flags_compose():
+    assert Permission.READ in Permission.READ_WRITE
+    assert Permission.WRITE in Permission.READ_WRITE
+    assert Permission.WRITE not in Permission.READ
+
+
+def test_jenkins_mix_is_deterministic_and_avalanchey():
+    assert jenkins_mix(1) == jenkins_mix(1)
+    # Flipping one input bit should flip many output bits.
+    diff = jenkins_mix(1) ^ jenkins_mix(3)
+    assert bin(diff).count("1") > 16
+
+
+def test_pte_hash_range():
+    for vpn in range(1000):
+        assert 0 <= pte_hash(7, vpn, 97) < 97
+
+
+def test_pte_hash_rejects_bad_bucket_count():
+    with pytest.raises(ValueError):
+        pte_hash(1, 1, 0)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 47),
+       st.integers(min_value=1, max_value=2 ** 30))
+@settings(max_examples=200)
+def test_page_base_offset_recompose(addr, raw_size):
+    spec = PageSpec(4 * MB)
+    assert spec.page_base(addr) + spec.page_offset(addr) == addr
+
+
+@given(st.integers(min_value=1, max_value=2 ** 32))
+@settings(max_examples=200)
+def test_round_up_is_aligned_and_sufficient(size):
+    spec = PageSpec(2 * MB)
+    rounded = spec.round_up(size)
+    assert rounded >= size
+    assert rounded % spec.page_size == 0
+    assert rounded - size < spec.page_size

@@ -1,0 +1,116 @@
+"""Tests for the extend path (computation offloading)."""
+
+import pytest
+
+from repro.core.cboard import CBoard
+from repro.core.extend import OffloadError
+from repro.params import ClioParams
+from repro.sim import Environment
+
+MB = 1 << 20
+
+
+def make_board():
+    env = Environment()
+    board = CBoard(env, ClioParams.prototype(), dram_capacity=256 * MB)
+    return env, board
+
+
+def run(env, generator):
+    return env.run(until=env.process(generator))
+
+
+def counter_offload(ctx, args):
+    """Tiny offload: allocate a counter page, bump it args times."""
+    va = yield from ctx.alloc(8)
+    for _ in range(args):
+        value = yield from ctx.read_u64(va)
+        yield from ctx.write_u64(va, value + 1)
+    final = yield from ctx.read_u64(va)
+    return final
+
+
+def test_offload_gets_its_own_pid_and_ras():
+    env, board = make_board()
+    ctx1 = board.extend_path.register("a", counter_offload)
+    ctx2 = board.extend_path.register("b", counter_offload)
+    assert ctx1.pid != ctx2.pid
+    assert ctx1.pid >= 1 << 20   # offload PID namespace
+
+
+def test_duplicate_registration_rejected():
+    env, board = make_board()
+    board.extend_path.register("dup", counter_offload)
+    with pytest.raises(ValueError):
+        board.extend_path.register("dup", counter_offload)
+
+
+def test_invoke_runs_handler_with_vm_access():
+    env, board = make_board()
+    board.extend_path.register("counter", counter_offload)
+    result = run(env, board.extend_path.invoke("counter", 5))
+    assert result.ok and result.value == 5
+
+
+def test_invoke_unknown_offload_fails():
+    env, board = make_board()
+    result = run(env, board.extend_path.invoke("ghost", None))
+    assert not result.ok
+
+
+def test_offload_error_becomes_failed_result():
+    def bad_offload(ctx, args):
+        yield from ctx.read(1 << 30, 8)   # unallocated VA
+
+    env, board = make_board()
+    board.extend_path.register("bad", bad_offload)
+    result = run(env, board.extend_path.invoke("bad", None))
+    assert not result.ok
+    assert "invalid_va" in result.error
+
+
+def test_arm_offload_slower_than_fpga():
+    def spin(ctx, args):
+        yield from ctx._compute(1000)
+        return ctx.active_ns
+
+    env, board = make_board()
+    board.extend_path.register("fpga", spin, on_fpga=True)
+    board.extend_path.register("arm", spin, on_fpga=False)
+    fpga_ns = run(env, board.extend_path.invoke("fpga", None)).value
+    arm_ns = run(env, board.extend_path.invoke("arm", None)).value
+    assert arm_ns > fpga_ns
+
+
+def test_offload_alloc_free_roundtrip():
+    def lifecycle(ctx, args):
+        va = yield from ctx.alloc(1 * MB)
+        yield from ctx.write(va, b"payload")
+        data = yield from ctx.read(va, 7)
+        freed = yield from ctx.free(va)
+        return data, freed
+
+    env, board = make_board()
+    board.extend_path.register("life", lifecycle)
+    result = run(env, board.extend_path.invoke("life", None))
+    assert result.ok
+    data, freed = result.value
+    assert data == b"payload"
+    assert freed == 1
+
+
+def test_offload_shares_board_memory_with_clients():
+    """An offload's writes are visible through the fast path content store."""
+    def writer(ctx, args):
+        va = yield from ctx.alloc(64)
+        yield from ctx.write(va, b"shared!!")
+        return ctx.pid, va
+
+    env, board = make_board()
+    board.extend_path.register("writer", writer)
+    result = run(env, board.extend_path.invoke("writer", None))
+    pid, va = result.value
+    entry = board.page_table.lookup(pid, va // board.page_spec.page_size)
+    assert entry is not None and entry.present
+    pa = entry.ppn * board.page_spec.page_size
+    assert board.dram.read(pa, 8) == b"shared!!"

@@ -1,0 +1,105 @@
+"""Tests for the DRAM content + timing model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.memory import DRAM
+from repro.params import GBPS
+
+MB = 1 << 20
+
+
+def make_dram(capacity=16 * MB):
+    return DRAM(capacity=capacity, access_ns=300, bandwidth_bps=120 * GBPS)
+
+
+def test_read_unwritten_memory_is_zero():
+    dram = make_dram()
+    assert dram.read(0, 64) == bytes(64)
+
+
+def test_write_then_read_roundtrip():
+    dram = make_dram()
+    dram.write(1000, b"hello world")
+    assert dram.read(1000, 11) == b"hello world"
+
+
+def test_write_spanning_chunks():
+    dram = make_dram()
+    boundary = DRAM.CHUNK - 4
+    data = bytes(range(16))
+    dram.write(boundary, data)
+    assert dram.read(boundary, 16) == data
+
+
+def test_partial_overlap_reads():
+    dram = make_dram()
+    dram.write(100, b"abcdef")
+    assert dram.read(102, 2) == b"cd"
+    assert dram.read(98, 4) == b"\x00\x00ab"
+
+
+def test_zero_clears_range():
+    dram = make_dram()
+    dram.write(50, b"x" * 100)
+    dram.zero(60, 20)
+    assert dram.read(60, 20) == bytes(20)
+    assert dram.read(50, 10) == b"x" * 10
+
+
+def test_out_of_range_access_rejected():
+    dram = make_dram(capacity=1024)
+    with pytest.raises(ValueError):
+        dram.read(1020, 8)
+    with pytest.raises(ValueError):
+        dram.write(-1, b"a")
+    with pytest.raises(ValueError):
+        dram.read(0, 0)
+
+
+def test_access_time_has_fixed_plus_stream_parts():
+    dram = make_dram()
+    base = dram.access_time_ns(0)
+    assert base == 300
+    big = dram.access_time_ns(120 * MB // 8)  # ~1ms of streaming
+    assert big > base
+
+
+def test_access_time_monotonic_in_size():
+    dram = make_dram()
+    times = [dram.access_time_ns(size) for size in (64, 1024, 65536, MB)]
+    assert times == sorted(times)
+
+
+def test_counters_track_traffic():
+    dram = make_dram()
+    dram.write(0, b"1234")
+    dram.read(0, 2)
+    assert dram.writes == 1 and dram.bytes_written == 4
+    assert dram.reads == 1 and dram.bytes_read == 2
+
+
+def test_sparse_backing_is_lazy():
+    dram = DRAM(capacity=1 << 40, access_ns=300, bandwidth_bps=120 * GBPS)
+    dram.write(1 << 39, b"far away")
+    assert dram.read(1 << 39, 8) == b"far away"
+    assert dram.resident_bytes <= 2 * DRAM.CHUNK
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        DRAM(0, 300, GBPS)
+    with pytest.raises(ValueError):
+        DRAM(1024, -1, GBPS)
+    with pytest.raises(ValueError):
+        DRAM(1024, 300, 0)
+
+
+@given(st.integers(min_value=0, max_value=4 * MB - 256),
+       st.binary(min_size=1, max_size=256))
+@settings(max_examples=100)
+def test_roundtrip_property(pa, data):
+    dram = make_dram()
+    dram.write(pa, data)
+    assert dram.read(pa, len(data)) == data

@@ -1,0 +1,85 @@
+"""Tests for the MN retry dedup buffer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.retry_buffer import RetryBuffer
+
+
+def test_fresh_request_not_deduped():
+    buffer = RetryBuffer(capacity_bytes=1024)
+    executed, result = buffer.check(None)
+    assert not executed and result is None
+
+
+def test_retry_of_executed_request_dedups():
+    buffer = RetryBuffer(capacity_bytes=1024)
+    buffer.remember(42)
+    executed, _ = buffer.check(42)
+    assert executed
+    assert buffer.dedup_hits == 1
+
+
+def test_atomic_result_cached():
+    buffer = RetryBuffer(capacity_bytes=1024)
+    buffer.remember(7, result=b"\x01")
+    executed, result = buffer.check(7)
+    assert executed and result == b"\x01"
+
+
+def test_unknown_original_not_deduped():
+    buffer = RetryBuffer(capacity_bytes=1024)
+    buffer.remember(1)
+    executed, _ = buffer.check(2)
+    assert not executed
+
+
+def test_capacity_evicts_oldest():
+    buffer = RetryBuffer(capacity_bytes=4 * 32)  # 4 records
+    for request_id in range(6):
+        buffer.remember(request_id)
+    assert not buffer.check(0)[0]
+    assert not buffer.check(1)[0]
+    assert buffer.check(2)[0]
+    assert buffer.check(5)[0]
+
+
+def test_bytes_used_accounting():
+    buffer = RetryBuffer(capacity_bytes=30 * 1024)
+    assert buffer.max_records == (30 * 1024) // 32
+    buffer.remember(1)
+    assert buffer.bytes_used == 32
+
+
+def test_re_remember_refreshes_age():
+    buffer = RetryBuffer(capacity_bytes=2 * 32)
+    buffer.remember(1)
+    buffer.remember(2)
+    buffer.remember(1)        # refresh 1 -> 2 is now oldest
+    buffer.remember(3)        # evicts 2
+    assert buffer.check(1)[0]
+    assert not buffer.check(2)[0]
+
+
+def test_capacity_below_record_rejected():
+    with pytest.raises(ValueError):
+        RetryBuffer(capacity_bytes=16, record_bytes=32)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10 ** 6),
+                min_size=1, max_size=300))
+@settings(max_examples=50)
+def test_most_recent_ids_always_remembered_property(ids):
+    """The last max_records distinct IDs must always dedup."""
+    buffer = RetryBuffer(capacity_bytes=8 * 32)  # 8 records
+    for request_id in ids:
+        buffer.remember(request_id)
+    recent_distinct = []
+    for request_id in reversed(ids):
+        if request_id not in recent_distinct:
+            recent_distinct.append(request_id)
+        if len(recent_distinct) == 8:
+            break
+    for request_id in recent_distinct:
+        assert buffer.check(request_id)[0]

@@ -1,0 +1,100 @@
+"""Tests for the MN atomic unit."""
+
+import pytest
+
+from repro.core.memory import DRAM
+from repro.core.sync import ATOMIC_WIDTH, AtomicOp, AtomicUnit
+from repro.params import GBPS
+from repro.sim import Environment
+
+
+def make_unit():
+    env = Environment()
+    dram = DRAM(1 << 20, access_ns=300, bandwidth_bps=120 * GBPS)
+    return env, dram, AtomicUnit(env, dram)
+
+
+def run(env, generator):
+    return env.run(until=env.process(generator))
+
+
+def test_tas_acquires_free_word():
+    env, dram, unit = make_unit()
+    result = run(env, unit.execute(64, AtomicOp(kind="tas")))
+    assert result.success and result.old_value == 0
+    assert int.from_bytes(dram.read(64, ATOMIC_WIDTH), "little") == 1
+
+
+def test_tas_fails_on_held_word():
+    env, dram, unit = make_unit()
+    dram.write(64, (1).to_bytes(8, "little"))
+    result = run(env, unit.execute(64, AtomicOp(kind="tas")))
+    assert not result.success and result.old_value == 1
+
+
+def test_store_releases():
+    env, dram, unit = make_unit()
+    dram.write(64, (1).to_bytes(8, "little"))
+    run(env, unit.execute(64, AtomicOp(kind="store", value=0)))
+    assert int.from_bytes(dram.read(64, 8), "little") == 0
+
+
+def test_faa_returns_old_and_adds():
+    env, dram, unit = make_unit()
+    dram.write(0, (10).to_bytes(8, "little"))
+    result = run(env, unit.execute(0, AtomicOp(kind="faa", value=5)))
+    assert result.old_value == 10
+    assert int.from_bytes(dram.read(0, 8), "little") == 15
+
+
+def test_faa_wraps_at_64_bits():
+    env, dram, unit = make_unit()
+    dram.write(0, ((1 << 64) - 1).to_bytes(8, "little"))
+    run(env, unit.execute(0, AtomicOp(kind="faa", value=1)))
+    assert int.from_bytes(dram.read(0, 8), "little") == 0
+
+
+def test_cas_success_and_failure():
+    env, dram, unit = make_unit()
+    dram.write(0, (7).to_bytes(8, "little"))
+    ok = run(env, unit.execute(0, AtomicOp(kind="cas", expected=7, value=9)))
+    assert ok.success and ok.old_value == 7
+    fail = run(env, unit.execute(0, AtomicOp(kind="cas", expected=7, value=11)))
+    assert not fail.success and fail.old_value == 9
+    assert int.from_bytes(dram.read(0, 8), "little") == 9
+
+
+def test_atomics_serialize_through_single_unit():
+    env, dram, unit = make_unit()
+    results = []
+
+    def contender():
+        result = yield from unit.execute(128, AtomicOp(kind="tas"))
+        results.append((result.success, env.now))
+
+    p1 = env.process(contender())
+    p2 = env.process(contender())
+    env.run(until=env.all_of([p1, p2]))
+    # Exactly one winner, and the loser finished strictly later.
+    assert sorted(r[0] for r in results) == [False, True]
+    times = sorted(r[1] for r in results)
+    assert times[0] < times[1]
+
+
+def test_invalid_ops_rejected():
+    with pytest.raises(ValueError):
+        AtomicOp(kind="bogus")
+    with pytest.raises(ValueError):
+        AtomicOp(kind="cas", expected=1)
+    with pytest.raises(ValueError):
+        AtomicOp(kind="faa")
+    with pytest.raises(ValueError):
+        AtomicOp(kind="store")
+
+
+def test_result_serialization():
+    env, dram, unit = make_unit()
+    result = run(env, unit.execute(0, AtomicOp(kind="tas")))
+    blob = result.to_bytes()
+    assert len(blob) == ATOMIC_WIDTH + 1
+    assert blob[-1] == 1

@@ -1,0 +1,89 @@
+"""Stateful property testing of the virtual-memory pair (VA allocator +
+hash page table) against a reference model.
+
+Invariants the machine checks after *every* step:
+
+* granted ranges are disjoint per PID and page-aligned;
+* every granted page has exactly one valid PTE; freed pages have none;
+* no bucket ever exceeds its K slots (the overflow-free guarantee);
+* table entry count equals the model's count.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.addr import PageSpec, Permission
+from repro.core.page_table import HashPageTable
+from repro.core.va_allocator import AllocationError, VAAllocator
+
+MB = 1 << 20
+PAGE = 4 * MB
+
+
+class VMStateMachine(RuleBasedStateMachine):
+
+    @initialize()
+    def setup(self):
+        self.table = HashPageTable(physical_pages=256, slots_per_bucket=8,
+                                   overprovision=2.0)
+        self.allocator = VAAllocator(self.table, PageSpec(PAGE))
+        # Reference model: pid -> {va -> size}
+        self.model: dict[int, dict[int, int]] = {}
+
+    @rule(pid=st.integers(min_value=1, max_value=4),
+          pages=st.integers(min_value=1, max_value=6))
+    def allocate(self, pid, pages):
+        try:
+            outcome = self.allocator.allocate(pid, pages * PAGE)
+        except AllocationError:
+            return   # table-full is legal; invariants still checked below
+        allocation = outcome.allocation
+        self.model.setdefault(pid, {})[allocation.va] = allocation.size
+
+    @rule(pid=st.integers(min_value=1, max_value=4),
+          index=st.integers(min_value=0, max_value=50))
+    def free_some(self, pid, index):
+        ranges = sorted(self.model.get(pid, {}))
+        if not ranges:
+            return
+        va = ranges[index % len(ranges)]
+        self.allocator.free(pid, va)
+        del self.model[pid][va]
+
+    @invariant()
+    def ranges_disjoint_and_aligned(self):
+        for pid, ranges in self.model.items():
+            spans = sorted((va, va + size) for va, size in ranges.items())
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert e1 <= s2
+            for va in ranges:
+                assert va % PAGE == 0
+
+    @invariant()
+    def ptes_match_model(self):
+        expected = 0
+        for pid, ranges in self.model.items():
+            for va, size in ranges.items():
+                pages = size // PAGE
+                expected += pages
+                for vpn in range(va // PAGE, va // PAGE + pages):
+                    assert self.table.lookup(pid, vpn) is not None, \
+                        f"missing PTE pid={pid} vpn={vpn}"
+        assert self.table.entry_count == expected
+
+    @invariant()
+    def no_bucket_overflow(self):
+        for bucket_idx, bucket in self.table._buckets.items():
+            assert len(bucket.slots) <= self.table.slots_per_bucket
+
+
+TestVMStateful = VMStateMachine.TestCase
+TestVMStateful.settings = settings(max_examples=30,
+                                   stateful_step_count=30,
+                                   deadline=None)

@@ -1,0 +1,140 @@
+"""Tests for the global controller and distributed address space."""
+
+import pytest
+
+from repro.cluster import ClioCluster
+from repro.distributed.controller import GlobalController, PlacementError
+from repro.distributed.space import DistributedAddressSpace
+
+MB = 1 << 20
+PAGE = 4 * MB
+
+
+def make_platform(num_mns=2, mn_capacity=64 * MB, threshold=0.85):
+    cluster = ClioCluster(num_cns=1, num_mns=num_mns,
+                          mn_capacity=mn_capacity)
+    controller = GlobalController(cluster.env, cluster.mns,
+                                  pressure_threshold=threshold)
+    space = DistributedAddressSpace(cluster.cn(0), controller, pid=777)
+    return cluster, controller, space
+
+
+def run_app(cluster, generator):
+    return cluster.run(until=cluster.env.process(generator))
+
+
+def test_allocate_places_on_least_utilized_board():
+    cluster, controller, space = make_platform()
+
+    def app():
+        a = yield from space.alloc(8 * MB)
+        b = yield from space.alloc(8 * MB)
+        return a, b
+
+    run_app(cluster, app())
+    boards = set(space.placement().values())
+    # Load balancing spreads the two regions across the two boards.
+    assert boards == {"mn0", "mn1"}
+
+
+def test_read_write_through_distributed_space():
+    cluster, controller, space = make_platform()
+    result = {}
+
+    def app():
+        dva = yield from space.alloc(8 * MB)
+        yield from space.write(dva + 123, b"federated")
+        result["data"] = yield from space.read(dva + 123, 9)
+
+    run_app(cluster, app())
+    assert result["data"] == b"federated"
+
+
+def test_cross_region_access_rejected():
+    cluster, controller, space = make_platform()
+
+    def app():
+        dva = yield from space.alloc(PAGE)
+        with pytest.raises(ValueError):
+            yield from space.read(dva + PAGE - 4, 8)
+        with pytest.raises(ValueError):
+            yield from space.read(dva - 100, 8)
+
+    run_app(cluster, app())
+
+
+def test_free_releases_board_memory():
+    cluster, controller, space = make_platform()
+
+    def app():
+        dva = yield from space.alloc(8 * MB)
+        mn = space.placement()[dva]
+        board = next(b for b in cluster.mns if b.name == mn)
+        before = board.page_table.entry_count
+        yield from space.free(dva)
+        assert board.page_table.entry_count < before
+        with pytest.raises(KeyError):
+            yield from space.free(dva)
+
+    run_app(cluster, app())
+
+
+def test_placement_error_when_all_boards_full():
+    cluster, controller, space = make_platform(mn_capacity=16 * MB)
+
+    def app():
+        with pytest.raises(PlacementError):
+            for _ in range(32):
+                yield from space.alloc(8 * MB)
+
+    run_app(cluster, app())
+
+
+def test_rebalance_migrates_off_pressured_board():
+    cluster, controller, space = make_platform(num_mns=2,
+                                               mn_capacity=64 * MB,
+                                               threshold=0.5)
+    result = {}
+
+    def app():
+        # Force everything onto mn0 by allocating before mn1 is better:
+        # fill mn0 beyond threshold with two regions.
+        dva1 = yield from space.alloc(20 * MB)
+        mn_first = space.placement()[dva1]
+        # Write data we expect to survive migration.
+        yield from space.write(dva1 + 5000, b"survives-migration")
+        # Pressure the first board directly with extra ballast.
+        board = next(b for b in cluster.mns if b.name == mn_first)
+        response = yield from board.slow_path.handle_alloc(pid=1,
+                                                           size=24 * MB)
+        assert response.ok
+        assert controller.pressured_boards() == [mn_first]
+
+        moved = yield from controller.rebalance()
+        result["moved"] = moved
+        result["old_board"] = mn_first
+        # The lease now points elsewhere; the CN's next access refreshes.
+        result["data"] = yield from space.read(dva1 + 5000, 18)
+        result["new_board"] = controller.lookup(
+            space._mappings[0].region_id).mn
+
+    run_app(cluster, app())
+    assert result["moved"] >= 1
+    assert result["data"] == b"survives-migration"
+    assert result["new_board"] != result["old_board"]
+    assert controller.migrations >= 1
+    assert space.lease_refreshes >= 1
+
+
+def test_lookup_unknown_region_rejected():
+    cluster, controller, space = make_platform()
+    with pytest.raises(KeyError):
+        controller.lookup(999)
+
+
+def test_invalid_construction():
+    cluster = ClioCluster(num_mns=1, mn_capacity=64 * MB)
+    with pytest.raises(ValueError):
+        GlobalController(cluster.env, [])
+    with pytest.raises(ValueError):
+        GlobalController(cluster.env, cluster.mns, pressure_threshold=0.0)

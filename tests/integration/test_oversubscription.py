@@ -1,0 +1,129 @@
+"""End-to-end memory oversubscription scenarios (paper R6, section 4.3).
+
+An MN may allocate more *virtual* memory than its physical capacity;
+physical pages are bound on first touch and recycled on rfree.  These
+tests drive that lifecycle through the full network stack.
+"""
+
+import pytest
+
+from repro.clib.client import RemoteAccessError
+from repro.cluster import ClioCluster
+from repro.core.pipeline import Status
+
+MB = 1 << 20
+PAGE = 4 * MB
+
+
+def make_cluster(capacity=64 * MB):
+    return ClioCluster(mn_capacity=capacity)
+
+
+def run_app(cluster, generator):
+    return cluster.run(until=cluster.env.process(generator))
+
+
+def test_virtual_allocation_beyond_physical_capacity():
+    """ralloc can exceed physical memory; only touched pages bind frames."""
+    cluster = make_cluster(capacity=128 * MB)   # 32 physical pages
+    thread = cluster.cn(0).process("mn0").thread()
+    board = cluster.mn
+
+    def app():
+        # 44 pages of virtual space on a 32-page board (PT has 2x slots).
+        va = yield from thread.ralloc(44 * PAGE)
+        # Touch only 8: most physical frames stay free.
+        for index in range(8):
+            yield from thread.rwrite(va + index * PAGE, b"t" * 16)
+
+    run_app(cluster, app())
+    assert board.page_table.entry_count == 44
+    present = sum(1 for entry in board.page_table._index.values()
+                  if entry.present)
+    assert present == 8
+
+
+def test_touching_beyond_physical_memory_reports_oom():
+    cluster = make_cluster(capacity=32 * MB)   # 8 physical pages
+    thread = cluster.cn(0).process("mn0").thread()
+    failures = []
+
+    def app():
+        va = yield from thread.ralloc(14 * PAGE)
+        for index in range(14):
+            try:
+                yield from thread.rwrite(va + index * PAGE, b"x" * 16)
+            except RemoteAccessError as exc:
+                failures.append((index, exc.status))
+
+    run_app(cluster, app())
+    assert failures
+    assert all(status is Status.OOM for _, status in failures)
+    # The first 8 touches (all physical pages) succeeded.
+    assert failures[0][0] == 8
+
+
+def test_rfree_makes_memory_available_again():
+    cluster = make_cluster(capacity=32 * MB)   # 8 physical pages
+    thread = cluster.cn(0).process("mn0").thread()
+    result = {}
+
+    def app():
+        first = yield from thread.ralloc(8 * PAGE)
+        for index in range(8):
+            yield from thread.rwrite(first + index * PAGE, b"1" * 16)
+        yield from thread.rfree(first)
+        # All frames recycled: a new allocation can use them all.
+        second = yield from thread.ralloc(8 * PAGE)
+        for index in range(8):
+            yield from thread.rwrite(second + index * PAGE, b"2" * 16)
+        result["data"] = yield from thread.rread(second, 16)
+
+    run_app(cluster, app())
+    assert result["data"] == b"2" * 16
+
+
+def test_recycled_pages_are_zeroed_across_processes():
+    """R5: process B must never see process A's freed data."""
+    cluster = make_cluster(capacity=32 * MB)
+    thread_a = cluster.cn(0).process("mn0").thread()
+    thread_b = cluster.cn(0).process("mn0").thread()
+    result = {}
+
+    def app():
+        va_a = yield from thread_a.ralloc(8 * PAGE)
+        for index in range(8):
+            yield from thread_a.rwrite(va_a + index * PAGE, b"SECRET!!")
+        yield from thread_a.rfree(va_a)
+        va_b = yield from thread_b.ralloc(8 * PAGE)
+        leaked = []
+        for index in range(8):
+            data = yield from thread_b.rread(va_b + index * PAGE, 8)
+            if data != bytes(8):
+                leaked.append(index)
+        result["leaked"] = leaked
+
+    run_app(cluster, app())
+    assert result["leaked"] == []
+
+
+def test_many_processes_share_one_board():
+    """R2: lots of concurrent processes, each isolated, on one MN."""
+    cluster = ClioCluster(num_cns=4, mn_capacity=256 * MB)
+    threads = [cluster.cn(index % 4).process("mn0").thread()
+               for index in range(24)]
+    result = {"values": []}
+
+    def one(thread, index):
+        va = yield from thread.ralloc(64)
+        payload = b"proc%02d!" % index
+        yield from thread.rwrite(va, payload)
+        data = yield from thread.rread(va, len(payload))
+        result["values"].append((index, data))
+
+    procs = [cluster.env.process(one(thread, index))
+             for index, thread in enumerate(threads)]
+    cluster.run(until=cluster.env.all_of(procs))
+    assert len(result["values"]) == 24
+    for index, data in result["values"]:
+        assert data == b"proc%02d!" % index

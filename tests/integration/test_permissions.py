@@ -1,0 +1,133 @@
+"""End-to-end permission enforcement (R5) through the full stack."""
+
+import pytest
+
+from repro.clib.client import RemoteAccessError
+from repro.cluster import ClioCluster
+from repro.core.addr import Permission
+from repro.core.pipeline import Status
+
+MB = 1 << 20
+PAGE = 4 * MB
+
+
+def make_thread():
+    cluster = ClioCluster(mn_capacity=512 * MB)
+    return cluster, cluster.cn(0).process("mn0").thread()
+
+
+def run_app(cluster, generator):
+    return cluster.run(until=cluster.env.process(generator))
+
+
+def test_read_only_region_rejects_writes():
+    cluster, thread = make_thread()
+    outcomes = {}
+
+    def app():
+        # A read-only region still faults in pages on first READ access?
+        # No: reads of never-written pages return zeros after the fault.
+        va = yield from thread.ralloc(PAGE, permission=Permission.READ)
+        outcomes["read"] = yield from thread.rread(va, 16)
+        try:
+            yield from thread.rwrite(va, b"nope")
+            outcomes["write"] = "succeeded"
+        except RemoteAccessError as exc:
+            outcomes["write"] = exc.status
+
+    run_app(cluster, app())
+    assert outcomes["read"] == bytes(16)
+    assert outcomes["write"] is Status.PERMISSION
+
+
+def test_read_only_region_rejects_atomics():
+    cluster, thread = make_thread()
+    outcomes = {}
+
+    def app():
+        va = yield from thread.ralloc(PAGE, permission=Permission.READ)
+        try:
+            yield from thread.rfaa(va, 1)
+            outcomes["atomic"] = "succeeded"
+        except RemoteAccessError as exc:
+            outcomes["atomic"] = exc.status
+
+    run_app(cluster, app())
+    assert outcomes["atomic"] is Status.PERMISSION
+
+
+def test_write_only_region_rejects_reads():
+    cluster, thread = make_thread()
+    outcomes = {}
+
+    def app():
+        va = yield from thread.ralloc(PAGE, permission=Permission.WRITE)
+        yield from thread.rwrite(va, b"wo-data")
+        try:
+            yield from thread.rread(va, 7)
+            outcomes["read"] = "succeeded"
+        except RemoteAccessError as exc:
+            outcomes["read"] = exc.status
+
+    run_app(cluster, app())
+    assert outcomes["read"] is Status.PERMISSION
+
+
+def test_permission_checked_on_every_page_of_spanning_access():
+    """A write spanning an RW page into an RO page must fail."""
+    cluster, thread = make_thread()
+    outcomes = {}
+
+    def app():
+        rw = yield from thread.ralloc(PAGE)
+        # Adjacent allocation is not guaranteed; write within one region
+        # instead: allocate RO and RW separately and target the RO one
+        # with the tail of a spanning write via a contiguous RW->RO pair
+        # is not constructible through the public API, so assert the
+        # simpler property: every fragment of a multi-fragment write into
+        # an RO region fails and the region stays clean.
+        ro = yield from thread.ralloc(PAGE, permission=Permission.READ)
+        try:
+            yield from thread.rwrite(ro, b"x" * 4000)   # 3 fragments
+            outcomes["write"] = "succeeded"
+        except RemoteAccessError as exc:
+            outcomes["write"] = exc.status
+        outcomes["content"] = yield from thread.rread(ro, 4000)
+        yield from thread.rwrite(rw, b"ok")   # control: RW still works
+
+    run_app(cluster, app())
+    assert outcomes["write"] is Status.PERMISSION
+    assert outcomes["content"] == bytes(4000)
+
+
+def test_async_write_permission_error_surfaces_at_rpoll():
+    cluster, thread = make_thread()
+    outcomes = {}
+
+    def app():
+        ro = yield from thread.ralloc(PAGE, permission=Permission.READ)
+        handle = yield from thread.rwrite_async(ro, b"sneaky")
+        try:
+            yield from thread.rpoll([handle])
+            outcomes["poll"] = "succeeded"
+        except RemoteAccessError as exc:
+            outcomes["poll"] = exc.status
+
+    run_app(cluster, app())
+    assert outcomes["poll"] is Status.PERMISSION
+
+
+def test_permissions_are_per_allocation_not_per_process():
+    cluster, thread = make_thread()
+    result = {}
+
+    def app():
+        ro = yield from thread.ralloc(PAGE, permission=Permission.READ)
+        rw = yield from thread.ralloc(PAGE)
+        yield from thread.rwrite(rw, b"fine")
+        result["rw"] = yield from thread.rread(rw, 4)
+        result["ro"] = yield from thread.rread(ro, 4)
+
+    run_app(cluster, app())
+    assert result["rw"] == b"fine"
+    assert result["ro"] == bytes(4)

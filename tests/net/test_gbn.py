@@ -1,0 +1,146 @@
+"""Tests for the Go-Back-N transport (the conventional design)."""
+
+import pytest
+
+from repro.net.gbn import (
+    CONNECTION_FIXED_BYTES,
+    GBNReceiver,
+    GBNSender,
+    connection_state_bytes,
+)
+from repro.sim import Environment
+
+
+class Channel:
+    """A toy channel wiring one sender to one receiver with a delay and a
+    scriptable drop set."""
+
+    def __init__(self, env, delay_ns=500, drop_seqs=()):
+        self.env = env
+        self.delay_ns = delay_ns
+        self.drop_once = set(drop_seqs)
+        self.delivered = []
+        self.receiver = None
+        self.sender = None
+
+    def transmit(self, seq, payload):
+        if seq in self.drop_once:
+            self.drop_once.discard(seq)
+            return
+
+        def deliver():
+            yield self.env.timeout(self.delay_ns)
+            self.receiver.on_packet(seq, payload)
+
+        self.env.process(deliver())
+
+    def send_ack(self, cumulative):
+        def deliver():
+            yield self.env.timeout(self.delay_ns)
+            self.sender.on_ack(cumulative)
+
+        self.env.process(deliver())
+
+
+def make_pair(window=4, timeout_ns=10_000, drop_seqs=()):
+    env = Environment()
+    channel = Channel(env, drop_seqs=drop_seqs)
+    sender = GBNSender(env, window=window, timeout_ns=timeout_ns,
+                       transmit=channel.transmit)
+    receiver = GBNReceiver(deliver=channel.delivered.append,
+                           send_ack=channel.send_ack)
+    channel.sender = sender
+    channel.receiver = receiver
+    return env, channel, sender, receiver
+
+
+def send_all(env, sender, payloads):
+    def producer():
+        for payload in payloads:
+            yield from sender.send(payload)
+
+    env.process(producer())
+
+
+def test_in_order_delivery_no_loss():
+    env, channel, sender, receiver = make_pair()
+    payloads = [b"m%d" % index for index in range(10)]
+    send_all(env, sender, payloads)
+    env.run(until=10 ** 6)
+    assert channel.delivered == payloads
+    assert sender.retransmissions == 0
+    assert sender.in_flight == 0
+
+
+def test_window_blocks_sender():
+    env, channel, sender, receiver = make_pair(window=2)
+    # Break the ack path so the window can never reopen.
+    channel.send_ack = lambda cumulative: None
+    receiver.send_ack = lambda cumulative: None
+    progress = []
+
+    def producer():
+        for index in range(4):
+            yield from sender.send(b"x")
+            progress.append(index)
+
+    env.process(producer())
+    env.run(until=5_000)   # before the first timeout fires
+    assert progress == [0, 1]           # window of 2 admits two sends
+    assert sender.in_flight == 2
+
+
+def test_loss_recovered_by_go_back_n():
+    env, channel, sender, receiver = make_pair(window=4, timeout_ns=5_000,
+                                               drop_seqs={2})
+    payloads = [b"p%d" % index for index in range(6)]
+    send_all(env, sender, payloads)
+    env.run(until=10 ** 6)
+    assert channel.delivered == payloads
+    # Dropping seq 2 forces retransmission of 2 and everything after it
+    # that was in flight — the go-back-N inefficiency.
+    assert sender.retransmissions >= 2
+    assert receiver.discarded >= 1       # 3.. arrived early, discarded
+
+
+def test_duplicates_discarded_and_reacked():
+    env, channel, sender, receiver = make_pair()
+    send_all(env, sender, [b"a"])
+    env.run(until=10 ** 5)
+    # Replay the same packet: discarded, ack repeated.
+    receiver.on_packet(0, b"a")
+    assert receiver.discarded == 1
+    assert channel.delivered == [b"a"]
+
+
+def test_ack_loss_heals_via_timeout():
+    env, channel, sender, receiver = make_pair(window=2, timeout_ns=4_000)
+    # Drop the first ack only.
+    original_send_ack = channel.send_ack
+    dropped = {"first": True}
+
+    def flaky_ack(cumulative):
+        if dropped["first"]:
+            dropped["first"] = False
+            return
+        original_send_ack(cumulative)
+
+    receiver.send_ack = flaky_ack
+    send_all(env, sender, [b"only"])
+    env.run(until=10 ** 6)
+    assert channel.delivered[0] == b"only"
+    assert sender.in_flight == 0
+    assert sender.retransmissions >= 1
+
+
+def test_state_grows_with_window():
+    assert connection_state_bytes(64) > connection_state_bytes(8)
+    assert connection_state_bytes(1) > CONNECTION_FIXED_BYTES
+
+
+def test_invalid_construction():
+    env = Environment()
+    with pytest.raises(ValueError):
+        GBNSender(env, window=0, timeout_ns=100, transmit=lambda s, p: None)
+    with pytest.raises(ValueError):
+        GBNSender(env, window=1, timeout_ns=0, transmit=lambda s, p: None)

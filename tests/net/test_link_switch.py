@@ -1,0 +1,151 @@
+"""Tests for links, the switch, and the star topology."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.packet import ClioHeader, Packet, PacketType
+from repro.net.switch import Topology
+from repro.params import GBPS, NetworkParams
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+
+
+def make_packet(src="a", dst="b", wire_bytes=64, request_id=1):
+    header = ClioHeader(src=src, dst=dst, request_id=request_id,
+                        packet_type=PacketType.READ)
+    return Packet(header=header, wire_bytes=wire_bytes)
+
+
+def test_link_delivers_after_serialization_and_propagation():
+    env = Environment()
+    received = []
+    link = Link(env, "l", rate_bps=10 * GBPS, propagation_ns=200,
+                deliver=lambda p: received.append((p, env.now)))
+    link.send(make_packet(wire_bytes=1250))   # 1250B at 10Gbps = 1000ns
+    env.run()
+    packet, when = received[0]
+    assert when == 1000 + 200
+
+
+def test_link_serializes_fifo():
+    env = Environment()
+    received = []
+    link = Link(env, "l", rate_bps=10 * GBPS, propagation_ns=0,
+                deliver=lambda p: received.append((p.header.request_id, env.now)))
+    link.send(make_packet(wire_bytes=1250, request_id=1))
+    link.send(make_packet(wire_bytes=1250, request_id=2))
+    env.run()
+    assert [r[0] for r in received] == [1, 2]
+    assert received[1][1] - received[0][1] == 1000  # back-to-back serialization
+
+
+def test_link_queue_builds_under_load():
+    env = Environment()
+    link = Link(env, "l", rate_bps=1 * GBPS, propagation_ns=0,
+                deliver=lambda p: None)
+    for index in range(10):
+        link.send(make_packet(wire_bytes=1250, request_id=index))
+    env.run(until=1)
+    assert link.queue_depth > 0
+
+
+def test_link_loss_drops_packets():
+    env = Environment()
+    received = []
+    link = Link(env, "l", rate_bps=100 * GBPS, propagation_ns=0,
+                deliver=received.append, rng=RandomStream(1, "lossy"),
+                loss_rate=0.5)
+    for index in range(200):
+        link.send(make_packet(request_id=index))
+    env.run()
+    assert link.packets_dropped > 50
+    assert len(received) == 200 - link.packets_dropped
+
+
+def test_link_corruption_marks_packets():
+    env = Environment()
+    received = []
+    link = Link(env, "l", rate_bps=100 * GBPS, propagation_ns=0,
+                deliver=received.append, rng=RandomStream(2, "noisy"),
+                corruption_rate=0.3)
+    for index in range(200):
+        link.send(make_packet(request_id=index))
+    env.run()
+    corrupt = [p for p in received if p.corrupt]
+    assert len(corrupt) == link.packets_corrupted
+    assert corrupt
+
+
+def test_link_jitter_can_reorder_delivery():
+    env = Environment()
+    received = []
+    link = Link(env, "l", rate_bps=100 * GBPS, propagation_ns=500,
+                deliver=lambda p: received.append(p.header.request_id),
+                rng=RandomStream(3, "jitter"), jitter_ns=2000)
+    for index in range(50):
+        link.send(make_packet(wire_bytes=64, request_id=index))
+    env.run()
+    assert received != sorted(received)   # out-of-order delivery occurred
+
+
+def test_link_rejects_bad_construction():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Link(env, "l", rate_bps=0, propagation_ns=0, deliver=lambda p: None)
+    with pytest.raises(ValueError):
+        Link(env, "l", rate_bps=1, propagation_ns=-1, deliver=lambda p: None)
+
+
+def test_topology_routes_between_nodes():
+    env = Environment()
+    params = NetworkParams(jitter_ns=0)
+    topology = Topology(env, params)
+    received = {"a": [], "b": []}
+    topology.add_node("a", received["a"].append)
+    topology.add_node("b", received["b"].append)
+    topology.send(make_packet(src="a", dst="b"))
+    env.run()
+    assert len(received["b"]) == 1
+    assert not received["a"]
+
+
+def test_topology_unroutable_counted():
+    env = Environment()
+    topology = Topology(env, NetworkParams())
+    topology.add_node("a", lambda p: None)
+    topology.send(make_packet(src="a", dst="ghost"))
+    env.run()
+    assert topology.switch.unroutable == 1
+
+
+def test_topology_unknown_source_rejected():
+    env = Environment()
+    topology = Topology(env, NetworkParams())
+    with pytest.raises(KeyError):
+        topology.send(make_packet(src="ghost", dst="a"))
+
+
+def test_topology_duplicate_node_rejected():
+    env = Environment()
+    topology = Topology(env, NetworkParams())
+    topology.add_node("a", lambda p: None)
+    with pytest.raises(ValueError):
+        topology.add_node("a", lambda p: None)
+
+
+def test_slow_mn_port_is_bottleneck():
+    """Traffic into a 10 Gbps MN port queues at the switch downlink."""
+    env = Environment()
+    params = NetworkParams(jitter_ns=0)
+    topology = Topology(env, params)
+    arrivals = []
+    topology.add_node("cn", lambda p: None)                  # 40 Gbps
+    topology.add_node("mn", lambda p: arrivals.append(env.now),
+                      port_rate_bps=10 * GBPS)
+    for index in range(10):
+        topology.send(make_packet(src="cn", dst="mn", wire_bytes=1250,
+                                  request_id=index))
+    env.run()
+    # At 10 Gbps each 1250B packet takes 1000ns; arrivals pace at >=1000ns.
+    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    assert all(gap >= 1000 for gap in gaps)

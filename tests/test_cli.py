@@ -1,0 +1,76 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import _parse_size, build_parser, main
+
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+
+
+def test_parse_size_units():
+    assert _parse_size("64") == 64
+    assert _parse_size("4KB") == 4 * KB
+    assert _parse_size("16MB") == 16 * MB
+    assert _parse_size("2GB") == 2 * GB
+    assert _parse_size("1.5KB") == 1536
+    assert _parse_size(" 8kb ") == 8 * KB
+    assert _parse_size("128B") == 128
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(SystemExit):
+        main(["--profile", "warp-drive", "latency", "--ops", "1"])
+
+
+def test_latency_command(capsys):
+    assert main(["latency", "--size", "16", "--ops", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "median us" in out
+    assert "Clio read latency" in out
+
+
+def test_latency_write_mode(capsys):
+    assert main(["latency", "--size", "64", "--ops", "30", "--write"]) == 0
+    assert "write latency" in capsys.readouterr().out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "--size", "16", "--ops", "60"]) == 0
+    out = capsys.readouterr().out
+    for system in ("Clio", "RDMA", "HERD", "HERD-BF", "LegoOS"):
+        assert system in out
+
+
+def test_alloc_command(capsys):
+    assert main(["alloc", "--size", "16MB"]) == 0
+    out = capsys.readouterr().out
+    assert "Clio VA us" in out and "RDMA MR reg" in out
+
+
+def test_ycsb_command(capsys):
+    assert main(["ycsb", "--workload", "C", "--keys", "50",
+                 "--ops", "50"]) == 0
+    assert "YCSB-C" in capsys.readouterr().out
+
+
+def test_ycsb_rejects_unknown_mix():
+    with pytest.raises(SystemExit):
+        main(["ycsb", "--workload", "Z", "--keys", "10", "--ops", "10"])
+
+
+def test_goodput_command(capsys):
+    assert main(["goodput", "--threads", "1", "--ops", "40"]) == 0
+    assert "goodput_Gbps" in capsys.readouterr().out
+
+
+def test_asic_profile_runs(capsys):
+    assert main(["--profile", "asic", "latency", "--ops", "30"]) == 0
+    assert "asic" in capsys.readouterr().out

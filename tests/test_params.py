@@ -1,0 +1,74 @@
+"""Tests for calibration parameters and profiles."""
+
+import dataclasses
+
+import pytest
+
+from repro.params import (
+    CBoardParams,
+    ClioParams,
+    GBPS,
+    RDMAParams,
+    transmit_time_ns,
+)
+
+
+def test_transmit_time():
+    # 1250 bytes at 10 Gbps = 1000 ns.
+    assert transmit_time_ns(1250, 10 * GBPS) == 1000
+    assert transmit_time_ns(0, 10 * GBPS) == 1   # floor of one ns
+    with pytest.raises(ValueError):
+        transmit_time_ns(100, 0)
+
+
+def test_pipeline_cycles_sum_components():
+    params = CBoardParams()
+    expected = (params.mat_cycles + params.decode_cycles
+                + params.translate_cycles + params.permission_cycles
+                + params.response_cycles + params.netstack_cycles)
+    assert params.pipeline_cycles == expected
+
+
+def test_pipeline_ns_fault_adds_bounded_cycles():
+    params = CBoardParams()
+    delta = params.pipeline_ns(faulted=True) - params.pipeline_ns()
+    assert delta == int(round(params.fault_cycles * params.cycle_ns))
+
+
+def test_asic_projection_scales_clock_and_dram():
+    proto = ClioParams.prototype()
+    asic = ClioParams.asic_projection()
+    assert asic.cboard.cycle_ns < proto.cboard.cycle_ns
+    assert asic.cboard.dram_access_ns < proto.cboard.dram_access_ns
+    # Everything else carries over.
+    assert asic.cboard.tlb_entries == proto.cboard.tlb_entries
+    assert asic.network == proto.network
+
+
+def test_cloudlab_profile_has_bigger_rnic_caches():
+    local = ClioParams.prototype()
+    cloudlab = ClioParams.cloudlab()
+    assert cloudlab.rdma.pte_cache_entries == 4096       # 2^12 (paper)
+    assert cloudlab.rdma.pte_cache_entries > local.rdma.pte_cache_entries
+
+
+def test_params_are_frozen():
+    params = ClioParams.prototype()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        params.cboard.cycle_ns = 1.0
+
+
+def test_paper_headline_constants():
+    params = ClioParams.prototype()
+    assert params.cboard.cycle_ns == 4.0                 # 250 MHz FPGA
+    assert params.cboard.datapath_bits == 512
+    assert params.cboard.default_page_size == 4 << 20    # 4 MB huge pages
+    assert params.cboard.page_table_overprovision == 2.0
+    assert params.cboard.retry_buffer_bytes == 30 << 10  # 30 KB
+    assert params.rdma.odp_page_fault_ns == 16_800_000   # 16.8 ms
+    assert params.rdma.max_mrs == 1 << 18
+
+
+def test_rdma_profiles_distinct():
+    assert RDMAParams().pte_cache_entries == 256
+    assert RDMAParams.cloudlab().qp_cache_entries == 1024

@@ -1,0 +1,106 @@
+"""Tests for delay-based AIMD congestion and incast control."""
+
+import pytest
+
+from repro.params import CLibParams
+from repro.transport.congestion import CongestionController, IncastController
+
+US = 1000
+
+
+def make_cc(**overrides):
+    params = CLibParams(**overrides) if overrides else CLibParams()
+    return CongestionController(params), params
+
+
+def test_window_admits_up_to_cwnd():
+    cc, params = make_cc()
+    admitted = 0
+    while cc.can_send(0, -10 ** 9):
+        cc.on_send()
+        admitted += 1
+    assert admitted == int(params.cwnd_init)
+
+
+def test_low_rtt_grows_window_additively():
+    cc, params = make_cc()
+    before = cc.cwnd
+    cc.on_send()
+    cc.on_ack(rtt_ns=params.target_rtt_ns // 2)
+    assert cc.cwnd > before
+
+
+def test_high_rtt_shrinks_window_multiplicatively():
+    cc, params = make_cc()
+    before = cc.cwnd
+    cc.on_send()
+    cc.on_ack(rtt_ns=params.target_rtt_ns * 4)
+    assert cc.cwnd == pytest.approx(
+        before * params.cwnd_multiplicative_decrease)
+
+
+def test_timeout_is_a_double_decrease():
+    cc, params = make_cc()
+    before = cc.cwnd
+    cc.on_send()
+    cc.on_timeout()
+    assert cc.cwnd == pytest.approx(
+        before * params.cwnd_multiplicative_decrease ** 2)
+
+
+def test_cwnd_bounded_between_min_and_max():
+    cc, params = make_cc()
+    for _ in range(200):
+        cc.on_send()
+        cc.on_timeout()
+    assert cc.cwnd == params.cwnd_min
+    for _ in range(10000):
+        cc.on_send()
+        cc.on_ack(rtt_ns=0)
+    assert cc.cwnd <= params.cwnd_max
+
+
+def test_sub_packet_window_paces_sends():
+    """cwnd of 0.1 means one send per 10 target-RTTs (paper section 4.4)."""
+    cc, params = make_cc()
+    cc.cwnd = 0.1
+    interval = cc.pacing_interval_ns()
+    assert interval == int(params.target_rtt_ns / 0.1)
+    # Too soon after the last send: denied.
+    assert not cc.can_send(now=interval // 2, last_send=0)
+    # After the full pacing gap: allowed.
+    assert cc.can_send(now=interval, last_send=0)
+
+
+def test_sub_packet_window_allows_one_outstanding():
+    cc, _ = make_cc()
+    cc.cwnd = 0.5
+    assert cc.can_send(now=10 ** 9, last_send=0)
+    cc.on_send()
+    assert not cc.can_send(now=2 * 10 ** 9, last_send=0)
+
+
+def test_incast_admits_within_window():
+    ic = IncastController(CLibParams(iwnd_bytes=10_000))
+    assert ic.can_send(4000)
+    ic.on_send(4000)
+    assert ic.can_send(6000)
+    ic.on_send(6000)
+    assert not ic.can_send(1)
+    ic.on_complete(4000)
+    assert ic.can_send(4000)
+
+
+def test_incast_oversize_response_admitted_alone():
+    ic = IncastController(CLibParams(iwnd_bytes=1000))
+    assert ic.can_send(5000)          # alone: allowed
+    ic.on_send(5000)
+    assert not ic.can_send(10)        # nothing else while it is in flight
+    ic.on_complete(5000)
+    assert ic.can_send(10)
+
+
+def test_incast_outstanding_never_negative():
+    ic = IncastController(CLibParams())
+    ic.on_complete(1000)
+    assert ic.outstanding_bytes == 0

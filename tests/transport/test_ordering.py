@@ -1,0 +1,124 @@
+"""Tests for CN-side dependency tracking (WAR/RAW/WAW, release order)."""
+
+from repro.core.addr import PageSpec
+from repro.sim import Environment
+from repro.transport.ordering import DependencyTracker
+
+MB = 1 << 20
+PAGE = 4 * MB
+
+
+def make_tracker():
+    env = Environment()
+    return env, DependencyTracker(env, PageSpec(PAGE))
+
+
+def test_reads_never_conflict():
+    env, tracker = make_tracker()
+    tracker.register(0, 64, is_write=False)
+    assert tracker.conflicts(0, 64, is_write=False) == []
+
+
+def test_raw_conflict_detected():
+    env, tracker = make_tracker()
+    tracker.register(0, 64, is_write=True)        # in-flight write
+    assert len(tracker.conflicts(0, 64, is_write=False)) == 1
+
+
+def test_war_conflict_detected():
+    env, tracker = make_tracker()
+    tracker.register(0, 64, is_write=False)       # in-flight read
+    assert len(tracker.conflicts(0, 64, is_write=True)) == 1
+
+
+def test_waw_conflict_detected():
+    env, tracker = make_tracker()
+    tracker.register(0, 64, is_write=True)
+    assert len(tracker.conflicts(0, 64, is_write=True)) == 1
+
+
+def test_different_pages_no_conflict():
+    env, tracker = make_tracker()
+    tracker.register(0, 64, is_write=True)
+    assert tracker.conflicts(PAGE, 64, is_write=True) == []
+
+
+def test_page_granularity_false_dependency():
+    """Same page, disjoint bytes: still a conflict (the paper's trade-off)."""
+    env, tracker = make_tracker()
+    tracker.register(0, 64, is_write=True)
+    assert len(tracker.conflicts(1024, 64, is_write=True)) == 1
+
+
+def test_spanning_request_conflicts_with_either_page():
+    env, tracker = make_tracker()
+    tracker.register(PAGE - 8, 16, is_write=True)    # spans pages 0 and 1
+    assert len(tracker.conflicts(0, 8, is_write=True)) == 1
+    assert len(tracker.conflicts(PAGE, 8, is_write=True)) == 1
+    assert tracker.conflicts(2 * PAGE, 8, is_write=True) == []
+
+
+def test_completion_retires_entry():
+    env, tracker = make_tracker()
+    done = tracker.register(0, 64, is_write=True)
+    assert tracker.inflight_count == 1
+    done.succeed()
+    env.run()
+    assert tracker.inflight_count == 0
+    assert tracker.conflicts(0, 64, is_write=True) == []
+
+
+def test_wait_for_conflicts_blocks_until_done():
+    env, tracker = make_tracker()
+    done = tracker.register(0, 64, is_write=True)
+    log = []
+
+    def blocked_writer():
+        yield from tracker.wait_for_conflicts(0, 64, is_write=True)
+        log.append(env.now)
+
+    def completer():
+        yield env.timeout(500)
+        done.succeed()
+
+    env.process(blocked_writer())
+    env.process(completer())
+    env.run()
+    assert log == [500]
+    assert tracker.blocked_count == 1
+
+
+def test_wait_with_no_conflicts_is_immediate():
+    env, tracker = make_tracker()
+    log = []
+
+    def writer():
+        yield from tracker.wait_for_conflicts(0, 64, is_write=True)
+        log.append(env.now)
+
+    env.process(writer())
+    env.run()
+    assert log == [0]
+    assert tracker.blocked_count == 0
+
+
+def test_drain_waits_for_all_inflight():
+    env, tracker = make_tracker()
+    done_a = tracker.register(0, 64, is_write=True)
+    done_b = tracker.register(PAGE, 64, is_write=False)
+    log = []
+
+    def releaser():
+        yield from tracker.drain()
+        log.append(env.now)
+
+    def completer():
+        yield env.timeout(100)
+        done_a.succeed()
+        yield env.timeout(200)
+        done_b.succeed()
+
+    env.process(releaser())
+    env.process(completer())
+    env.run()
+    assert log == [300]

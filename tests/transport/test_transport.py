@@ -1,0 +1,198 @@
+"""Integration tests for the CLib transport against a real CBoard."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.cluster import ClioCluster
+from repro.core.addr import Permission
+from repro.core.pipeline import Status
+from repro.net.packet import PacketType
+from repro.params import ClioParams, NetworkParams
+from repro.transport.clib_transport import RequestFailedError
+
+MB = 1 << 20
+
+
+def lossy_params(loss=0.0, corruption=0.0, max_retries=8):
+    """Params with fault injection; retries raised because a request
+    crosses four lossy links (two hops each way)."""
+    base = ClioParams.prototype()
+    return replace(base,
+                   network=replace(base.network, loss_rate=loss,
+                                   corruption_rate=corruption),
+                   clib=replace(base.clib, max_retries=max_retries))
+
+
+def run_request(cluster, **kwargs):
+    transport = cluster.cn(0).transport
+    holder = {}
+
+    def driver():
+        outcome = yield from transport.request("mn0", **kwargs)
+        holder["outcome"] = outcome
+
+    cluster.run(until=cluster.env.process(driver()))
+    return holder["outcome"]
+
+
+def alloc(cluster, pid=1, size=MB):
+    outcome = run_request(cluster, packet_type=PacketType.ALLOC, pid=pid,
+                          payload=(size, Permission.READ_WRITE, None))
+    assert outcome.body.status is Status.OK
+    return outcome.body.value.va
+
+
+def test_request_response_roundtrip():
+    cluster = ClioCluster(mn_capacity=256 * MB)
+    va = alloc(cluster)
+    write = run_request(cluster, packet_type=PacketType.WRITE, pid=1,
+                        va=va, size=4, data=b"ping")
+    assert write.body.status is Status.OK
+    read = run_request(cluster, packet_type=PacketType.READ, pid=1,
+                       va=va, size=4)
+    assert read.data == b"ping"
+    assert read.retries == 0
+
+
+def test_large_write_fragments_and_acks_once():
+    cluster = ClioCluster(mn_capacity=256 * MB)
+    va = alloc(cluster)
+    data = bytes(range(256)) * 16   # 4096B -> 3 fragments
+    write = run_request(cluster, packet_type=PacketType.WRITE, pid=1,
+                        va=va, size=len(data), data=data)
+    assert write.body.status is Status.OK
+    read = run_request(cluster, packet_type=PacketType.READ, pid=1,
+                       va=va, size=len(data))
+    assert read.data == data
+
+
+def test_corrupted_request_nacked_and_retried():
+    cluster = ClioCluster(params=lossy_params(corruption=0.2), seed=11,
+                          mn_capacity=256 * MB)
+    va = alloc(cluster)
+    transport = cluster.cn(0).transport
+    completed = []
+
+    def driver():
+        for index in range(40):
+            outcome = yield from transport.request(
+                "mn0", PacketType.WRITE, pid=1, va=va, size=4,
+                data=index.to_bytes(4, "little"))
+            completed.append(outcome)
+
+    cluster.run(until=cluster.env.process(driver()))
+    assert len(completed) == 40
+    assert sum(outcome.retries for outcome in completed) > 0
+    assert cluster.mn.nacks_sent > 0
+
+
+def test_lost_packets_recovered_by_timeout_retry():
+    cluster = ClioCluster(params=lossy_params(loss=0.15), seed=7,
+                          mn_capacity=256 * MB)
+    va = alloc(cluster)
+    transport = cluster.cn(0).transport
+    completed = []
+
+    def driver():
+        for index in range(30):
+            outcome = yield from transport.request(
+                "mn0", PacketType.WRITE, pid=1, va=va, size=4,
+                data=index.to_bytes(4, "little"))
+            completed.append(outcome)
+
+    cluster.run(until=cluster.env.process(driver()))
+    assert len(completed) == 30
+    assert sum(outcome.retries for outcome in completed) > 0
+
+
+def test_total_loss_raises_request_failed():
+    cluster = ClioCluster(params=lossy_params(loss=1.0, max_retries=2),
+                          mn_capacity=256 * MB)
+    transport = cluster.cn(0).transport
+    failures = []
+
+    def driver():
+        try:
+            yield from transport.request("mn0", PacketType.READ, pid=1,
+                                         va=4 * MB, size=4)
+        except RequestFailedError as exc:
+            failures.append(exc)
+
+    cluster.run(until=cluster.env.process(driver()))
+    assert failures
+    # Original + max_retries attempts were all made.
+    assert cluster.cn(0).transport.total_retries == \
+        cluster.params.clib.max_retries
+
+
+def test_stale_response_after_timeout_is_dropped():
+    """A response arriving after its request timed out must be discarded
+    (its ID is no longer pending) and counted as stale."""
+    from repro.params import CLibParams
+    base = ClioParams.prototype()
+    # Timeout far below the actual RTT: first attempt always times out.
+    params = replace(base, clib=replace(base.clib, timeout_ns=400,
+                                        max_retries=10))
+    cluster = ClioCluster(params=params, mn_capacity=256 * MB)
+    transport = cluster.cn(0).transport
+    outcomes = []
+
+    def driver():
+        try:
+            outcome = yield from transport.request("mn0", PacketType.READ,
+                                                   pid=1, va=4 * MB, size=4)
+            outcomes.append(outcome)
+        except RequestFailedError:
+            outcomes.append(None)
+
+    cluster.run(until=cluster.env.process(driver()))
+    # Drain any late responses still in flight.
+    cluster.run(until=cluster.env.now + 10 ** 8)
+    assert transport.stale_responses > 0
+
+
+def test_congestion_window_grows_under_light_load():
+    cluster = ClioCluster(mn_capacity=256 * MB)
+    va = alloc(cluster)
+    transport = cluster.cn(0).transport
+    initial = transport.congestion("mn0").cwnd
+
+    def driver():
+        for _ in range(50):
+            yield from transport.request("mn0", PacketType.READ, pid=1,
+                                         va=va, size=16)
+
+    # Prime the page first so reads succeed.
+    run_request(cluster, packet_type=PacketType.WRITE, pid=1, va=va,
+                size=16, data=b"z" * 16)
+    cluster.run(until=cluster.env.process(driver()))
+    assert transport.congestion("mn0").cwnd > initial
+
+
+def test_outstanding_limited_by_cwnd():
+    cluster = ClioCluster(mn_capacity=256 * MB)
+    va = alloc(cluster)
+    run_request(cluster, packet_type=PacketType.WRITE, pid=1, va=va,
+                size=16, data=b"z" * 16)
+    transport = cluster.cn(0).transport
+    congestion = transport.congestion("mn0")
+    max_outstanding = 0
+    procs = []
+
+    def one_read():
+        yield from transport.request("mn0", PacketType.READ, pid=1,
+                                     va=va, size=16)
+
+    def monitor():
+        nonlocal max_outstanding
+        for _ in range(4000):
+            max_outstanding = max(max_outstanding, congestion.outstanding)
+            yield cluster.env.timeout(50)
+
+    for _ in range(64):
+        procs.append(cluster.env.process(one_read()))
+    cluster.env.process(monitor())
+    cluster.run(until=cluster.env.all_of(procs))
+    assert max_outstanding <= int(cluster.params.clib.cwnd_max)
+    assert max_outstanding >= 1

@@ -1,0 +1,42 @@
+"""Tests for the microbenchmark access-pattern driver."""
+
+import pytest
+
+from repro.sim.rng import RandomStream
+from repro.workloads.microbench import AccessPattern, MicrobenchDriver
+
+
+def test_same_address_pattern():
+    driver = MicrobenchDriver(AccessPattern.SAME_ADDRESS, 1 << 20, 16)
+    assert driver.offsets(10) == [0] * 10
+
+
+def test_sequential_pattern_strides_and_wraps():
+    driver = MicrobenchDriver(AccessPattern.SEQUENTIAL, 256, 16,
+                              alignment=64)
+    offsets = driver.offsets(8)
+    assert offsets[:4] == [0, 64, 128, 192]
+    assert offsets[4] == 0   # wrapped
+
+
+def test_uniform_pattern_within_region():
+    driver = MicrobenchDriver(AccessPattern.UNIFORM, 1 << 20, 64,
+                              rng=RandomStream(1, "mb"))
+    for offset in driver.offsets(500):
+        assert 0 <= offset <= (1 << 20) - 64
+        assert offset % 64 == 0
+
+
+def test_uniform_pattern_deterministic():
+    a = MicrobenchDriver(AccessPattern.UNIFORM, 1 << 20, 64,
+                         rng=RandomStream(7, "mb")).offsets(50)
+    b = MicrobenchDriver(AccessPattern.UNIFORM, 1 << 20, 64,
+                         rng=RandomStream(7, "mb")).offsets(50)
+    assert a == b
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        MicrobenchDriver(AccessPattern.UNIFORM, 8, 16)
+    with pytest.raises(ValueError):
+        MicrobenchDriver(AccessPattern.UNIFORM, 64, 16, alignment=0)

@@ -1,0 +1,87 @@
+"""Tests for the YCSB workload generator."""
+
+import pytest
+
+from repro.sim.rng import RandomStream, ZipfTable
+from repro.workloads.ycsb import YCSB_WORKLOADS, YCSBConfig, YCSBWorkload
+
+
+def make_workload(name="A", **kwargs):
+    kwargs.setdefault("num_keys", 1000)
+    kwargs.setdefault("value_size", 64)
+    return YCSBWorkload(YCSB_WORKLOADS[name], RandomStream(1, "ycsb"),
+                        **kwargs)
+
+
+def test_paper_mixes_defined():
+    assert YCSB_WORKLOADS["A"].set_fraction == 0.50
+    assert YCSB_WORKLOADS["B"].set_fraction == 0.05
+    assert YCSB_WORKLOADS["C"].set_fraction == 0.00
+
+
+def test_bad_mix_rejected():
+    with pytest.raises(ValueError):
+        YCSBConfig(name="X", set_fraction=1.5)
+
+
+def test_load_phase_covers_all_keys():
+    workload = make_workload()
+    pairs = list(workload.load_phase())
+    assert len(pairs) == 1000
+    assert len({key for key, _ in pairs}) == 1000
+
+
+def test_values_have_configured_size():
+    workload = make_workload(value_size=256)
+    _, value = next(workload.load_phase())
+    assert len(value) == 256
+
+
+def test_workload_c_is_read_only():
+    workload = make_workload("C")
+    ops = list(workload.operations(2000))
+    assert all(op[0] == "get" for op in ops)
+
+
+def test_workload_a_is_half_sets():
+    workload = make_workload("A")
+    ops = list(workload.operations(4000))
+    sets = sum(1 for op in ops if op[0] == "set")
+    assert 0.42 < sets / len(ops) < 0.58
+
+
+def test_workload_b_is_mostly_gets():
+    workload = make_workload("B")
+    ops = list(workload.operations(4000))
+    sets = sum(1 for op in ops if op[0] == "set")
+    assert 0.01 < sets / len(ops) < 0.10
+
+
+def test_keys_are_zipf_skewed():
+    workload = make_workload("C")
+    ops = list(workload.operations(5000))
+    head_keys = {workload.key(index) for index in range(10)}
+    head_hits = sum(1 for op in ops if op[1] in head_keys)
+    assert head_hits > 1000   # top-10 of 1000 keys dominate at theta=.99
+
+
+def test_deterministic_given_seed():
+    a = list(make_workload("A").operations(100))
+    b = list(make_workload("A").operations(100))
+    assert a == b
+
+
+def test_shared_zipf_table_accepted():
+    table = ZipfTable(1000, 0.99)
+    workload = YCSBWorkload(YCSB_WORKLOADS["C"], RandomStream(2, "t"),
+                            num_keys=1000, value_size=64, zipf_table=table)
+    assert list(workload.operations(10))
+
+
+def test_invalid_args_rejected():
+    with pytest.raises(ValueError):
+        make_workload(num_keys=0)
+    with pytest.raises(ValueError):
+        make_workload(value_size=0)
+    with pytest.raises(ValueError):
+        list(make_workload().operations(0))
