@@ -72,15 +72,7 @@ def clio_measure_ops(cluster: ClioCluster, thread, va: int, size: int,
     return latencies
 
 
-def median(samples) -> float:
-    ordered = sorted(samples)
-    return ordered[len(ordered) // 2]
-
-
-def mean(samples) -> float:
-    return sum(samples) / len(samples)
-
-
-def p99(samples) -> float:
-    ordered = sorted(samples)
-    return ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+# Summary statistics: one shared, interpolated implementation for every
+# figure benchmark (re-exported so `from bench_common import median` keeps
+# working).
+from repro.analysis.stats import mean, median, p99  # noqa: E402,F401

@@ -1,0 +1,96 @@
+"""Shared measurement helpers for the engine performance suite.
+
+These benchmarks measure *simulator* throughput — how many engine events
+(and end-to-end operations) the pure-Python DES core dispatches per
+wall-clock second — not simulated latency.  The point is to keep the
+reproduction fast enough that production-scale configurations stay
+tractable, and to leave a committed trajectory (``BENCH_perf.json`` at
+the repo root) that future PRs can compare against.
+
+Methodology: each benchmark builds a fresh workload, runs it once to
+completion, and reports
+
+* ``events_per_sec`` — events dispatched / wall seconds (the engine's
+  scheduling sequence counter is a faithful count of dispatched events);
+* ``ops_per_sec``   — workload-level operations / wall seconds, where an
+  "op" is whatever the benchmark says it is (a packet echoed, a timeout
+  chain step, ...).
+
+Floors asserted here are deliberately loose (~5-10x below the numbers a
+developer laptop produces) so CI noise never makes them flaky; the JSON
+file carries the real trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+BENCH_FILE = os.path.join(REPO_ROOT, "BENCH_perf.json")
+
+
+def run_timed(env, run: Callable[[], None]) -> dict:
+    """Run ``run()`` and return wall time plus engine event counts.
+
+    ``env`` must be the Environment the workload schedules into; its
+    internal sequence counter before/after gives the number of events
+    dispatched by the run.
+    """
+    events_before = env._seq
+    start = time.perf_counter()
+    run()
+    wall_s = time.perf_counter() - start
+    events = env._seq - events_before
+    return {
+        "wall_s": round(wall_s, 4),
+        "events": events,
+        "events_per_sec": round(events / wall_s) if wall_s > 0 else 0,
+    }
+
+
+def measure_ops(env, run: Callable[[], None], ops: int) -> dict:
+    """Like :func:`run_timed`, adding ops/sec for ``ops`` operations."""
+    metrics = run_timed(env, run)
+    metrics["ops"] = ops
+    if metrics["wall_s"] > 0:
+        metrics["ops_per_sec"] = round(ops / metrics["wall_s"])
+    return metrics
+
+
+def best_of(reps: int, measure: Callable[[], dict]) -> dict:
+    """Run ``measure`` ``reps`` times and keep the fastest run.
+
+    Each call must build a fresh workload.  Best-of-N is the standard way
+    to strip scheduler/frequency noise from a throughput number: the
+    fastest run is the one least disturbed by the rest of the machine.
+    Deterministic fields (anything not in wall-clock units) must agree
+    across runs, and the chosen run carries a ``reps`` count.
+    """
+    runs = [measure() for _ in range(reps)]
+    wall_keys = {"wall_s", "events_per_sec", "ops_per_sec"}
+    for run in runs[1:]:
+        for key in runs[0]:
+            if key not in wall_keys:
+                assert run[key] == runs[0][key], key
+    best = max(runs, key=lambda m: m["events_per_sec"])
+    best["reps"] = reps
+    return best
+
+
+def record(section: str, name: str, metrics: dict) -> None:
+    """Merge one benchmark's metrics into ``BENCH_perf.json``."""
+    data = {}
+    if os.path.exists(BENCH_FILE):
+        with open(BENCH_FILE) as handle:
+            try:
+                data = json.load(handle)
+            except ValueError:
+                data = {}
+    data.setdefault(section, {})[name] = metrics
+    with open(BENCH_FILE, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,94 @@
+"""Raw engine throughput: events/sec through the DES core's hot loop.
+
+Three microbenchmarks exercise the scheduling paths every experiment
+funnels through:
+
+* ``timeout_chain``   — one process yielding timeouts back-to-back (the
+  dominant pattern in every device model);
+* ``process_storm``   — many concurrent processes interleaving timeouts
+  (heap pressure + tie-breaking);
+* ``store_pingpong``  — producer/consumer through a :class:`Store` (the
+  resource-wait path links and queues use);
+* ``callback_storm``  — the lightweight ``schedule_callback`` primitive,
+  when the engine provides it (pure-delay paths without a generator).
+"""
+
+from __future__ import annotations
+
+from perf_common import measure_ops, record
+
+from repro.sim import Environment, Store
+
+OPS = 30_000
+
+
+def test_perf_timeout_chain():
+    env = Environment()
+
+    def chain():
+        for _ in range(OPS):
+            yield env.timeout(10)
+
+    env.process(chain())
+    metrics = measure_ops(env, env.run, OPS)
+    record("engine", "timeout_chain", metrics)
+    print(f"timeout_chain: {metrics}")
+    assert metrics["events_per_sec"] > 20_000
+
+
+def test_perf_process_storm():
+    env = Environment()
+    workers = 50
+    per_worker = OPS // workers
+
+    def worker(step: int):
+        for _ in range(per_worker):
+            yield env.timeout(step)
+
+    for index in range(workers):
+        env.process(worker(1 + index % 7))
+    metrics = measure_ops(env, env.run, OPS)
+    record("engine", "process_storm", metrics)
+    print(f"process_storm: {metrics}")
+    assert metrics["events_per_sec"] > 20_000
+
+
+def test_perf_store_pingpong():
+    env = Environment()
+    store = Store(env, capacity=16)
+    items = OPS // 2
+
+    def producer():
+        for index in range(items):
+            yield store.put(index)
+
+    def consumer():
+        for _ in range(items):
+            yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    metrics = measure_ops(env, env.run, items)
+    record("engine", "store_pingpong", metrics)
+    print(f"store_pingpong: {metrics}")
+    assert metrics["events_per_sec"] > 20_000
+
+
+def test_perf_callback_storm():
+    env = Environment()
+    if not hasattr(env, "schedule_callback"):
+        import pytest
+        pytest.skip("engine has no schedule_callback primitive")
+    fired = [0]
+
+    def bump():
+        fired[0] += 1
+        if fired[0] < OPS:
+            env.schedule_callback(10, bump)
+
+    env.schedule_callback(10, bump)
+    metrics = measure_ops(env, env.run, OPS)
+    record("engine", "callback_storm", metrics)
+    print(f"callback_storm: {metrics}")
+    assert fired[0] == OPS
+    assert metrics["events_per_sec"] > 20_000

@@ -18,6 +18,43 @@ def percentile(samples: Sequence[float], fraction: float) -> float:
     return ordered[rank]
 
 
+def quantile(samples: Sequence[float], fraction: float) -> float:
+    """Linearly-interpolated quantile (numpy's default method).
+
+    The single shared implementation every benchmark summary uses; unlike
+    nearest-rank it is exact for small sample counts (``quantile(x, 0.5)``
+    of an even-length list is the average of the two middle values).
+    """
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0,1], got {fraction}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = fraction * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return ordered[low] + (ordered[high] - ordered[low]) * weight
+
+
+def median(samples: Sequence[float]) -> float:
+    """Interpolated median (see :func:`quantile`)."""
+    return quantile(samples, 0.5)
+
+
+def p99(samples: Sequence[float]) -> float:
+    """Interpolated 99th percentile (see :func:`quantile`)."""
+    return quantile(samples, 0.99)
+
+
+def mean(samples: Sequence[float]) -> float:
+    if not samples:
+        raise ValueError("no samples")
+    return sum(samples) / len(samples)
+
+
 def cdf_points(samples: Sequence[float],
                points: int = 100) -> list[tuple[float, float]]:
     """(value, cumulative fraction) pairs for plotting a CDF."""

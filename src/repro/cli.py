@@ -295,6 +295,9 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("prototype", "asic", "cloudlab"),
                         help="parameter profile (default: prototype)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--cprofile", action="store_true",
+                        help="wrap the run in cProfile and print the top-25 "
+                             "cumulative entries (perf work starts from data)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     latency = sub.add_parser("latency", help="Clio latency distribution")
@@ -332,6 +335,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.cprofile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return args.func(args)
+        finally:
+            profiler.disable()
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
     return args.func(args)
 
 

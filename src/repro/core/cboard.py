@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Optional
 
 from repro.core.addr import AccessType, PageSpec
@@ -40,7 +41,7 @@ from repro.params import ClioParams
 from repro.sim import Environment
 
 
-@dataclass
+@dataclass(slots=True)
 class ResponseBody:
     """Payload of a RESPONSE packet."""
 
@@ -51,7 +52,7 @@ class ResponseBody:
     breakdown: Optional[Breakdown] = None  # instrumentation (not on wire)
 
 
-@dataclass
+@dataclass(slots=True)
 class _WriteProgress:
     """Per-request fragment countdown for multi-packet writes.
 
@@ -105,6 +106,12 @@ class CBoard:
         self.topology = None
         self._write_progress: dict[int, _WriteProgress] = {}
 
+        # Delay constants, precomputed once (the per-packet int(round())
+        # recomputation was measurable on the packet-echo hot path).
+        self._netstack_ns = int(round(cb.netstack_cycles * cb.cycle_ns))
+        self._pipeline_fixed_ns = cb.pipeline_ns()
+        self._mtu = params.network.mtu
+
         # Fence state: all future requests block until in-flight ones drain.
         self._inflight = 0
         self._fence_barrier = None
@@ -127,25 +134,26 @@ class CBoard:
     # -- network receive (the transportless MN stack) ------------------------------
 
     def receive(self, packet: Packet) -> None:
-        self.env.process(self._handle(packet))
-
-    def _handle(self, packet: Packet):
-        header = packet.header
-        # Thin netstack: integrity check; corrupt packets get an immediate NACK.
+        # Thin netstack: integrity check; corrupt packets get an immediate
+        # NACK after the netstack delay — a pure-delay path, so it uses a
+        # scheduled callback instead of a generator process.
         if packet.corrupt:
-            yield self.env.timeout(
-                int(round(self.params.cboard.netstack_cycles
-                          * self.params.cboard.cycle_ns)))
-            self.nacks_sent += 1
-            self._send(header.src, header.request_id, PacketType.NACK,
-                       ResponseBody(status=Status.OK))
+            self.env.schedule_callback(
+                self._netstack_ns, partial(self._send_nack, packet.header))
             return
-
         # MAT dispatch: which path (or drop) handles this packet.
-        path = self.mat.classify(header)
+        path = self.mat.classify(packet.header)
         if path is Path.DROP:
             return
+        self.env.process(self._handle(packet, path))
 
+    def _send_nack(self, header: ClioHeader) -> None:
+        self.nacks_sent += 1
+        self._send(header.src, header.request_id, PacketType.NACK,
+                   ResponseBody(status=Status.OK))
+
+    def _handle(self, packet: Packet, path: Path):
+        header = packet.header
         # Fence barrier: anything arriving after a fence waits for the drain.
         while self._fence_barrier is not None and header.packet_type is not PacketType.FENCE:
             yield self._fence_barrier
@@ -192,8 +200,7 @@ class CBoard:
             return
         self.bytes_served += header.size
         # Read responses larger than MTU go back as independent fragments.
-        mtu = self.params.network.mtu
-        fragments = fragment_payload(header.size, mtu)
+        fragments = fragment_payload(header.size, self._mtu)
         for index, (offset, size) in enumerate(fragments):
             body = ResponseBody(
                 status=Status.OK,
@@ -214,9 +221,7 @@ class CBoard:
         if executed:
             # A retried write whose original already executed must not run
             # again — re-executing could undo a newer write (section 4.5).
-            yield self.env.timeout(
-                int(round(self.params.cboard.netstack_cycles
-                          * self.params.cboard.cycle_ns)))
+            yield self.env.timeout(self._netstack_ns)
         else:
             result = yield from self.fast_path.execute(
                 header.pid, AccessType.WRITE, header.va, header.size,
@@ -252,7 +257,7 @@ class CBoard:
             return
         # Pay the fixed pipeline cost (ingest + stages) then translate.
         ingest = self.fast_path.ingest_delay_ns(packet.wire_bytes)
-        yield self.env.timeout(ingest + self.params.cboard.pipeline_ns())
+        yield self.env.timeout(ingest + self._pipeline_fixed_ns)
         status, pa = yield from self.fast_path.translate_only(
             header.pid, AccessType.ATOMIC, header.va)
         if status is not Status.OK:

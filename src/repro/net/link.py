@@ -5,22 +5,31 @@ overloaded link builds queueing delay — the congestion signal CLib's
 delay-based AIMD reacts to) and delivers each after a propagation delay
 plus bounded jitter.  Loss and corruption are Bernoulli per packet from a
 dedicated seeded stream.
+
+The link is event-driven rather than process-driven: serialization is
+deterministic FIFO, so the transmit-complete time of every packet is known
+at ``send`` time (``max(now, free_at) + transmit_ns``).  One scheduled
+delivery callback per packet replaces the former pump process's three heap
+entries — same timestamps, same per-stream RNG draw order, a third of the
+engine events.
 """
 
 from __future__ import annotations
 
+from collections import deque
+from functools import partial
 from typing import Callable, Optional
 
 from repro.net.packet import Packet
 from repro.params import SEC
-from repro.sim import Environment, Store
+from repro.sim import Environment
 from repro.sim.rng import RandomStream
 
 Deliver = Callable[[Packet], None]
 
 
 class Link:
-    """Unidirectional link with a FIFO transmit queue."""
+    """Unidirectional link with FIFO serialization."""
 
     def __init__(self, env: Environment, name: str, rate_bps: int,
                  propagation_ns: int, deliver: Deliver,
@@ -40,42 +49,44 @@ class Link:
         self.loss_rate = loss_rate
         self.corruption_rate = corruption_rate
         self.jitter_ns = jitter_ns
-        self._queue = Store(env)
+        self._free_at = 0                       # serializer busy until here
+        self._completions: deque[int] = deque()  # transmit-complete times
         self.packets_sent = 0
         self.packets_dropped = 0
         self.packets_corrupted = 0
         self.bytes_sent = 0
-        env.process(self._pump())
 
     def send(self, packet: Packet) -> None:
-        """Enqueue a packet for transmission (non-blocking)."""
-        self._queue.items.append(packet)
-        self._queue._trigger()
+        """Transmit a packet after any queued ones (non-blocking)."""
+        env = self.env
+        now = env.now
+        start = self._free_at
+        if start < now:
+            start = now
+        done = start + self.transmit_ns(packet.wire_bytes)
+        self._free_at = done
+        self._completions.append(done)
+        self.packets_sent += 1
+        self.bytes_sent += packet.wire_bytes
+        if self.rng.chance(self.loss_rate):
+            self.packets_dropped += 1
+            return
+        if self.rng.chance(self.corruption_rate):
+            self.packets_corrupted += 1
+            packet.corrupt = True
+        delay = done - now + self.propagation_ns
+        if self.jitter_ns:
+            delay += self.rng.uniform_int(0, self.jitter_ns)
+        env.schedule_callback(delay, partial(self.deliver, packet))
 
     @property
     def queue_depth(self) -> int:
-        return len(self._queue)
+        """Packets waiting behind the one currently serializing."""
+        completions = self._completions
+        now = self.env.now
+        while completions and completions[0] <= now:
+            completions.popleft()
+        return len(completions) - 1 if completions else 0
 
     def transmit_ns(self, wire_bytes: int) -> int:
         return max(1, (wire_bytes * 8 * SEC) // self.rate_bps)
-
-    def _pump(self):
-        while True:
-            packet = yield self._queue.get()
-            yield self.env.timeout(self.transmit_ns(packet.wire_bytes))
-            self.packets_sent += 1
-            self.bytes_sent += packet.wire_bytes
-            if self.rng.chance(self.loss_rate):
-                self.packets_dropped += 1
-                continue
-            if self.rng.chance(self.corruption_rate):
-                self.packets_corrupted += 1
-                packet.corrupt = True
-            delay = self.propagation_ns
-            if self.jitter_ns:
-                delay += self.rng.uniform_int(0, self.jitter_ns)
-            self.env.process(self._deliver_after(packet, delay))
-
-    def _deliver_after(self, packet: Packet, delay: int):
-        yield self.env.timeout(delay)
-        self.deliver(packet)

@@ -34,7 +34,7 @@ FAST_PATH_TYPES = frozenset(
 _packet_ids = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClioHeader:
     """Per-packet header: everything needed to process the packet alone."""
 
@@ -51,7 +51,7 @@ class ClioHeader:
     retry_of: Optional[int] = None  # request ID of the failed original
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A link-layer packet: header + (simulated) payload."""
 

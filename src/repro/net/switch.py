@@ -8,6 +8,7 @@ is precisely the RTT inflation CLib's congestion window reacts to.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Optional
 
 from repro.net.link import Link
@@ -36,10 +37,10 @@ class Switch:
 
     def ingress(self, packet: Packet) -> None:
         """Receive a packet from any uplink and forward it."""
-        self.env.process(self._forward(packet))
+        self.env.schedule_callback(self.forward_ns,
+                                   partial(self._forward, packet))
 
-    def _forward(self, packet: Packet):
-        yield self.env.timeout(self.forward_ns)
+    def _forward(self, packet: Packet) -> None:
         downlink = self._downlinks.get(packet.header.dst)
         if downlink is None:
             self.unroutable += 1

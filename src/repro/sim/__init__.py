@@ -11,6 +11,7 @@ by insertion order and all randomness flows through seeded
 from repro.sim.core import (
     AllOf,
     AnyOf,
+    Callback,
     Environment,
     Event,
     Interrupt,
@@ -24,6 +25,7 @@ from repro.sim.rng import RandomStream
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Callback",
     "Container",
     "Environment",
     "Event",

@@ -3,11 +3,17 @@
 Time is an integer number of nanoseconds.  The scheduler is a binary heap
 keyed on ``(time, priority, sequence)`` so that simultaneous events fire in
 insertion order, which keeps every run bit-for-bit reproducible.
+
+The engine is the hot path of every experiment, so the event classes are
+slotted, fully-processed :class:`Timeout` instances are recycled through a
+small pool, and pure-delay work can use :meth:`Environment.schedule_callback`
+instead of paying for a generator :class:`Process` per occurrence.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, Optional
 
 
@@ -27,6 +33,9 @@ class Interrupt(Exception):
 URGENT = 0
 NORMAL = 1
 
+#: Upper bound on recycled Timeout instances kept by an Environment.
+_TIMEOUT_POOL_MAX = 256
+
 
 class Event:
     """A one-shot occurrence that processes can wait on.
@@ -36,12 +45,16 @@ class Event:
     that propagates into every waiting process.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_ok",
+                 "_defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self._ok: Optional[bool] = None  # None = untriggered
+        self._defused = False
 
     @property
     def triggered(self) -> bool:
@@ -90,7 +103,14 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` ns after creation."""
+    """An event that fires ``delay`` ns after creation.
+
+    Instances created through :meth:`Environment.timeout` may be recycled
+    once fully processed and unreferenced; hold the returned object (or
+    create ``Timeout`` directly) to opt out.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: int, value: Any = None):
         if delay < 0:
@@ -102,8 +122,33 @@ class Timeout(Event):
         env._schedule(self, NORMAL, delay=delay)
 
 
+class Callback(Event):
+    """A pre-triggered event that invokes ``fn()`` when it fires.
+
+    The cheap alternative to a one-yield :class:`Process` for pure-delay
+    work: one heap entry, no generator, no Initialize event.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, env: "Environment", delay: int,
+                 fn: Callable[[], None], priority: int = NORMAL):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._ok = True
+        self._fn = fn
+        self.callbacks.append(self._invoke)
+        env._schedule(self, priority, delay=delay)
+
+    def _invoke(self, _event: Event) -> None:
+        self._fn()
+
+
 class Initialize(Event):
     """Internal event that starts a process at its creation time."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
@@ -119,6 +164,8 @@ class Process(Event):
     The generator yields :class:`Event` instances; the process resumes when
     the yielded event fires, receiving its value (or exception).
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
@@ -141,7 +188,7 @@ class Process(Event):
         event = Event(self.env)
         event._ok = False
         event._exception = Interrupt(cause)
-        event._defused = True  # type: ignore[attr-defined]
+        event._defused = True
         event.callbacks.append(self._resume)
         self.env._schedule(event, URGENT)
         # Detach from whatever the process was waiting on.
@@ -156,13 +203,14 @@ class Process(Event):
         env = self.env
         env._active_process = self
         self._target = None
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
-                    event._defused = True  # type: ignore[attr-defined]
-                    next_event = self._generator.throw(event._exception)
+                    event._defused = True
+                    next_event = generator.throw(event._exception)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
@@ -195,6 +243,8 @@ class Process(Event):
 class Condition(Event):
     """Waits on several events; fires according to ``evaluate``."""
 
+    __slots__ = ("_events", "_evaluate", "_count")
+
     def __init__(self, env: "Environment", events: Iterable[Event],
                  evaluate: Callable[[list[Event], int], bool]):
         super().__init__(env)
@@ -226,7 +276,7 @@ class Condition(Event):
         if self._ok is not None:
             return
         if not event._ok:
-            event._defused = True  # type: ignore[attr-defined]
+            event._defused = True
             self.fail(event._exception)  # type: ignore[arg-type]
             return
         self._count += 1
@@ -237,12 +287,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires once every constituent event has fired."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, events, lambda events, count: count >= len(events))
 
 
 class AnyOf(Condition):
     """Fires as soon as any constituent event fires."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, events, lambda events, count: count >= 1)
@@ -251,11 +305,15 @@ class AnyOf(Condition):
 class Environment:
     """The simulation driver: clock plus event queue."""
 
+    __slots__ = ("_now", "_queue", "_seq", "_active_process",
+                 "_timeout_pool")
+
     def __init__(self, initial_time: int = 0):
         self._now = int(initial_time)
         self._queue: list[tuple[int, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self._timeout_pool: list[Timeout] = []
 
     @property
     def now(self) -> int:
@@ -272,7 +330,31 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool:
+            delay = int(delay)
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            timeout = pool.pop()
+            timeout.callbacks = []
+            timeout._value = value
+            timeout._exception = None
+            timeout._ok = True
+            timeout._defused = False
+            timeout.delay = delay
+            self._schedule(timeout, NORMAL, delay=delay)
+            return timeout
         return Timeout(self, int(delay), value)
+
+    def schedule_callback(self, delay: int,
+                          fn: Callable[[], None]) -> Callback:
+        """Run ``fn()`` after ``delay`` ns without spawning a process.
+
+        For fire-and-forget work with no suspension point after the delay
+        (packet delivery, NACK generation, ...).  ``fn`` takes no
+        arguments; use ``functools.partial`` to bind some.
+        """
+        return Callback(self, delay, fn)
 
     def process(self, generator: Generator) -> Process:
         return Process(self, generator)
@@ -286,9 +368,9 @@ class Environment:
     # -- scheduling ---------------------------------------------------------
 
     def _schedule(self, event: Event, priority: int, delay: int = 0) -> None:
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if the queue is empty."""
@@ -298,13 +380,22 @@ class Environment:
         """Process one event; raises :class:`SimulationError` when empty."""
         if not self._queue:
             raise SimulationError("no scheduled events")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _seq, event = heappop(self._queue)
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
-        if not event._ok and not hasattr(event, "_defused"):
+        if not event._ok and not event._defused:
             raise event._exception  # type: ignore[misc]
+        # Recycle fully-processed, unreferenced timeouts.  The refcount
+        # guard (event local + getrefcount argument = 2) proves no process,
+        # condition, or user variable still holds the object, so reuse can
+        # never be observed from outside the engine.
+        if (type(event) is Timeout
+                and len(self._timeout_pool) < _TIMEOUT_POOL_MAX
+                and getrefcount(event) == 2):
+            event._value = None
+            self._timeout_pool.append(event)
 
     def run(self, until: Optional[int | Event] = None) -> Any:
         """Run until the queue drains, a deadline passes, or an event fires.
@@ -312,9 +403,11 @@ class Environment:
         ``until`` may be an absolute time (ns) or an :class:`Event`; when an
         event is given, its value is returned.
         """
+        step = self.step
         if until is None:
-            while self._queue:
-                self.step()
+            queue = self._queue
+            while queue:
+                step()
             return None
 
         if isinstance(until, Event):
@@ -323,14 +416,15 @@ class Environment:
                 if not self._queue:
                     raise SimulationError(
                         "event queue drained before the awaited event fired")
-                self.step()
+                step()
             return sentinel.value
 
         deadline = int(until)
         if deadline < self._now:
             raise ValueError(
                 f"until={deadline} is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        queue = self._queue
+        while queue and queue[0][0] <= deadline:
+            step()
         self._now = deadline
         return None

@@ -16,6 +16,8 @@ from repro.sim.core import Environment, Event
 class Request(Event):
     """Pending claim on a :class:`Resource` slot; usable as a context token."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
@@ -33,6 +35,8 @@ class Request(Event):
 
 class Resource:
     """A counted resource with ``capacity`` concurrent slots."""
+
+    __slots__ = ("env", "capacity", "_users", "_queue")
 
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity <= 0:
@@ -69,6 +73,8 @@ class Resource:
 
 
 class StorePut(Event):
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item
@@ -77,6 +83,8 @@ class StorePut(Event):
 
 
 class StoreGet(Event):
+    __slots__ = ()
+
     def __init__(self, store: "Store"):
         super().__init__(store.env)
         store._get_queue.append(self)
@@ -85,6 +93,8 @@ class StoreGet(Event):
 
 class Store:
     """FIFO buffer of items with optional capacity bound."""
+
+    __slots__ = ("env", "capacity", "items", "_put_queue", "_get_queue")
 
     def __init__(self, env: Environment, capacity: Optional[int] = None):
         if capacity is not None and capacity <= 0:
@@ -120,6 +130,8 @@ class Store:
 
 
 class ContainerPut(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         if amount <= 0:
             raise ValueError(f"amount must be positive, got {amount}")
@@ -130,6 +142,8 @@ class ContainerPut(Event):
 
 
 class ContainerGet(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         if amount <= 0:
             raise ValueError(f"amount must be positive, got {amount}")
@@ -141,6 +155,8 @@ class ContainerGet(Event):
 
 class Container:
     """A homogeneous quantity (tokens, bytes) with put/get semantics."""
+
+    __slots__ = ("env", "capacity", "_level", "_put_queue", "_get_queue")
 
     def __init__(self, env: Environment, capacity: float = float("inf"),
                  init: float = 0):

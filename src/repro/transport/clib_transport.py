@@ -32,7 +32,7 @@ class RequestFailedError(Exception):
     """Original request and every retry failed (paper: report the error)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestOutcome:
     """A completed request: response body plus transport telemetry."""
 
@@ -43,7 +43,7 @@ class RequestOutcome:
     request_id: int
 
 
-@dataclass
+@dataclass(slots=True)
 class _Pending:
     """Reassembly and completion state for one in-flight request ID."""
 
@@ -53,6 +53,13 @@ class _Pending:
     fragments: dict[int, Packet] = field(default_factory=dict)
     nacked: bool = False
     corrupted: bool = False
+    timed_out: bool = False
+
+    def expire(self) -> None:
+        """TIMEOUT callback: wake the waiter unless a response already did."""
+        if not self.done.triggered:
+            self.timed_out = True
+            self.done.succeed()
 
 
 class Transport:
@@ -196,7 +203,11 @@ class Transport:
         retries = 0
 
         for attempt in range(clib.max_retries + 1):
-            yield from self._admit(mn, expected_response_bytes)
+            # Uncontended fast path: skip the admission generator entirely.
+            if not (congestion.can_send(self.env.now,
+                                        self._last_send.get(mn, -(10 ** 12)))
+                    and self._incast.can_send(expected_response_bytes)):
+                yield from self._admit(mn, expected_response_bytes)
             request_id = next(_request_ids)
             if original_id is None:
                 original_id = request_id
@@ -216,13 +227,15 @@ class Transport:
                        payload, retry_of)
 
             # Exponential backoff: each retry doubles the TIMEOUT, so a
-            # transient incast queue drains instead of being re-fed.
+            # transient incast queue drains instead of being re-fed.  The
+            # TIMEOUT is a scheduled callback that triggers ``state.done``
+            # itself — no per-attempt Timeout event or AnyOf condition.
             attempt_timeout = min(timeout_ns << attempt, clib.slow_timeout_ns)
-            timeout = self.env.timeout(attempt_timeout)
-            yield self.env.any_of([state.done, timeout])
+            self.env.schedule_callback(attempt_timeout, state.expire)
+            yield state.done
 
             self._incast.on_complete(expected_response_bytes)
-            if state.done.triggered and not state.nacked and not state.corrupted:
+            if not state.timed_out and not state.nacked and not state.corrupted:
                 rtt = self.env.now - state.sent_at
                 congestion.on_ack(rtt)
                 self._wake_senders()
@@ -237,7 +250,7 @@ class Transport:
                                       request_id=request_id)
 
             # NACK, corrupted response, or TIMEOUT: retry with a fresh ID.
-            if state.done.triggered:
+            if not state.timed_out:
                 congestion.on_ack(self.env.now - state.sent_at)
             else:
                 congestion.on_timeout()

@@ -1,0 +1,283 @@
+"""Edge cases of the simulation engine's trickiest paths.
+
+Covers the scenarios the hot-path optimizations (slots, timeout pooling,
+scheduled callbacks) must not disturb: interrupt-while-waiting, deadlines
+equal to the current time, the already-processed-event fast loop in
+``Process._resume``, and bit-for-bit determinism of event ordering.
+"""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+from repro.sim.core import Timeout
+
+
+# -- interrupt while waiting ---------------------------------------------------
+
+
+def test_interrupt_while_waiting_on_timeout():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(1000)
+            log.append("slept")
+        except Interrupt as interrupt:
+            log.append(("interrupted", interrupt.cause, env.now))
+
+    def interrupter(target):
+        yield env.timeout(100)
+        target.interrupt(cause="wake up")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert log == [("interrupted", "wake up", 100)]
+
+
+def test_interrupt_detaches_from_waited_event():
+    """After an interrupt, the old target firing must not resume the process
+    a second time."""
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(1000)
+        except Interrupt:
+            log.append(("interrupted", env.now))
+            yield env.timeout(5000)
+            log.append(("resumed", env.now))
+
+    def interrupter(target):
+        yield env.timeout(100)
+        target.interrupt()
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    # One interrupt, one clean resume at 100 + 5000 (not at the old 1000).
+    assert log == [("interrupted", 100), ("resumed", 5100)]
+
+
+def test_interrupting_dead_process_raises():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    process = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        process.interrupt()
+
+
+def test_process_cannot_interrupt_itself():
+    env = Environment()
+    failures = []
+
+    def selfish(holder):
+        try:
+            holder[0].interrupt()
+        except SimulationError:
+            failures.append(True)
+        yield env.timeout(1)
+
+    holder = []
+    holder.append(env.process(selfish(holder)))
+    env.run()
+    assert failures == [True]
+
+
+# -- run(until=...) boundaries -------------------------------------------------
+
+
+def test_run_until_now_fires_current_timestamp_events():
+    """A deadline equal to ``now`` still drains events scheduled at now."""
+    env = Environment()
+    fired = []
+
+    def immediate():
+        fired.append(env.now)
+        yield env.timeout(10)
+        fired.append(env.now)
+
+    env.process(immediate())
+    env.run(until=env.now)
+    # The Initialize event at t=0 processed; the t=10 timeout did not.
+    assert fired == [0]
+    assert env.now == 0
+    env.run()
+    assert fired == [0, 10]
+
+
+def test_run_until_past_deadline_rejected():
+    env = Environment(initial_time=100)
+    with pytest.raises(ValueError):
+        env.run(until=50)
+
+
+def test_run_until_event_queue_drained_raises():
+    env = Environment()
+    never = env.event()
+    with pytest.raises(SimulationError):
+        env.run(until=never)
+
+
+# -- already-processed-event chaining in Process._resume -----------------------
+
+
+def test_yielding_already_processed_events_chains_without_suspending():
+    """A process yielding pre-processed events continues in one _resume
+    sweep — no extra scheduling round trips, values delivered in order."""
+    env = Environment()
+    first = env.event().succeed("a")
+    second = env.event().succeed("b")
+    env.run()                      # both events are now *processed*
+    assert first.processed and second.processed
+    got = []
+
+    def chained():
+        got.append((yield first))
+        got.append((yield second))  # still same timestamp, same sweep
+        got.append(env.now)
+
+    env.process(chained())
+    env.run()
+    assert got == ["a", "b", 0]
+
+
+def test_already_processed_failed_event_raises_into_process():
+    env = Environment()
+    boom = env.event()
+    boom.fail(RuntimeError("boom"))
+    boom._defused = True           # keep step() from re-raising it
+    env.run()
+    caught = []
+
+    def chained():
+        ok = yield env.timeout(1, "fine")
+        caught.append(ok)
+        try:
+            yield boom
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(chained())
+    env.run()
+    assert caught == ["fine", "boom"]
+
+
+# -- determinism ---------------------------------------------------------------
+
+
+def _noisy_workload(env, order, tag_count=5):
+    def worker(tag):
+        for step in range(20):
+            yield env.timeout((tag * 7 + step) % 11)
+            order.append((env.now, tag, step))
+
+    for tag in range(tag_count):
+        env.process(worker(tag))
+
+
+def test_identical_runs_produce_identical_event_orders():
+    orders = []
+    for _ in range(2):
+        env = Environment()
+        order = []
+        _noisy_workload(env, order)
+        env.run()
+        orders.append(order)
+    assert orders[0] == orders[1]
+    # Simultaneous events fire in insertion order (seeded by tag here).
+    times = [t for t, _, _ in orders[0]]
+    assert times == sorted(times)
+
+
+# -- schedule_callback ---------------------------------------------------------
+
+
+def test_schedule_callback_fires_at_delay():
+    env = Environment()
+    fired = []
+    env.schedule_callback(250, lambda: fired.append(env.now))
+    env.schedule_callback(100, lambda: fired.append(env.now))
+    env.run()
+    assert fired == [100, 250]
+
+
+def test_schedule_callback_rejects_negative_delay():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.schedule_callback(-1, lambda: None)
+
+
+def test_schedule_callback_interleaves_with_timeouts_deterministically():
+    env = Environment()
+    order = []
+
+    def proc():
+        yield env.timeout(50)
+        order.append("process")
+
+    env.process(proc())
+    env.schedule_callback(50, lambda: order.append("callback"))
+    env.run()
+    # Same timestamp: insertion order is the tie-break.  The callback was
+    # enqueued at creation; the process's timeout only when the process
+    # started (its Initialize event), which is later — callback wins.
+    assert order == ["callback", "process"]
+
+
+# -- timeout pooling safety ----------------------------------------------------
+
+
+def test_held_timeout_is_never_recycled():
+    env = Environment()
+    held = env.timeout(5, value="mine")
+    env.run()
+    # The holder's reference keeps it out of the pool: value intact,
+    # and a new timeout is a different object.
+    assert held.value == "mine"
+    fresh = env.timeout(1, value="other")
+    assert fresh is not held
+    assert held.value == "mine"
+    env.run()
+
+
+def test_pooled_timeouts_deliver_fresh_values():
+    env = Environment()
+    seen = []
+
+    def looper():
+        for index in range(100):
+            got = yield env.timeout(3, value=index)
+            seen.append(got)
+
+    env.process(looper())
+    env.run()
+    assert seen == list(range(100))
+    # The pool actually recycled instances (implementation detail, but the
+    # whole point of the optimization — catch silent regressions).
+    assert env._timeout_pool
+
+
+def test_pooled_timeout_rejects_negative_delay():
+    env = Environment()
+
+    def prime():
+        yield env.timeout(1)
+
+    env.process(prime())
+    env.run()                      # leaves a recycled instance in the pool
+    assert env._timeout_pool
+    with pytest.raises(ValueError):
+        env.timeout(-5)
+
+
+def test_direct_timeout_construction_still_validates():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Timeout(env, -1)

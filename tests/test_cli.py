@@ -74,3 +74,11 @@ def test_goodput_command(capsys):
 def test_asic_profile_runs(capsys):
     assert main(["--profile", "asic", "latency", "--ops", "30"]) == 0
     assert "asic" in capsys.readouterr().out
+
+
+def test_cprofile_flag_prints_profile(capsys):
+    assert main(["--cprofile", "latency", "--ops", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "median us" in out                 # the command itself still ran
+    assert "cumulative" in out                # profile table, cumtime-sorted
+    assert "function calls" in out
