@@ -7,7 +7,8 @@ simulation program:
 * ``goodput``  — end-to-end goodput for a thread count / request size;
 * ``compare``  — one-op latency across Clio and every baseline;
 * ``alloc``    — VA/PA allocation costs vs RDMA MR registration;
-* ``ycsb``     — Clio-KV under a YCSB mix.
+* ``ycsb``     — Clio-KV under a YCSB mix;
+* ``chaos``    — a fault-injection scenario with invariant checks.
 
 Every command prints a table via :mod:`repro.analysis.report` and returns
 a process exit code of 0 on success.
@@ -284,6 +285,45 @@ def cmd_ycsb(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.faults.scenarios import SCENARIOS, run_chaos
+
+    if args.scenario not in SCENARIOS:
+        raise SystemExit(f"unknown scenario {args.scenario!r}; "
+                         f"choose from {sorted(SCENARIOS)}")
+    report = run_chaos(args.scenario, seed=args.seed,
+                       ops_per_worker=args.ops)
+    problems = report.check_invariants()
+    failures = sorted({op.status for op in report.ops if op.status != "ok"})
+    rows = [[report.scenario, "yes" if report.finished else "NO",
+             report.completed_ops, report.failed_ops,
+             ",".join(failures) or "-", len(report.faults)]]
+    print(render_table(
+        f"chaos: {args.scenario} (seed {args.seed})",
+        ["scenario", "finished", "ops ok", "ops failed", "failure kinds",
+         "faults applied"], rows))
+    tput = report.phase_throughput()
+    if tput is not None:
+        print(render_table(
+            "crash recovery (ops/s before crash vs after restart)",
+            ["pre ops/s", "post ops/s", "recovery"],
+            [[round(tput["pre_ops_per_sec"]), round(tput["post_ops_per_sec"]),
+              f"{tput['recovery_ratio']:.1%}"]]))
+    if args.check_determinism:
+        repeat = run_chaos(args.scenario, seed=args.seed,
+                           ops_per_worker=args.ops)
+        if repeat.fingerprint() != report.fingerprint():
+            problems.append("same-seed rerun produced a different fingerprint")
+        else:
+            print("determinism: rerun fingerprint bit-identical")
+    if problems:
+        for problem in problems:
+            print(f"INVARIANT VIOLATED: {problem}")
+        return 1
+    print("invariants: all hold")
+    return 0
+
+
 # -- argument parsing ---------------------------------------------------------------------
 
 
@@ -328,6 +368,17 @@ def build_parser() -> argparse.ArgumentParser:
     ycsb.add_argument("--keys", type=int, default=500)
     ycsb.add_argument("--ops", type=int, default=500)
     ycsb.set_defaults(func=cmd_ycsb)
+
+    chaos = sub.add_parser("chaos", help="fault-injection scenario")
+    chaos.add_argument("--scenario", default="board-crash",
+                       help="board-crash, link-flap, slowpath-stall, "
+                            "loss-burst, or random")
+    chaos.add_argument("--ops", type=int, default=1200,
+                       help="operations per worker")
+    chaos.add_argument("--check-determinism", action="store_true",
+                       help="rerun with the same seed and compare "
+                            "fingerprints bit-for-bit")
+    chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

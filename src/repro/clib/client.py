@@ -47,13 +47,18 @@ class ComputeNode:
                                   or params.cboard.default_page_size)
         self.transport = Transport(env, name, topology, params)
 
-    def process(self, mn: str, page_size: Optional[int] = None) -> "ClioProcess":
+    def process(self, mn: str, page_size: Optional[int] = None,
+                pid: Optional[int] = None) -> "ClioProcess":
         """Start an application process with a fresh RAS on MN ``mn``.
 
         ``page_size`` must match the target MN's configured page size —
         CLib tracks dependencies and splits requests at that granularity.
+        ``pid`` pins the global PID explicitly; PIDs feed the page-table
+        hash, so deterministic harnesses (chaos scenarios, golden-run
+        regression tests) pin them instead of drawing from the shared
+        counter, which other tests may have advanced.
         """
-        return ClioProcess(self, mn, next(_pids),
+        return ClioProcess(self, mn, next(_pids) if pid is None else pid,
                            page_size or self.default_page_size)
 
 

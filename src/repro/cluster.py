@@ -45,6 +45,32 @@ class ClioCluster:
                         default_page_size=page_size)
             for index in range(num_cns)
         ]
+        # Heartbeat health tracking is opt-in: its periodic sweep adds
+        # events, so no-fault runs stay bit-identical unless asked for.
+        self.health = None
+
+    def start_health_monitor(self, interval_ns: int = 100_000,
+                             miss_threshold: int = 3):
+        """Opt into heartbeat-based board health tracking.
+
+        Returns the :class:`~repro.faults.health.HealthMonitor`; pass it
+        to a :class:`~repro.distributed.controller.GlobalController` so
+        placement avoids boards believed dead.
+        """
+        if self.health is None:
+            from repro.faults.health import HealthMonitor
+            self.health = HealthMonitor(self.env, self.mns,
+                                        interval_ns=interval_ns,
+                                        miss_threshold=miss_threshold)
+            self.health.start()
+        return self.health
+
+    def board(self, name: str) -> CBoard:
+        """Memory node by name (fault schedules address boards by name)."""
+        for board in self.mns:
+            if board.name == name:
+                return board
+        raise KeyError(f"unknown board {name!r}")
 
     @property
     def mn(self) -> CBoard:
@@ -79,7 +105,9 @@ class ClioCluster:
             "boards": {board.name: board.stats() for board in self.mns},
             "cns": {
                 node.name: {
+                    "requests_issued": node.transport.requests_issued,
                     "requests_completed": node.transport.requests_completed,
+                    "requests_failed": node.transport.requests_failed,
                     "total_retries": node.transport.total_retries,
                     "stale_responses": node.transport.stale_responses,
                     "cwnd": {
@@ -90,4 +118,5 @@ class ClioCluster:
                 }
                 for node in self.cns
             },
+            "health": self.health.stats() if self.health else None,
         }

@@ -106,6 +106,14 @@ class CBoard:
         self.topology = None
         self._write_progress: dict[int, _WriteProgress] = {}
 
+        # Failure model.  The paper's crash-recovery argument: everything
+        # except the page table is volatile and reconstructible, so a crash
+        # wipes the TLB, retry buffer, and in-flight pipeline work while the
+        # page table (board DRAM) survives.  ``_epoch`` tags every in-flight
+        # handler; responses from a pre-crash epoch are discarded.
+        self.alive = True
+        self._epoch = 0
+
         # Delay constants, precomputed once (the per-packet int(round())
         # recomputation was measurable on the packet-echo hot path).
         self._netstack_ns = int(round(cb.netstack_cycles * cb.cycle_ns))
@@ -121,7 +129,47 @@ class CBoard:
         self.requests_served = 0
         self.nacks_sent = 0
         self.bytes_served = 0
+        self.crashes = 0
+        self.restarts = 0
+        self.packets_dropped_dead = 0      # packets arriving while crashed
+        self.responses_discarded = 0       # in-flight work killed by a crash
         self.last_breakdown: Optional[Breakdown] = None
+
+    # -- failure model ------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop the board, discarding every piece of volatile state.
+
+        Survives: the page table and DRAM contents (durable board memory),
+        plus the PA free list (ARM-local DRAM).  Discarded: the TLB, the
+        retry-dedup ring, partial multi-fragment writes, fence/drain
+        bookkeeping, and all in-flight pipeline work — handlers from the
+        old epoch finish silently and their responses are dropped, exactly
+        as if the pipeline lost power mid-request.
+        """
+        if not self.alive:
+            raise ValueError(f"{self.name} is already crashed")
+        self.alive = False
+        self._epoch += 1
+        self.crashes += 1
+        self.tlb.flush()
+        self.retry_buffer.clear()
+        self._write_progress.clear()
+        self._inflight = 0
+        self._fence_barrier = None
+        self._drain_events.clear()
+
+    def restart(self) -> None:
+        """Bring a crashed board back; cold caches re-warm on demand.
+
+        Post-restart requests TLB-miss and walk the preserved page table —
+        the transportless design's recovery story: nothing to replay, no
+        connection state to rebuild, just cache re-warming.
+        """
+        if self.alive:
+            raise ValueError(f"{self.name} is not crashed")
+        self.alive = True
+        self.restarts += 1
 
     # -- wiring -------------------------------------------------------------------
 
@@ -134,69 +182,86 @@ class CBoard:
     # -- network receive (the transportless MN stack) ------------------------------
 
     def receive(self, packet: Packet) -> None:
+        # A crashed board's port is dark: requests die silently here, and
+        # the CN's bounded retransmission surfaces RequestFailed.
+        if not self.alive:
+            self.packets_dropped_dead += 1
+            return
         # Thin netstack: integrity check; corrupt packets get an immediate
         # NACK after the netstack delay — a pure-delay path, so it uses a
         # scheduled callback instead of a generator process.
         if packet.corrupt:
             self.env.schedule_callback(
-                self._netstack_ns, partial(self._send_nack, packet.header))
+                self._netstack_ns,
+                partial(self._send_nack, packet.header, self._epoch))
             return
         # MAT dispatch: which path (or drop) handles this packet.
         path = self.mat.classify(packet.header)
         if path is Path.DROP:
             return
-        self.env.process(self._handle(packet, path))
+        self.env.process(self._handle(packet, path, self._epoch))
 
-    def _send_nack(self, header: ClioHeader) -> None:
+    def _send_nack(self, header: ClioHeader, epoch: Optional[int] = None) -> None:
+        if epoch is not None and epoch != self._epoch:
+            self.responses_discarded += 1
+            return
         self.nacks_sent += 1
         self._send(header.src, header.request_id, PacketType.NACK,
-                   ResponseBody(status=Status.OK))
+                   ResponseBody(status=Status.OK), epoch=epoch)
 
-    def _handle(self, packet: Packet, path: Path):
+    def _handle(self, packet: Packet, path: Path, epoch: int):
         header = packet.header
         # Fence barrier: anything arriving after a fence waits for the drain.
+        # (A crash resets the barrier without firing it, so pre-crash
+        # waiters park here forever — their responses are lost anyway.)
         while self._fence_barrier is not None and header.packet_type is not PacketType.FENCE:
             yield self._fence_barrier
 
         if header.packet_type is PacketType.FENCE:
-            yield from self._handle_fence(packet)
+            yield from self._handle_fence(packet, epoch)
             return
 
         self._inflight += 1
         try:
             if path is Path.FAST:
                 if header.packet_type is PacketType.READ:
-                    yield from self._handle_read(packet)
+                    yield from self._handle_read(packet, epoch)
                 elif header.packet_type is PacketType.WRITE:
-                    yield from self._handle_write(packet)
+                    yield from self._handle_write(packet, epoch)
                 elif header.packet_type is PacketType.ATOMIC:
-                    yield from self._handle_atomic(packet)
+                    yield from self._handle_atomic(packet, epoch)
             elif path is Path.SLOW:
                 if header.packet_type is PacketType.ALLOC:
-                    yield from self._handle_alloc(packet)
+                    yield from self._handle_alloc(packet, epoch)
                 elif header.packet_type is PacketType.FREE:
-                    yield from self._handle_free(packet)
+                    yield from self._handle_free(packet, epoch)
             elif path is Path.EXTEND:
-                yield from self._handle_offload(packet)
+                yield from self._handle_offload(packet, epoch)
         finally:
-            self._inflight -= 1
-            if self._inflight == 0:
-                while self._drain_events:
-                    self._drain_events.popleft().succeed()
+            # A crash zeroed the in-flight count; a pre-crash handler must
+            # not decrement the new epoch's bookkeeping on its way out.
+            if epoch == self._epoch:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    while self._drain_events:
+                        self._drain_events.popleft().succeed()
 
     # -- fast path handlers -----------------------------------------------------------
 
-    def _handle_read(self, packet: Packet):
+    def _handle_read(self, packet: Packet, epoch: int):
         header = packet.header
         result = yield from self.fast_path.execute(
             header.pid, AccessType.READ, header.va, header.size,
             wire_bytes=packet.wire_bytes)
+        if epoch != self._epoch:
+            self.responses_discarded += 1
+            return
         self.last_breakdown = result.breakdown
         self.requests_served += 1
         if result.status is not Status.OK:
             self._send(header.src, header.request_id, PacketType.RESPONSE,
                        ResponseBody(status=result.status,
-                                    breakdown=result.breakdown))
+                                    breakdown=result.breakdown), epoch=epoch)
             return
         self.bytes_served += header.size
         # Read responses larger than MTU go back as independent fragments.
@@ -208,9 +273,10 @@ class CBoard:
                 breakdown=result.breakdown if index == 0 else None)
             self._send(header.src, header.request_id, PacketType.RESPONSE,
                        body, fragment=index, fragments=len(fragments),
-                       payload_bytes=size, total_size=header.size)
+                       payload_bytes=size, total_size=header.size,
+                       epoch=epoch)
 
-    def _handle_write(self, packet: Packet):
+    def _handle_write(self, packet: Packet, epoch: int):
         header = packet.header
         progress = self._write_progress.get(header.request_id)
         if progress is None:
@@ -218,6 +284,7 @@ class CBoard:
             self._write_progress[header.request_id] = progress
 
         executed, _cached = self.retry_buffer.check(header.retry_of)
+        result = None
         if executed:
             # A retried write whose original already executed must not run
             # again — re-executing could undo a newer write (section 4.5).
@@ -226,6 +293,11 @@ class CBoard:
             result = yield from self.fast_path.execute(
                 header.pid, AccessType.WRITE, header.va, header.size,
                 data=packet.payload, wire_bytes=packet.wire_bytes)
+        if epoch != self._epoch:
+            # Crash wiped _write_progress; this fragment's work is lost.
+            self.responses_discarded += 1
+            return
+        if result is not None:
             progress.breakdown.merge(result.breakdown)
             if result.status is not Status.OK:
                 progress.status = result.status
@@ -245,53 +317,67 @@ class CBoard:
                 self.retry_buffer.remember(header.retry_of)
         self._send(header.src, header.request_id, PacketType.RESPONSE,
                    ResponseBody(status=progress.status,
-                                breakdown=progress.breakdown))
+                                breakdown=progress.breakdown), epoch=epoch)
 
-    def _handle_atomic(self, packet: Packet):
+    def _handle_atomic(self, packet: Packet, epoch: int):
         header = packet.header
         op: AtomicOp = packet.payload
         executed, cached = self.retry_buffer.check(header.retry_of)
         if executed:
             self._send(header.src, header.request_id, PacketType.RESPONSE,
-                       ResponseBody(status=Status.OK, atomic=cached))
+                       ResponseBody(status=Status.OK, atomic=cached),
+                       epoch=epoch)
             return
         # Pay the fixed pipeline cost (ingest + stages) then translate.
         ingest = self.fast_path.ingest_delay_ns(packet.wire_bytes)
         yield self.env.timeout(ingest + self._pipeline_fixed_ns)
         status, pa = yield from self.fast_path.translate_only(
             header.pid, AccessType.ATOMIC, header.va)
+        if epoch != self._epoch:
+            self.responses_discarded += 1
+            return
         if status is not Status.OK:
             self._send(header.src, header.request_id, PacketType.RESPONSE,
-                       ResponseBody(status=status))
+                       ResponseBody(status=status), epoch=epoch)
             return
         result = yield from self.atomic_unit.execute(pa, op)
+        if epoch != self._epoch:
+            self.responses_discarded += 1
+            return
         self.requests_served += 1
         self.retry_buffer.remember(header.request_id, result)
         if header.retry_of is not None:
             self.retry_buffer.remember(header.retry_of, result)
         self._send(header.src, header.request_id, PacketType.RESPONSE,
-                   ResponseBody(status=Status.OK, atomic=result))
+                   ResponseBody(status=Status.OK, atomic=result), epoch=epoch)
 
-    def _handle_fence(self, packet: Packet):
+    def _handle_fence(self, packet: Packet, epoch: int):
         header = packet.header
         # Chain behind any fence already draining.
         while self._fence_barrier is not None:
             yield self._fence_barrier
+            if epoch != self._epoch:
+                self.responses_discarded += 1
+                return
         barrier = self.env.event()
         self._fence_barrier = barrier
         while self._inflight > 0:
             drain = self.env.event()
             self._drain_events.append(drain)
             yield drain
+            if epoch != self._epoch:
+                # Crash reset the barrier; ours must not resurface.
+                self.responses_discarded += 1
+                return
         self.requests_served += 1
         self._send(header.src, header.request_id, PacketType.RESPONSE,
-                   ResponseBody(status=Status.OK))
+                   ResponseBody(status=Status.OK), epoch=epoch)
         self._fence_barrier = None
         barrier.succeed()
 
     # -- slow path handlers ---------------------------------------------------------
 
-    def _dedup_response(self, header: ClioHeader) -> bool:
+    def _dedup_response(self, header: ClioHeader, epoch: int) -> bool:
         """Replay a cached response for a retry of an executed non-
         idempotent request (alloc/free/offload); True when replayed.
 
@@ -301,7 +387,7 @@ class CBoard:
         executed, cached = self.retry_buffer.check(header.retry_of)
         if executed and isinstance(cached, ResponseBody):
             self._send(header.src, header.request_id, PacketType.RESPONSE,
-                       cached)
+                       cached, epoch=epoch)
             return True
         return False
 
@@ -311,50 +397,70 @@ class CBoard:
         if header.retry_of is not None:
             self.retry_buffer.remember(header.retry_of, body)
 
-    def _handle_alloc(self, packet: Packet):
+    def _handle_alloc(self, packet: Packet, epoch: int):
         header = packet.header
-        if self._dedup_response(header):
+        if self._dedup_response(header, epoch):
             return
         size, permission, fixed_va = packet.payload
         response = yield from self.slow_path.handle_alloc(
             header.pid, size, permission=permission, fixed_va=fixed_va)
+        if epoch != self._epoch:
+            # Page-table updates survive the crash (durable state), but the
+            # response and the retry-dedup record are lost with the epoch.
+            self.responses_discarded += 1
+            return
         status = Status.OK if response.ok else Status.INVALID_VA
         self.requests_served += 1
         body = ResponseBody(status=status, value=response)
         self._remember_response(header, body)
-        self._send(header.src, header.request_id, PacketType.RESPONSE, body)
+        self._send(header.src, header.request_id, PacketType.RESPONSE, body,
+                   epoch=epoch)
 
-    def _handle_free(self, packet: Packet):
+    def _handle_free(self, packet: Packet, epoch: int):
         header = packet.header
-        if self._dedup_response(header):
+        if self._dedup_response(header, epoch):
             return
         response = yield from self.slow_path.handle_free(header.pid, header.va)
+        if epoch != self._epoch:
+            self.responses_discarded += 1
+            return
         status = Status.OK if response.ok else Status.INVALID_VA
         self.requests_served += 1
         body = ResponseBody(status=status, value=response)
         self._remember_response(header, body)
-        self._send(header.src, header.request_id, PacketType.RESPONSE, body)
+        self._send(header.src, header.request_id, PacketType.RESPONSE, body,
+                   epoch=epoch)
 
     # -- extend path ---------------------------------------------------------------
 
-    def _handle_offload(self, packet: Packet):
+    def _handle_offload(self, packet: Packet, epoch: int):
         header = packet.header
-        if self._dedup_response(header):
+        if self._dedup_response(header, epoch):
             return
         name, args = packet.payload
         result = yield from self.extend_path.invoke(name, args,
                                                     caller_pid=header.pid)
+        if epoch != self._epoch:
+            self.responses_discarded += 1
+            return
         self.requests_served += 1
         status = Status.OK if result.ok else Status.INVALID_VA
         body = ResponseBody(status=status, value=result)
         self._remember_response(header, body)
-        self._send(header.src, header.request_id, PacketType.RESPONSE, body)
+        self._send(header.src, header.request_id, PacketType.RESPONSE, body,
+                   epoch=epoch)
 
     # -- response generation -----------------------------------------------------------
 
     def _send(self, dst: str, request_id: int, packet_type: PacketType,
               body: ResponseBody, fragment: int = 0, fragments: int = 1,
-              payload_bytes: int = 0, total_size: int = 0) -> None:
+              payload_bytes: int = 0, total_size: int = 0,
+              epoch: Optional[int] = None) -> None:
+        if epoch is not None and epoch != self._epoch:
+            # Response authored before a crash: the pipeline that produced
+            # it lost power, so the packet never makes it to the wire.
+            self.responses_discarded += 1
+            return
         if self.topology is None:
             return  # locally-driven board (on-board benchmarks): no network
         header = ClioHeader(
@@ -397,4 +503,9 @@ class CBoard:
             "retry_dedups": self.retry_buffer.dedup_hits,
             "memory_utilization": self.memory_utilization,
             "pt_entries": self.page_table.entry_count,
+            "alive": self.alive,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "packets_dropped_dead": self.packets_dropped_dead,
+            "responses_discarded": self.responses_discarded,
         }

@@ -58,3 +58,7 @@ class RetryBuffer:
             self.dedup_hits += 1
             return True, self._records[original_request_id]
         return False, None
+
+    def clear(self) -> None:
+        """Drop every record (board crash: the ring is on-chip SRAM)."""
+        self._records.clear()

@@ -57,6 +57,33 @@ class SlowPath:
         self.allocs = 0
         self.frees = 0
         self.shadow_syncs = 0
+        # Fault injection: a stalled ARM (GC pause, kernel hiccup) stops
+        # picking work off the RX ring; requests queue here until the stall
+        # lifts.  The fast path is unaffected — only metadata ops stall.
+        self._stall_gate = None
+        self.stalled_requests = 0
+
+    def begin_stall(self) -> None:
+        """Stop servicing new slow-path work until :meth:`end_stall`."""
+        if self._stall_gate is None:
+            self._stall_gate = self.env.event()
+
+    def end_stall(self) -> None:
+        """Resume servicing; queued requests proceed in arrival order."""
+        gate = self._stall_gate
+        if gate is not None:
+            self._stall_gate = None
+            gate.succeed()
+
+    @property
+    def stalled(self) -> bool:
+        return self._stall_gate is not None
+
+    def _stall_check(self):
+        """Park the caller while the ARM is stalled."""
+        while self._stall_gate is not None:
+            self.stalled_requests += 1
+            yield self._stall_gate
 
     def _handoff(self):
         """RX-ring poll pickup plus TX-ring response posting."""
@@ -71,6 +98,7 @@ class SlowPath:
         (paper section 7.1) + handoff out.  The PTE inserts are forwarded
         to the fast path's table as *valid, not present* entries.
         """
+        yield from self._stall_check()
         worker = self._workers.request()
         yield worker
         try:
@@ -102,6 +130,7 @@ class SlowPath:
         can never observe stale bytes (R5), and stale TLB translations are
         shot down for consistency with in-flight operations.
         """
+        yield from self._stall_check()
         worker = self._workers.request()
         yield worker
         try:

@@ -10,11 +10,18 @@ controller.  MN failure handling is left to applications.
 This subpackage implements that sketch over unmodified CBoards.
 """
 
-from repro.distributed.controller import GlobalController, RegionLease
+from repro.distributed.controller import (
+    GlobalController,
+    LeaseLost,
+    PlacementError,
+    RegionLease,
+)
 from repro.distributed.space import DistributedAddressSpace
 
 __all__ = [
     "DistributedAddressSpace",
     "GlobalController",
+    "LeaseLost",
+    "PlacementError",
     "RegionLease",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.core.cboard import CBoard
 from repro.sim import Environment
@@ -41,18 +41,38 @@ class PlacementError(Exception):
     """No MN can host the requested region."""
 
 
+class LeaseLost(Exception):
+    """The board backing a lease is (believed) dead.
+
+    The lease itself is not discarded: the backing page table survives a
+    crash, so once the board restarts — and the health monitor re-trusts
+    it — lookups succeed again with the same VA.
+    """
+
+    def __init__(self, region_id: int, mn: str):
+        super().__init__(
+            f"region {region_id} is on {mn}, which is marked dead")
+        self.region_id = region_id
+        self.mn = mn
+
+
 class GlobalController:
     """Places coarse regions on boards; migrates under memory pressure.
 
     The controller is deliberately *not* on the data path: CNs cache
     leases and talk to boards directly; they come back here only to
     allocate, free, or refresh a lease after a migration.
+
+    With a ``health`` monitor attached, placement and migration skip
+    boards believed dead, and :meth:`lookup`/:meth:`free` on a region
+    backed by one raise :class:`LeaseLost` — the typed signal a CN uses
+    to tell "retry later" apart from "the region never existed".
     """
 
     _region_ids = itertools.count(1)
 
     def __init__(self, env: Environment, boards: list[CBoard],
-                 pressure_threshold: float = 0.85):
+                 pressure_threshold: float = 0.85, health=None):
         if not boards:
             raise ValueError("need at least one board")
         if not 0.0 < pressure_threshold <= 1.0:
@@ -60,20 +80,32 @@ class GlobalController:
                 f"pressure_threshold must be in (0, 1], got {pressure_threshold}")
         self.env = env
         self.pressure_threshold = pressure_threshold
+        self.health = health
         self._boards = {board.name: _BoardState(board) for board in boards}
         self._leases: dict[int, RegionLease] = {}
+        self._migrating: dict[int, Any] = {}   # region_id -> drain event
         self.migrations = 0
+        self.failed_migrations = 0
 
     # -- placement ---------------------------------------------------------------------
+
+    def _alive(self, name: str) -> bool:
+        """Is the board usable?  Health-monitor belief when attached
+        (detection lag included), the board's true state otherwise."""
+        if self.health is not None:
+            return self.health.is_alive(name)
+        return self._boards[name].board.alive
 
     def _utilization(self, name: str) -> float:
         board = self._boards[name].board
         return board.page_table.entry_count / board.page_table.physical_pages
 
     def _pick_board(self, size: int) -> Optional[str]:
-        """Least-utilized board that can still host ``size`` bytes."""
+        """Least-utilized live board that can still host ``size`` bytes."""
         candidates = sorted(self._boards, key=self._utilization)
         for name in candidates:
+            if not self._alive(name):
+                continue
             board = self._boards[name].board
             pages_needed = board.page_spec.page_count(size)
             free_slots = (board.page_table.physical_pages
@@ -100,20 +132,38 @@ class GlobalController:
         return lease
 
     def free(self, region_id: int):
-        """Process-generator: release a region on its current board."""
+        """Process-generator: release a region on its current board.
+
+        A free that races a migration waits for the move to finish first
+        (the lease's board/VA are in flux until then); a free of a region
+        on a dead board raises :class:`LeaseLost` without dropping the
+        lease, so it can be retried after the board recovers.
+        """
         yield self.env.timeout(CONTROLLER_NS)
-        lease = self._leases.pop(region_id, None)
+        while region_id in self._migrating:
+            yield self._migrating[region_id]
+        lease = self._leases.get(region_id)
         if lease is None:
             raise KeyError(f"unknown region {region_id}")
+        if not self._alive(lease.mn):
+            raise LeaseLost(region_id, lease.mn)
+        del self._leases[region_id]
         state = self._boards[lease.mn]
         state.regions.discard(region_id)
         yield from state.board.slow_path.handle_free(lease.pid, lease.va)
 
     def lookup(self, region_id: int) -> RegionLease:
-        """Current lease (CNs call this to refresh after a migration)."""
+        """Current lease (CNs call this to refresh after a migration).
+
+        Raises :class:`LeaseLost` when the backing board is believed
+        dead — the CN should back off and refresh instead of hammering a
+        dark port.
+        """
         lease = self._leases.get(region_id)
         if lease is None:
             raise KeyError(f"unknown region {region_id}")
+        if not self._alive(lease.mn):
+            raise LeaseLost(region_id, lease.mn)
         return lease
 
     # -- migration ------------------------------------------------------------------------
@@ -131,6 +181,8 @@ class GlobalController:
         """
         moved = 0
         for name in self.pressured_boards():
+            if not self._alive(name):
+                continue   # can't read data off a dead board
             state = self._boards[name]
             # Move the largest region first (fastest pressure relief).
             region_ids = sorted(
@@ -143,14 +195,19 @@ class GlobalController:
                 target = self._pick_target(exclude=name, size=lease.size)
                 if target is None:
                     break
-                yield from self._migrate(lease, target)
-                moved += 1
+                ok = yield from self._migrate(lease, target)
+                if ok:
+                    moved += 1
+                # A False return means the target filled between picking
+                # it and allocating on it — re-pick for the next region.
         return moved
 
     def _pick_target(self, exclude: str, size: int) -> Optional[str]:
         candidates = sorted((name for name in self._boards
                              if name != exclude), key=self._utilization)
         for name in candidates:
+            if not self._alive(name):
+                continue
             board = self._boards[name].board
             pages = board.page_spec.page_count(size)
             free_slots = (board.page_table.physical_pages
@@ -161,34 +218,51 @@ class GlobalController:
         return None
 
     def _migrate(self, lease: RegionLease, target: str):
-        yield self.env.timeout(CONTROLLER_NS)
-        source_state = self._boards[lease.mn]
-        target_state = self._boards[target]
-        response = yield from target_state.board.slow_path.handle_alloc(
-            lease.pid, lease.size)
-        if not response.ok:
-            raise PlacementError(
-                f"migration target {target} rejected region {lease.region_id}")
-        # Copy in page-sized chunks (only pages that were ever touched
-        # carry data; untouched pages read as zero on both sides).
-        from repro.core.addr import AccessType
-        from repro.core.pipeline import Status
-        page = source_state.board.page_spec.page_size
-        offset = 0
-        while offset < lease.size:
-            chunk = min(page, lease.size - offset)
-            result = yield from source_state.board.execute_local(
-                lease.pid, AccessType.READ, lease.va + offset, chunk)
-            if result.status is Status.OK and any(result.data):
-                yield from target_state.board.execute_local(
-                    lease.pid, AccessType.WRITE, response.va + offset,
-                    chunk, data=result.data)
-            offset += chunk
-        yield from source_state.board.slow_path.handle_free(
-            lease.pid, lease.va)
-        source_state.regions.discard(lease.region_id)
-        target_state.regions.add(lease.region_id)
-        lease.mn = target
-        lease.va = response.va
-        lease.generation += 1
-        self.migrations += 1
+        """Process-generator: move one region; True on success.
+
+        Returns False — leaving the lease untouched on its source —
+        when the target cannot take the allocation after all (it may
+        have filled between the capacity check and the alloc).  While
+        the copy runs the region is marked in ``_migrating`` so a
+        concurrent :meth:`free` waits instead of freeing a VA that is
+        about to change.
+        """
+        drain = self.env.event()
+        self._migrating[lease.region_id] = drain
+        try:
+            yield self.env.timeout(CONTROLLER_NS)
+            source_state = self._boards[lease.mn]
+            target_state = self._boards[target]
+            response = yield from target_state.board.slow_path.handle_alloc(
+                lease.pid, lease.size)
+            if not response.ok:
+                self.failed_migrations += 1
+                return False
+            # Copy in page-sized chunks (only pages that were ever touched
+            # carry data; untouched pages read as zero on both sides).
+            from repro.core.addr import AccessType
+            from repro.core.pipeline import Status
+            page = source_state.board.page_spec.page_size
+            offset = 0
+            while offset < lease.size:
+                chunk = min(page, lease.size - offset)
+                result = yield from source_state.board.execute_local(
+                    lease.pid, AccessType.READ, lease.va + offset, chunk)
+                if result.status is Status.OK and any(result.data):
+                    yield from target_state.board.execute_local(
+                        lease.pid, AccessType.WRITE, response.va + offset,
+                        chunk, data=result.data)
+                offset += chunk
+            yield from source_state.board.slow_path.handle_free(
+                lease.pid, lease.va)
+            source_state.regions.discard(lease.region_id)
+            target_state.regions.add(lease.region_id)
+            lease.mn = target
+            lease.va = response.va
+            lease.generation += 1
+            self.migrations += 1
+            return True
+        finally:
+            del self._migrating[lease.region_id]
+            if not drain.triggered:
+                drain.succeed()

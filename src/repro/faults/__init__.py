@@ -1,0 +1,23 @@
+"""repro.faults — deterministic fault injection and failure recovery.
+
+Faults are data: a seeded :class:`FaultSchedule` of timed events, armed
+against a live cluster by a :class:`FaultInjector`, with failure
+*detection* modeled separately by the heartbeat :class:`HealthMonitor`.
+Canned end-to-end scenarios (chaos harness) live in
+:mod:`repro.faults.scenarios` — imported lazily because scenarios pull
+in the whole cluster stack.
+"""
+
+from repro.faults.health import HealthMonitor, HealthTransition
+from repro.faults.injector import AppliedFault, FaultInjector
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+
+__all__ = [
+    "AppliedFault",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "HealthMonitor",
+    "HealthTransition",
+]

@@ -1,0 +1,281 @@
+"""Canned chaos scenarios: a workload plus a fault schedule plus checks.
+
+The harness runs a YCSB-style read/write mix on every CN while a
+:class:`~repro.faults.injector.FaultInjector` replays a schedule against
+the cluster, then audits the wreckage:
+
+* **liveness** — every worker finished before the deadline (no hangs);
+* **typed completion** — every operation either succeeded or raised a
+  typed error (``RequestFailed`` / ``RemoteAccessError``), never an
+  untyped one;
+* **counter balance** — per CN, requests issued equals completed plus
+  failed once the run drains;
+* **determinism** — :meth:`ChaosReport.fingerprint` is bit-identical
+  across same-seed runs.
+
+Workers pin their PIDs explicitly: PIDs feed the page-table hash, so
+drawing them from the shared global counter would make fingerprints
+depend on how many processes earlier tests created.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.clib.client import RemoteAccessError
+from repro.cluster import ClioCluster
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
+from repro.params import MB, MS, US, ClioParams
+from repro.sim.rng import RandomStream
+from repro.transport.clib_transport import RequestFailed
+
+#: PID base for chaos workers; far from anything the global counter issues.
+_CHAOS_PID_BASE = 9001
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One workload operation as observed by the worker."""
+
+    worker: int
+    index: int
+    op: str           # "read" | "write"
+    started_ns: int
+    finished_ns: int
+    status: str       # "ok" | "request_failed" | "remote_error"
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos run produced, in deterministic form."""
+
+    scenario: str
+    seed: int
+    finished: bool                      # all workers completed by deadline
+    now_ns: int
+    ops: list[OpRecord]
+    faults: tuple                       # injector.applied_fingerprint()
+    cn_counters: dict[str, dict]
+    board_counters: dict[str, dict]
+    crash_window: Optional[tuple[int, int]] = None  # (crash_ns, restart_ns)
+    notes: list[str] = field(default_factory=list)
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def completed_ops(self) -> int:
+        return sum(1 for op in self.ops if op.status == "ok")
+
+    @property
+    def failed_ops(self) -> int:
+        return sum(1 for op in self.ops if op.status != "ok")
+
+    def fingerprint(self) -> tuple:
+        """Hashable digest that must be bit-identical for the same seed."""
+        return (
+            self.scenario, self.seed, self.finished, self.now_ns,
+            tuple((o.worker, o.index, o.op, o.started_ns, o.finished_ns,
+                   o.status) for o in self.ops),
+            self.faults,
+            tuple(sorted((name, tuple(sorted(c.items())))
+                         for name, c in self.cn_counters.items())),
+        )
+
+    def check_invariants(self) -> list[str]:
+        """Audit the run; returns a list of violations (empty == healthy)."""
+        problems = []
+        if not self.finished:
+            problems.append("workload hung: not all workers finished")
+        for op in self.ops:
+            if op.status not in ("ok", "request_failed", "remote_error"):
+                problems.append(
+                    f"op {op.worker}/{op.index} ended untyped: {op.status}")
+            if op.finished_ns < op.started_ns:
+                problems.append(
+                    f"op {op.worker}/{op.index} finished before it started")
+        for name, counters in self.cn_counters.items():
+            issued = counters["requests_issued"]
+            settled = (counters["requests_completed"]
+                       + counters["requests_failed"])
+            if issued != settled:
+                problems.append(
+                    f"{name}: {issued} issued != {settled} settled "
+                    "(a request neither completed nor failed)")
+        return problems
+
+    def phase_throughput(self, settle_ns: int = 100 * US) -> Optional[dict]:
+        """Ops/s before the crash vs. after the restart (+ settle margin).
+
+        Only meaningful for scenarios with a single crash window; returns
+        None otherwise or when either phase saw no completed ops.
+        """
+        if self.crash_window is None:
+            return None
+        crash_ns, restart_ns = self.crash_window
+        pre = [o for o in self.ops
+               if o.status == "ok" and o.finished_ns < crash_ns]
+        post_start = restart_ns + settle_ns
+        post = [o for o in self.ops
+                if o.status == "ok" and o.started_ns >= post_start]
+        if not pre or not post:
+            return None
+        pre_span = max(o.finished_ns for o in pre) - min(o.started_ns
+                                                         for o in pre)
+        post_span = max(o.finished_ns for o in post) - min(o.started_ns
+                                                           for o in post)
+        if pre_span <= 0 or post_span <= 0:
+            return None
+        pre_tput = len(pre) * 1_000_000_000 / pre_span
+        post_tput = len(post) * 1_000_000_000 / post_span
+        return {
+            "pre_ops": len(pre), "post_ops": len(post),
+            "pre_ops_per_sec": pre_tput, "post_ops_per_sec": post_tput,
+            "recovery_ratio": post_tput / pre_tput,
+        }
+
+
+def _chaos_params() -> ClioParams:
+    """Prototype params with failure timeouts shrunk to chaos scale.
+
+    The default 100 ms backoff ceiling is right for production but makes
+    a 5 ms chaos window spend its whole budget in one retry sleep; the
+    cap stays (satellite: bounded retransmission), just smaller.
+    """
+    from dataclasses import replace
+    params = ClioParams.prototype()
+    return replace(params, clib=replace(params.clib, timeout_ns=20 * US,
+                                        slow_timeout_ns=1 * MS,
+                                        max_retries=3))
+
+
+# -- scenario definitions ------------------------------------------------------
+
+def _schedule_board_crash(seed: int) -> tuple[FaultSchedule, tuple[int, int]]:
+    crash, restart = 1 * MS, int(2.5 * MS)
+    schedule = FaultSchedule().crash_board(crash, "mn0",
+                                           restart_after_ns=restart - crash)
+    return schedule, (crash, restart)
+
+
+def _schedule_link_flap(seed: int):
+    schedule = (FaultSchedule()
+                .link_down(1 * MS, "cn1", duration_ns=1 * MS)
+                .link_down(3 * MS, "cn1", duration_ns=500 * US))
+    return schedule, None
+
+
+def _schedule_slowpath_stall(seed: int):
+    schedule = FaultSchedule().stall_slowpath(500 * US, "mn0", 300 * US)
+    return schedule, None
+
+
+def _schedule_loss_burst(seed: int):
+    schedule = (FaultSchedule()
+                .loss_burst(1 * MS, "cn0", 1 * MS, rate=0.3)
+                .corruption_burst(2 * MS, "cn1", 500 * US, rate=0.2))
+    return schedule, None
+
+
+def _schedule_random(seed: int):
+    schedule = FaultSchedule.random(seed, duration_ns=4 * MS,
+                                    boards=["mn0"], nodes=["cn0", "cn1"])
+    return schedule, None
+
+
+SCENARIOS: dict[str, Callable] = {
+    "board-crash": _schedule_board_crash,
+    "link-flap": _schedule_link_flap,
+    "slowpath-stall": _schedule_slowpath_stall,
+    "loss-burst": _schedule_loss_burst,
+    "random": _schedule_random,
+}
+
+
+# -- the harness ---------------------------------------------------------------
+
+def run_chaos(scenario: str = "board-crash", seed: int = 1234,
+              ops_per_worker: int = 1200, num_cns: int = 2,
+              region_bytes: int = 4 * MB, io_bytes: int = 64,
+              read_fraction: float = 0.5,
+              deadline_ns: int = 200 * MS,
+              params: Optional[ClioParams] = None,
+              schedule: Optional[FaultSchedule] = None) -> ChaosReport:
+    """Run one chaos scenario end to end and return its report.
+
+    ``schedule`` overrides the canned one (scenario then only names the
+    report).  The workload is a YCSB-A-style mix: each worker does
+    ``ops_per_worker`` reads/writes of ``io_bytes`` at seeded offsets in
+    its own region, tolerating typed failures and recording every op.
+    """
+    if scenario not in SCENARIOS and schedule is None:
+        raise ValueError(f"unknown scenario {scenario!r}; "
+                         f"pick one of {sorted(SCENARIOS)}")
+    crash_window = None
+    if schedule is None:
+        schedule, crash_window = SCENARIOS[scenario](seed)
+
+    cluster = ClioCluster(params=params or _chaos_params(), seed=seed,
+                          num_cns=num_cns, mn_capacity=256 * MB)
+    injector = FaultInjector(cluster, schedule)
+    env = cluster.env
+    records: list[OpRecord] = []
+    done_events = [env.event() for _ in range(num_cns)]
+    rng = RandomStream(seed, "faults/chaos")
+
+    def worker(index: int):
+        thread = (cluster.cn(index)
+                  .process("mn0", pid=_CHAOS_PID_BASE + index).thread())
+        wrng = rng.fork(f"worker{index}")
+        try:
+            va = yield from thread.ralloc(region_bytes)
+            payload = bytes((index + 1,)) * io_bytes
+            span = region_bytes - io_bytes
+            for op_index in range(ops_per_worker):
+                offset = (wrng.uniform_int(0, span // io_bytes)) * io_bytes
+                is_read = wrng.uniform() < read_fraction
+                op = "read" if is_read else "write"
+                started = env.now
+                status = "ok"
+                try:
+                    if is_read:
+                        yield from thread.rread(va + offset, io_bytes)
+                    else:
+                        yield from thread.rwrite(va + offset, payload)
+                except RequestFailed:
+                    status = "request_failed"
+                except RemoteAccessError:
+                    status = "remote_error"
+                records.append(OpRecord(index, op_index, op, started,
+                                        env.now, status))
+        finally:
+            done_events[index].succeed()
+
+    for index in range(num_cns):
+        env.process(worker(index))
+    injector.arm()
+
+    # run(until=deadline), NOT until=event: a hung worker must surface as
+    # `finished=False`, not as a wall-clock hang (background MN processes
+    # keep the queue alive forever).
+    all_done = env.all_of(done_events)
+    cluster.run(until=deadline_ns)
+    finished = all_done.triggered
+
+    report = ChaosReport(
+        scenario=scenario, seed=seed, finished=finished, now_ns=env.now,
+        ops=sorted(records, key=lambda o: (o.worker, o.index)),
+        faults=injector.applied_fingerprint(),
+        cn_counters={
+            node.name: {
+                "requests_issued": node.transport.requests_issued,
+                "requests_completed": node.transport.requests_completed,
+                "requests_failed": node.transport.requests_failed,
+                "total_retries": node.transport.total_retries,
+            } for node in cluster.cns
+        },
+        board_counters={board.name: board.stats() for board in cluster.mns},
+        crash_window=crash_window,
+    )
+    return report

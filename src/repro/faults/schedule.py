@@ -1,0 +1,224 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultSchedule` is a validated, ordered list of timed
+:class:`FaultEvent`\\ s — *what* goes wrong and *when*, decoupled from the
+cluster it is applied to.  Schedules are built either explicitly through
+the fluent helpers (``crash_board``, ``link_down`` ...) or drawn from a
+seeded stream (:meth:`FaultSchedule.random`), so the same seed always
+yields the same fault timeline — the foundation of the bit-identical
+chaos-run guarantee.
+
+Times are *relative*: event offsets are interpreted against the instant
+the :class:`~repro.faults.injector.FaultInjector` is armed, so one
+schedule can be replayed against workloads that start at different
+simulated times.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.sim.rng import RandomStream
+
+
+class FaultKind(enum.Enum):
+    """Every fault primitive the injector knows how to apply."""
+
+    LINK_DOWN = "link_down"            # node's up+down links go dark
+    LINK_UP = "link_up"                # ... and come back
+    BOARD_CRASH = "board_crash"        # CBoard fail-stop (volatile state lost)
+    BOARD_RESTART = "board_restart"    # crashed CBoard powers back on
+    STALL_BEGIN = "stall_begin"        # MN ARM slow path stops polling
+    STALL_END = "stall_end"            # ... and resumes
+    LOSS_BURST = "loss_burst"          # transient packet loss on a node's links
+    CORRUPTION_BURST = "corruption_burst"  # transient corruption on a node's links
+
+
+#: Kinds that need a duration (the injector schedules the matching end).
+_BURST_KINDS = frozenset({FaultKind.LOSS_BURST, FaultKind.CORRUPTION_BURST})
+#: Kinds that need a rate in [0, 1].
+_RATE_KINDS = _BURST_KINDS
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault: apply ``kind`` to ``target`` at ``at_ns``.
+
+    ``at_ns`` is relative to injector arm time.  ``duration_ns`` is only
+    meaningful for burst kinds (loss/corruption), where the injector
+    restores the original link rates at ``at_ns + duration_ns``.
+    ``rate`` is the burst Bernoulli probability.
+    """
+
+    at_ns: int
+    kind: FaultKind
+    target: str
+    duration_ns: int = 0
+    rate: float = 0.0
+
+    def __post_init__(self):
+        if self.at_ns < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at_ns}")
+        if not self.target:
+            raise ValueError("fault needs a target node/board name")
+        if self.kind in _BURST_KINDS and self.duration_ns <= 0:
+            raise ValueError(
+                f"{self.kind.value} needs a positive duration_ns")
+        if self.kind in _RATE_KINDS and not 0.0 < self.rate <= 1.0:
+            raise ValueError(
+                f"{self.kind.value} rate must be in (0, 1], got {self.rate}")
+
+    @property
+    def sort_key(self) -> tuple:
+        # Stable total order: time, then kind name, then target — two
+        # events at the same instant always apply in the same order.
+        return (self.at_ns, self.kind.value, self.target)
+
+
+class FaultSchedule:
+    """An ordered, validated collection of :class:`FaultEvent`\\ s."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self._events: list[FaultEvent] = list(events)
+
+    # -- fluent builders (each returns self for chaining) -----------------------
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        self._events.append(event)
+        return self
+
+    def link_down(self, at_ns: int, node: str,
+                  duration_ns: Optional[int] = None) -> "FaultSchedule":
+        """Sever a node's links; reconnect after ``duration_ns`` if given."""
+        self.add(FaultEvent(at_ns, FaultKind.LINK_DOWN, node))
+        if duration_ns is not None:
+            if duration_ns <= 0:
+                raise ValueError(f"duration must be positive, got {duration_ns}")
+            self.add(FaultEvent(at_ns + duration_ns, FaultKind.LINK_UP, node))
+        return self
+
+    def link_up(self, at_ns: int, node: str) -> "FaultSchedule":
+        return self.add(FaultEvent(at_ns, FaultKind.LINK_UP, node))
+
+    def crash_board(self, at_ns: int, board: str,
+                    restart_after_ns: Optional[int] = None) -> "FaultSchedule":
+        """Fail-stop a CBoard; power it back on after ``restart_after_ns``."""
+        self.add(FaultEvent(at_ns, FaultKind.BOARD_CRASH, board))
+        if restart_after_ns is not None:
+            if restart_after_ns <= 0:
+                raise ValueError(
+                    f"restart delay must be positive, got {restart_after_ns}")
+            self.add(FaultEvent(at_ns + restart_after_ns,
+                                FaultKind.BOARD_RESTART, board))
+        return self
+
+    def restart_board(self, at_ns: int, board: str) -> "FaultSchedule":
+        return self.add(FaultEvent(at_ns, FaultKind.BOARD_RESTART, board))
+
+    def stall_slowpath(self, at_ns: int, board: str,
+                       duration_ns: int) -> "FaultSchedule":
+        """Freeze a board's ARM slow path for ``duration_ns``."""
+        if duration_ns <= 0:
+            raise ValueError(f"duration must be positive, got {duration_ns}")
+        self.add(FaultEvent(at_ns, FaultKind.STALL_BEGIN, board))
+        self.add(FaultEvent(at_ns + duration_ns, FaultKind.STALL_END, board))
+        return self
+
+    def loss_burst(self, at_ns: int, node: str, duration_ns: int,
+                   rate: float) -> "FaultSchedule":
+        """Transiently drop packets on a node's links at ``rate``."""
+        return self.add(FaultEvent(at_ns, FaultKind.LOSS_BURST, node,
+                                   duration_ns=duration_ns, rate=rate))
+
+    def corruption_burst(self, at_ns: int, node: str, duration_ns: int,
+                         rate: float) -> "FaultSchedule":
+        """Transiently corrupt packets on a node's links at ``rate``."""
+        return self.add(FaultEvent(at_ns, FaultKind.CORRUPTION_BURST, node,
+                                   duration_ns=duration_ns, rate=rate))
+
+    # -- access -----------------------------------------------------------------
+
+    def events(self) -> tuple[FaultEvent, ...]:
+        """Events in deterministic application order."""
+        return tuple(sorted(self._events, key=lambda e: e.sort_key))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self.events())
+
+    def validate(self) -> None:
+        """Check pairwise consistency (down/up, crash/restart nesting).
+
+        Individual events are validated at construction; this checks the
+        cross-event invariants: no double-crash without a restart, no
+        restart of a board that is not down, same for links and stalls.
+        """
+        paired = {
+            FaultKind.LINK_DOWN: FaultKind.LINK_UP,
+            FaultKind.BOARD_CRASH: FaultKind.BOARD_RESTART,
+            FaultKind.STALL_BEGIN: FaultKind.STALL_END,
+        }
+        closers = {v: k for k, v in paired.items()}
+        open_state: dict[tuple[FaultKind, str], int] = {}
+        for event in self.events():
+            if event.kind in paired:
+                key = (event.kind, event.target)
+                if open_state.get(key):
+                    raise ValueError(
+                        f"{event.kind.value} on {event.target} at "
+                        f"{event.at_ns} ns while already applied")
+                open_state[key] = 1
+            elif event.kind in closers:
+                key = (closers[event.kind], event.target)
+                if not open_state.get(key):
+                    raise ValueError(
+                        f"{event.kind.value} on {event.target} at "
+                        f"{event.at_ns} ns without a matching open fault")
+                open_state[key] = 0
+
+    # -- seeded random generation ------------------------------------------------
+
+    @classmethod
+    def random(cls, seed: int, duration_ns: int, boards: Sequence[str],
+               nodes: Sequence[str] = (), fault_count: int = 4,
+               min_gap_ns: int = 10_000) -> "FaultSchedule":
+        """Draw a valid random schedule from a dedicated seeded stream.
+
+        Crashes and link-downs are always paired with their recovery
+        within the window, so a random schedule never leaves the cluster
+        permanently degraded — the workload must be able to finish.
+        """
+        if fault_count < 1:
+            raise ValueError(f"fault_count must be >= 1, got {fault_count}")
+        if not boards:
+            raise ValueError("need at least one board name")
+        # Each fault gets its own slot of the window so a random schedule
+        # never opens a fault (stall, crash, link-down) that is already
+        # open on the same target — overlap-free by construction.
+        slot = duration_ns // fault_count
+        if slot <= 4 * min_gap_ns:
+            raise ValueError("window too short for a random schedule")
+        rng = RandomStream(seed, "faults/schedule")
+        schedule = cls()
+        targets = list(nodes)
+        for index in range(fault_count):
+            base = index * slot
+            start = base + rng.uniform_int(0, slot // 4)
+            hold = rng.uniform_int(min_gap_ns, slot // 2)
+            roll = rng.uniform_int(0, 3 if targets else 1)
+            if roll == 0:
+                schedule.crash_board(start, rng.choice(list(boards)),
+                                     restart_after_ns=hold)
+            elif roll == 1:
+                schedule.stall_slowpath(start, rng.choice(list(boards)), hold)
+            elif roll == 2:
+                schedule.link_down(start, rng.choice(targets),
+                                   duration_ns=hold)
+            else:
+                schedule.loss_burst(start, rng.choice(targets), hold,
+                                    rate=0.05 + 0.15 * rng.uniform())
+        return schedule

@@ -40,6 +40,13 @@ class Link:
             raise ValueError(f"rate must be positive, got {rate_bps}")
         if propagation_ns < 0:
             raise ValueError(f"propagation must be non-negative, got {propagation_ns}")
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+        if not 0.0 <= corruption_rate <= 1.0:
+            raise ValueError(
+                f"corruption_rate must be in [0, 1], got {corruption_rate}")
+        if jitter_ns < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter_ns}")
         self.env = env
         self.name = name
         self.rate_bps = rate_bps
@@ -49,15 +56,31 @@ class Link:
         self.loss_rate = loss_rate
         self.corruption_rate = corruption_rate
         self.jitter_ns = jitter_ns
+        self.up = True                          # fault injection: link state
         self._free_at = 0                       # serializer busy until here
         self._completions: deque[int] = deque()  # transmit-complete times
         self.packets_sent = 0
         self.packets_dropped = 0
+        self.packets_dropped_down = 0
         self.packets_corrupted = 0
         self.bytes_sent = 0
 
+    def set_down(self) -> None:
+        """Take the link down: every send is dropped, no delivery scheduled."""
+        self.up = False
+
+    def set_up(self) -> None:
+        """Bring the link back up; queued serializer state was lost with it."""
+        self.up = True
+
     def send(self, packet: Packet) -> None:
         """Transmit a packet after any queued ones (non-blocking)."""
+        if not self.up:
+            # A downed link is silent: the packet vanishes without touching
+            # the serializer, the RNG streams, or any delivery callback, so
+            # the no-fault event/draw sequence is untouched by this branch.
+            self.packets_dropped_down += 1
+            return
         env = self.env
         now = env.now
         start = self._free_at

@@ -103,3 +103,18 @@ class Topology:
 
     def uplink(self, name: str) -> Link:
         return self._uplinks[name]
+
+    def downlink(self, name: str) -> Link:
+        return self.switch._downlinks[name]
+
+    def links_for(self, name: str) -> tuple[Link, Link]:
+        """(uplink, downlink) pair of a node, for fault injection."""
+        return self.uplink(name), self.downlink(name)
+
+    def set_node_up(self, name: str, up: bool) -> None:
+        """Cut or restore both directions of a node's cable."""
+        for link in self.links_for(name):
+            if up:
+                link.set_up()
+            else:
+                link.set_down()

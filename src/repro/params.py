@@ -157,6 +157,10 @@ class CLibParams:
     # data access (VA allocation can retry for milliseconds near-full), so
     # they use a separate, generous timeout.
     slow_timeout_ns: int = 100 * MS
+    # Hard cap on retransmission: original + max_retries attempts, then the
+    # transport raises a typed RequestFailed.  This is what turns a dead
+    # board or severed link into a bounded, loud failure instead of an
+    # unbounded retry loop once the backoff saturates at slow_timeout_ns.
     max_retries: int = 4                   # retries before reporting an error
 
     # Congestion control. The algorithm is CN-side software and therefore
@@ -175,6 +179,18 @@ class CLibParams:
 
     # Incast control
     iwnd_bytes: int = 256 * KB             # max outstanding expected response bytes
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be non-negative, got {self.max_retries}")
+        if self.timeout_ns <= 0:
+            raise ValueError(
+                f"timeout_ns must be positive, got {self.timeout_ns}")
+        if self.slow_timeout_ns < self.timeout_ns:
+            raise ValueError(
+                f"slow_timeout_ns ({self.slow_timeout_ns}) must be >= "
+                f"timeout_ns ({self.timeout_ns}): it is the backoff ceiling")
 
 
 # ---------------------------------------------------------------------------

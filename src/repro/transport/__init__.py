@@ -17,6 +17,7 @@ from repro.transport.congestion import (
 )
 from repro.transport.ordering import DependencyTracker, OrderingScope
 from repro.transport.clib_transport import (
+    RequestFailed,
     RequestFailedError,
     RequestOutcome,
     Transport,
@@ -28,6 +29,7 @@ __all__ = [
     "DependencyTracker",
     "IncastController",
     "OrderingScope",
+    "RequestFailed",
     "RequestFailedError",
     "RequestOutcome",
     "StaticWindowController",

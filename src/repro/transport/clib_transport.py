@@ -28,8 +28,29 @@ from repro.transport.congestion import (
 _request_ids = itertools.count(1)
 
 
-class RequestFailedError(Exception):
-    """Original request and every retry failed (paper: report the error)."""
+class RequestFailed(Exception):
+    """Original request and every retry failed (paper: report the error).
+
+    Attempts are hard-capped at ``CLibParams.max_retries`` + 1: once the
+    per-attempt backoff saturates at ``slow_timeout_ns`` the transport
+    stops retrying and surfaces this typed error instead of spinning —
+    a dead board or severed link fails loudly in bounded time.
+    """
+
+    def __init__(self, mn: str, packet_type, va: int, attempts: int,
+                 reason: str):
+        super().__init__(
+            f"request to {mn} failed after {attempts} attempts "
+            f"(type={packet_type.value}, va={va:#x}, last error: {reason})")
+        self.mn = mn
+        self.packet_type = packet_type
+        self.va = va
+        self.attempts = attempts
+        self.reason = reason
+
+
+#: Backwards-compatible alias (pre-fault-subsystem name).
+RequestFailedError = RequestFailed
 
 
 @dataclass(slots=True)
@@ -79,7 +100,9 @@ class Transport:
         self._last_send: dict[str, int] = {}
         self.stale_responses = 0
         self.total_retries = 0
+        self.requests_issued = 0
         self.requests_completed = 0
+        self.requests_failed = 0
         topology.add_node(node_name, self.receive,
                           port_rate_bps=params.network.cn_nic_rate_bps)
 
@@ -180,10 +203,11 @@ class Transport:
         """Process-generator: issue one request, retrying per section 4.5.
 
         Returns a :class:`RequestOutcome`; raises
-        :class:`RequestFailedError` after the original + ``max_retries``
+        :class:`RequestFailed` after the original + ``max_retries``
         attempts all fail.
         """
         clib = self.params.clib
+        self.requests_issued += 1
         if expected_response_bytes is None:
             expected_response_bytes = self.params.network.header_bytes + (
                 size if packet_type is PacketType.READ else 0)
@@ -250,6 +274,12 @@ class Transport:
                                       request_id=request_id)
 
             # NACK, corrupted response, or TIMEOUT: retry with a fresh ID.
+            if state.nacked:
+                last_reason = "nack"
+            elif state.corrupted:
+                last_reason = "corrupted response"
+            else:
+                last_reason = "timeout"
             if not state.timed_out:
                 congestion.on_ack(self.env.now - state.sent_at)
             else:
@@ -260,9 +290,9 @@ class Transport:
                 retries += 1   # another attempt will actually be sent
 
         self.total_retries += retries
-        raise RequestFailedError(
-            f"request to {mn} failed after {retries + 1} attempts "
-            f"(type={packet_type.value}, va={va:#x})")
+        self.requests_failed += 1
+        raise RequestFailed(mn, packet_type, va, attempts=retries + 1,
+                            reason=last_reason)
 
     @staticmethod
     def _assemble(state: _Pending) -> tuple[Any, Optional[bytes]]:

@@ -245,5 +245,87 @@ def test_stats_shape():
     env, params, topology, board, collector = make_wired_board()
     stats = board.stats()
     for key in ("requests_served", "tlb_hit_rate", "page_faults",
-                "memory_utilization", "pt_entries"):
+                "memory_utilization", "pt_entries", "alive", "crashes",
+                "restarts", "packets_dropped_dead", "responses_discarded"):
         assert key in stats
+
+
+# -- crash / restart ---------------------------------------------------------------
+
+
+def test_crashed_board_drops_packets_silently():
+    env, params, topology, board, collector = make_wired_board()
+    va = alloc_va(env, topology, params, board, collector)
+    send(env, topology, params, 200, PacketType.WRITE, va=va, size=4,
+         payload=b"live")
+    env.run(until=env.now + 10 ** 7)
+    before = len(collector.packets)
+    board.crash()
+    send(env, topology, params, 201, PacketType.READ, va=va, size=4)
+    env.run(until=env.now + 10 ** 8)
+    assert len(collector.packets) == before   # no response, no NACK
+    assert board.packets_dropped_dead == 1
+    assert not board.alive and board.crashes == 1
+
+
+def test_restart_preserves_page_table_and_data():
+    """The crash-recovery argument: the page table (and DRAM) are the only
+    durable MN state, so after a restart the same VA reads back the same
+    bytes — nothing to replay, caches re-warm on demand."""
+    env, params, topology, board, collector = make_wired_board()
+    va = alloc_va(env, topology, params, board, collector)
+    send(env, topology, params, 210, PacketType.WRITE, va=va, size=4,
+         payload=b"keep")
+    env.run(until=env.now + 10 ** 7)
+    entries_before = board.page_table.entry_count
+    board.crash()
+    assert len(board.tlb) == 0                 # volatile: wiped
+    assert len(board.retry_buffer) == 0        # volatile: wiped
+    assert board.page_table.entry_count == entries_before   # durable
+    board.restart()
+    send(env, topology, params, 211, PacketType.READ, va=va, size=4)
+    env.run(until=env.now + 10 ** 7)
+    body = collector.packets[-1].payload
+    assert body.status is Status.OK
+    assert body.data == b"keep"
+
+
+def test_crash_mid_request_discards_inflight_response():
+    env, params, topology, board, collector = make_wired_board()
+    va = alloc_va(env, topology, params, board, collector)
+    before = len(collector.packets)
+    # Inject directly at the board so the crash provably lands while the
+    # write is in the pipeline (no network delay to reason about).
+    header = ClioHeader(src="cn0", dst="mn0", request_id=220,
+                        packet_type=PacketType.WRITE, pid=1, va=va,
+                        size=4, total_size=4)
+    board.receive(Packet(header=header, payload=b"lost", wire_bytes=68))
+    env.schedule_callback(50, board.crash)     # pipeline takes far longer
+    env.run(until=env.now + 10 ** 8)
+    assert board.responses_discarded >= 1
+    assert len(collector.packets) == before    # the response never left
+    assert board._inflight == 0                # bookkeeping not corrupted
+
+
+def test_crash_restart_state_machine():
+    env, params, topology, board, collector = make_wired_board()
+    with pytest.raises(ValueError):
+        board.restart()                        # not crashed
+    board.crash()
+    with pytest.raises(ValueError):
+        board.crash()                          # already crashed
+    board.restart()
+    assert board.alive and board.crashes == 1 and board.restarts == 1
+
+
+def test_board_serves_normally_after_crash_restart_cycle():
+    env, params, topology, board, collector = make_wired_board()
+    va = alloc_va(env, topology, params, board, collector)
+    board.crash()
+    board.restart()
+    send(env, topology, params, 230, PacketType.WRITE, va=va, size=4,
+         payload=b"back")
+    env.run(until=env.now + 10 ** 7)
+    send(env, topology, params, 231, PacketType.READ, va=va, size=4)
+    env.run(until=env.now + 10 ** 7)
+    assert collector.packets[-1].payload.data == b"back"

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.cluster import ClioCluster
-from repro.distributed.controller import GlobalController, PlacementError
+from repro.distributed.controller import (
+    GlobalController,
+    LeaseLost,
+    PlacementError,
+)
 from repro.distributed.space import DistributedAddressSpace
 
 MB = 1 << 20
@@ -138,3 +142,172 @@ def test_invalid_construction():
         GlobalController(cluster.env, [])
     with pytest.raises(ValueError):
         GlobalController(cluster.env, cluster.mns, pressure_threshold=0.0)
+
+
+# -- migration edge cases ----------------------------------------------------------
+
+
+def test_migration_target_fills_midway_returns_gracefully():
+    """If the target board fills between the capacity check and the
+    alloc, the migration must fail soft: lease untouched on its source,
+    no exception, failure counted."""
+    cluster, controller, space = make_platform(num_mns=2,
+                                               mn_capacity=64 * MB,
+                                               threshold=0.5)
+    result = {}
+
+    def app():
+        dva = yield from space.alloc(20 * MB)
+        source = space.placement()[dva]
+        source_board = next(b for b in cluster.mns if b.name == source)
+        target_board = next(b for b in cluster.mns if b.name != source)
+        ballast = yield from source_board.slow_path.handle_alloc(
+            pid=1, size=24 * MB)
+        assert ballast.ok
+        lease = controller.lookup(space._mappings[0].region_id)
+        # Sabotage: fill the target's page table (2x overprovisioned, so
+        # 32 slots on a 16-page board) after _pick_target would approve
+        # it, leaving fewer slots than the 5-page migration needs.
+        for pid in (2, 3):
+            filler = yield from target_board.slow_path.handle_alloc(
+                pid=pid, size=56 * MB)
+            assert filler.ok
+        ok = yield from controller._migrate(lease, target_board.name)
+        result["ok"] = ok
+        result["lease_mn"] = lease.mn
+        result["source"] = source
+
+    run_app(cluster, app())
+    assert result["ok"] is False
+    assert result["lease_mn"] == result["source"]   # stayed put
+    assert controller.failed_migrations == 1
+    assert controller.migrations == 0
+
+
+def test_rebalance_with_no_eligible_target_moves_nothing():
+    cluster, controller, space = make_platform(num_mns=1,
+                                               mn_capacity=64 * MB,
+                                               threshold=0.5)
+    result = {}
+
+    def app():
+        yield from space.alloc(40 * MB)   # over threshold, nowhere to go
+        assert controller.pressured_boards()
+        moved = yield from controller.rebalance()
+        result["moved"] = moved
+
+    run_app(cluster, app())
+    assert result["moved"] == 0
+    assert controller.migrations == 0
+
+
+def test_free_of_migrating_region_waits_for_move():
+    """A free racing a migration must wait for the move to finish, then
+    free the region on its *new* board — not the stale source VA."""
+    cluster, controller, space = make_platform(num_mns=2,
+                                               mn_capacity=64 * MB,
+                                               threshold=0.5)
+    env = cluster.env
+    result = {}
+
+    def app():
+        dva = yield from space.alloc(20 * MB)
+        source = space.placement()[dva]
+        source_board = next(b for b in cluster.mns if b.name == source)
+        target = next(b.name for b in cluster.mns if b.name != source)
+        yield from source_board.slow_path.handle_alloc(pid=1, size=24 * MB)
+        lease = controller.lookup(space._mappings[0].region_id)
+        region_id = lease.region_id
+
+        migration = env.process(controller._migrate(lease, target))
+        # Let the migration start (past its CONTROLLER_NS think time).
+        yield env.timeout(3_000)
+        assert region_id in controller._migrating
+        free = env.process(controller.free(region_id))
+        yield migration
+        yield free
+        result["final_mn"] = lease.mn
+        result["target"] = target
+        result["region_id"] = region_id
+
+    run_app(cluster, app())
+    assert controller.migrations == 1
+    assert result["final_mn"] == result["target"]
+    with pytest.raises(KeyError):
+        controller.lookup(result["region_id"])   # freed after the move
+
+
+# -- health-aware placement --------------------------------------------------------
+
+
+class _StaticHealth:
+    """Health-monitor stand-in with a fixed belief set."""
+
+    def __init__(self, dead=()):
+        self.dead = set(dead)
+
+    def is_alive(self, name):
+        return name not in self.dead
+
+
+def test_dead_board_excluded_from_placement():
+    cluster = ClioCluster(num_cns=1, num_mns=2, mn_capacity=64 * MB)
+    health = _StaticHealth(dead={"mn0"})
+    controller = GlobalController(cluster.env, cluster.mns, health=health)
+    space = DistributedAddressSpace(cluster.cn(0), controller, pid=777)
+    result = {}
+
+    def app():
+        a = yield from space.alloc(8 * MB)
+        b = yield from space.alloc(8 * MB)
+        result["boards"] = set(space.placement().values())
+
+    run_app(cluster, app())
+    assert result["boards"] == {"mn1"}   # mn0 never picked
+
+
+def test_lookup_and_free_on_dead_board_raise_lease_lost():
+    cluster = ClioCluster(num_cns=1, num_mns=2, mn_capacity=64 * MB)
+    health = _StaticHealth()
+    controller = GlobalController(cluster.env, cluster.mns, health=health)
+    space = DistributedAddressSpace(cluster.cn(0), controller, pid=777)
+    result = {}
+
+    def app():
+        yield from space.alloc(8 * MB)
+        lease = controller.lookup(space._mappings[0].region_id)
+        health.dead.add(lease.mn)
+        with pytest.raises(LeaseLost) as excinfo:
+            controller.lookup(lease.region_id)
+        result["exc"] = excinfo.value
+        with pytest.raises(LeaseLost):
+            yield from controller.free(lease.region_id)
+        # The lease survives the outage: board recovers, lookup works.
+        health.dead.clear()
+        result["recovered"] = controller.lookup(lease.region_id)
+
+    run_app(cluster, app())
+    assert result["exc"].region_id == result["recovered"].region_id
+    assert result["exc"].mn == result["recovered"].mn
+
+
+def test_controller_without_health_uses_true_board_state():
+    cluster = ClioCluster(num_cns=1, num_mns=2, mn_capacity=64 * MB)
+    controller = GlobalController(cluster.env, cluster.mns)
+    space = DistributedAddressSpace(cluster.cn(0), controller, pid=777)
+    result = {}
+
+    def app():
+        yield from space.alloc(8 * MB)
+        region_id = space._mappings[0].region_id
+        lease = controller.lookup(region_id)
+        board = next(b for b in cluster.mns if b.name == lease.mn)
+        board.crash()
+        with pytest.raises(LeaseLost):
+            controller.lookup(region_id)
+        board.restart()
+        result["lease"] = controller.lookup(region_id)
+        result["region_id"] = region_id
+
+    run_app(cluster, app())
+    assert result["lease"].region_id == result["region_id"]

@@ -1,0 +1,104 @@
+"""End-to-end chaos scenarios plus the no-fault golden regression.
+
+The acceptance bar for the fault subsystem:
+
+* a scripted MN crash/restart mid-workload completes with zero hung
+  requests and post-restart throughput within 10% of pre-crash;
+* same-seed chaos runs are bit-identical;
+* a cluster with *no* faults armed produces exactly the same timestamps
+  and counters as before the subsystem existed (golden fingerprint).
+"""
+
+import pytest
+
+from repro.cluster import ClioCluster
+from repro.core.addr import Permission
+from repro.faults.scenarios import SCENARIOS, run_chaos
+from repro.net.packet import PacketType
+
+MB = 1 << 20
+
+#: Golden no-fault fingerprint, captured on the pre-fault-subsystem tree
+#: (seed 1234, 2 CNs, pinned PIDs 9001/9002, 1 alloc + 120 write/read
+#: pairs each).  If this changes, the fault subsystem perturbed the
+#: no-fault simulation — which it must never do.
+GOLDEN_NO_FAULT = (600478, (598288, 600478), 482, (241, 241), (0, 0))
+
+
+def no_fault_fingerprint():
+    cluster = ClioCluster(seed=1234, num_cns=2, mn_capacity=256 * MB)
+    done = []
+
+    def worker(cn_index, pid):
+        transport = cluster.cn(cn_index).transport
+        outcome = yield from transport.request(
+            "mn0", PacketType.ALLOC, pid=pid,
+            payload=(8 * MB, Permission.READ_WRITE, None))
+        va = outcome.body.value.va
+        for index in range(120):
+            offset = (index * 4096) % (4 * MB)
+            yield from transport.request(
+                "mn0", PacketType.WRITE, pid=pid, va=va + offset, size=64,
+                data=bytes([index % 256]) * 64)
+            yield from transport.request(
+                "mn0", PacketType.READ, pid=pid, va=va + offset, size=64)
+        done.append(cluster.env.now)
+
+    procs = [cluster.env.process(worker(0, 9001)),
+             cluster.env.process(worker(1, 9002))]
+    cluster.run(until=cluster.env.all_of(procs))
+    return (cluster.env.now, tuple(sorted(done)),
+            cluster.mn.requests_served,
+            tuple(cn.transport.requests_completed for cn in cluster.cns),
+            tuple(cn.transport.total_retries for cn in cluster.cns))
+
+
+def test_no_fault_run_matches_golden_fingerprint():
+    assert no_fault_fingerprint() == GOLDEN_NO_FAULT
+
+
+def test_board_crash_scenario_recovers():
+    report = run_chaos("board-crash", seed=1234)
+    assert report.finished, "workers hung"
+    assert report.check_invariants() == []
+    # The crash window produced typed failures, not hangs.
+    assert report.failed_ops > 0
+    assert all(op.status in ("ok", "request_failed", "remote_error")
+               for op in report.ops)
+    # Acceptance: post-restart throughput within 10% of pre-crash.
+    tput = report.phase_throughput()
+    assert tput is not None
+    assert 0.9 <= tput["recovery_ratio"] <= 1.1
+    mn = report.board_counters["mn0"]
+    assert mn["crashes"] == 1 and mn["restarts"] == 1
+    assert mn["packets_dropped_dead"] > 0
+
+
+def test_board_crash_scenario_is_bit_identical():
+    a = run_chaos("board-crash", seed=77)
+    b = run_chaos("board-crash", seed=77)
+    assert a.fingerprint() == b.fingerprint()
+    c = run_chaos("board-crash", seed=78)
+    assert a.fingerprint() != c.fingerprint()
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_every_scenario_upholds_invariants(scenario):
+    report = run_chaos(scenario, seed=42, ops_per_worker=400)
+    assert report.finished
+    assert report.check_invariants() == []
+    # Every op settled one way or the other.
+    assert len(report.ops) == 2 * 400
+
+
+def test_loss_burst_masked_by_retransmission():
+    report = run_chaos("loss-burst", seed=9)
+    total_retries = sum(c["total_retries"]
+                       for c in report.cn_counters.values())
+    assert total_retries > 0          # the burst really bit
+    assert report.finished
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError):
+        run_chaos("thermonuclear", seed=1)

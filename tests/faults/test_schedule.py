@@ -1,0 +1,100 @@
+"""Tests for fault events and schedules."""
+
+import pytest
+
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+
+US = 1_000
+MS = 1_000_000
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent(-1, FaultKind.BOARD_CRASH, "mn0")
+    with pytest.raises(ValueError):
+        FaultEvent(0, FaultKind.BOARD_CRASH, "")
+    with pytest.raises(ValueError):
+        FaultEvent(0, FaultKind.LOSS_BURST, "cn0", duration_ns=0, rate=0.5)
+    with pytest.raises(ValueError):
+        FaultEvent(0, FaultKind.LOSS_BURST, "cn0", duration_ns=100, rate=1.5)
+    with pytest.raises(ValueError):
+        FaultEvent(0, FaultKind.LOSS_BURST, "cn0", duration_ns=100, rate=0.0)
+    FaultEvent(0, FaultKind.LOSS_BURST, "cn0", duration_ns=100, rate=1.0)
+
+
+def test_builders_pair_recovery_events():
+    schedule = (FaultSchedule()
+                .crash_board(1 * MS, "mn0", restart_after_ns=500 * US)
+                .link_down(2 * MS, "cn0", duration_ns=100 * US)
+                .stall_slowpath(3 * MS, "mn0", 200 * US))
+    kinds = [event.kind for event in schedule]
+    assert kinds == [
+        FaultKind.BOARD_CRASH, FaultKind.BOARD_RESTART,
+        FaultKind.LINK_DOWN, FaultKind.LINK_UP,
+        FaultKind.STALL_BEGIN, FaultKind.STALL_END,
+    ]
+    schedule.validate()
+
+
+def test_builders_reject_nonpositive_durations():
+    with pytest.raises(ValueError):
+        FaultSchedule().crash_board(0, "mn0", restart_after_ns=0)
+    with pytest.raises(ValueError):
+        FaultSchedule().link_down(0, "cn0", duration_ns=-5)
+    with pytest.raises(ValueError):
+        FaultSchedule().stall_slowpath(0, "mn0", 0)
+
+
+def test_events_sorted_deterministically():
+    schedule = (FaultSchedule()
+                .link_down(500, "cn1")
+                .crash_board(100, "mn0")
+                .link_down(500, "cn0"))
+    ordered = schedule.events()
+    assert [e.at_ns for e in ordered] == [100, 500, 500]
+    # Same-instant events break ties by kind then target: stable order.
+    assert [e.target for e in ordered] == ["mn0", "cn0", "cn1"]
+
+
+def test_validate_rejects_unbalanced_pairs():
+    with pytest.raises(ValueError):
+        (FaultSchedule()
+         .crash_board(100, "mn0")
+         .crash_board(200, "mn0")).validate()       # double crash
+    with pytest.raises(ValueError):
+        FaultSchedule().restart_board(100, "mn0").validate()  # never crashed
+    with pytest.raises(ValueError):
+        FaultSchedule().link_up(100, "cn0").validate()
+    # Same fault on different targets is fine.
+    (FaultSchedule()
+     .crash_board(100, "mn0")
+     .crash_board(100, "mn1")).validate()
+
+
+def test_random_schedule_is_seeded_and_valid():
+    a = FaultSchedule.random(7, duration_ns=4 * MS, boards=["mn0"],
+                             nodes=["cn0", "cn1"])
+    b = FaultSchedule.random(7, duration_ns=4 * MS, boards=["mn0"],
+                             nodes=["cn0", "cn1"])
+    c = FaultSchedule.random(8, duration_ns=4 * MS, boards=["mn0"],
+                             nodes=["cn0", "cn1"])
+    assert a.events() == b.events()       # same seed, same timeline
+    assert a.events() != c.events()       # different seed differs
+    a.validate()
+    c.validate()
+
+
+def test_random_schedule_never_overlaps_same_target():
+    """Slot-per-fault construction: across many seeds, no schedule opens
+    a fault that is already open (validate would raise)."""
+    for seed in range(30):
+        FaultSchedule.random(seed, duration_ns=6 * MS, boards=["mn0"],
+                             nodes=["cn0"], fault_count=5).validate()
+
+
+def test_random_schedule_rejects_tiny_window():
+    with pytest.raises(ValueError):
+        FaultSchedule.random(1, duration_ns=20_000, boards=["mn0"],
+                             fault_count=10)
+    with pytest.raises(ValueError):
+        FaultSchedule.random(1, duration_ns=1 * MS, boards=[])

@@ -96,6 +96,72 @@ def test_link_rejects_bad_construction():
         Link(env, "l", rate_bps=1, propagation_ns=-1, deliver=lambda p: None)
 
 
+@pytest.mark.parametrize("kwargs", [
+    {"loss_rate": -0.01},
+    {"loss_rate": 1.01},
+    {"corruption_rate": -0.5},
+    {"corruption_rate": 2.0},
+    {"jitter_ns": -1},
+])
+def test_link_rejects_bad_rates_and_jitter(kwargs):
+    env = Environment()
+    with pytest.raises(ValueError):
+        Link(env, "l", rate_bps=1 * GBPS, propagation_ns=0,
+             deliver=lambda p: None, **kwargs)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"loss_rate": 0.0}, {"loss_rate": 1.0},
+    {"corruption_rate": 0.0}, {"corruption_rate": 1.0},
+    {"jitter_ns": 0},
+])
+def test_link_accepts_boundary_rates(kwargs):
+    env = Environment()
+    Link(env, "l", rate_bps=1 * GBPS, propagation_ns=0,
+         deliver=lambda p: None, **kwargs)
+
+
+def test_link_down_drops_silently_and_counts():
+    env = Environment()
+    received = []
+    link = Link(env, "l", rate_bps=100 * GBPS, propagation_ns=0,
+                deliver=received.append)
+    link.send(make_packet(request_id=1))
+    link.set_down()
+    assert not link.up
+    for index in range(5):
+        link.send(make_packet(request_id=10 + index))
+    link.set_up()
+    link.send(make_packet(request_id=2))
+    env.run()
+    # Only the packets sent while up arrive; downed sends never schedule
+    # a delivery and are counted separately from random loss.
+    assert [p.header.request_id for p in received] == [1, 2]
+    assert link.packets_dropped_down == 5
+    assert link.packets_dropped == 0
+    assert link.packets_sent == 2
+
+
+def test_topology_set_node_up_covers_both_directions():
+    env = Environment()
+    params = NetworkParams(jitter_ns=0)
+    topology = Topology(env, params)
+    received = {"a": [], "b": []}
+    topology.add_node("a", received["a"].append)
+    topology.add_node("b", received["b"].append)
+    topology.set_node_up("b", False)
+    uplink, downlink = topology.links_for("b")
+    assert not uplink.up and not downlink.up
+    topology.send(make_packet(src="a", dst="b"))     # dropped at b's downlink
+    topology.send(make_packet(src="b", dst="a"))     # dropped at b's uplink
+    env.run()
+    assert not received["a"] and not received["b"]
+    topology.set_node_up("b", True)
+    topology.send(make_packet(src="a", dst="b"))
+    env.run()
+    assert len(received["b"]) == 1
+
+
 def test_topology_routes_between_nodes():
     env = Environment()
     params = NetworkParams(jitter_ns=0)

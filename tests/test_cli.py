@@ -76,6 +76,27 @@ def test_asic_profile_runs(capsys):
     assert "asic" in capsys.readouterr().out
 
 
+def test_chaos_command(capsys):
+    # Enough ops that the workload spans the 1 ms crash and the restart.
+    assert main(["--seed", "3", "chaos", "--scenario", "board-crash",
+                 "--ops", "1200"]) == 0
+    out = capsys.readouterr().out
+    assert "board-crash" in out
+    assert "invariants: all hold" in out
+    assert "crash recovery" in out
+
+
+def test_chaos_determinism_flag(capsys):
+    assert main(["--seed", "3", "chaos", "--scenario", "link-flap",
+                 "--ops", "300", "--check-determinism"]) == 0
+    assert "bit-identical" in capsys.readouterr().out
+
+
+def test_chaos_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["chaos", "--scenario", "gremlins"])
+
+
 def test_cprofile_flag_prints_profile(capsys):
     assert main(["--cprofile", "latency", "--ops", "20"]) == 0
     out = capsys.readouterr().out

@@ -87,3 +87,24 @@ def test_report_aggregates_boards_and_cns():
     assert report["cns"]["cn1"]["requests_completed"] == 2
     assert "mn1" in report["cns"]["cn1"]["cwnd"]
     assert report["now_ns"] == cluster.env.now
+    assert report["cns"]["cn1"]["requests_failed"] == 0
+    assert report["health"] is None   # monitoring is opt-in
+
+
+def test_board_accessor_by_name():
+    cluster = ClioCluster(num_mns=2, mn_capacity=64 * MB)
+    assert cluster.board("mn1") is cluster.mns[1]
+    with pytest.raises(KeyError):
+        cluster.board("mn9")
+
+
+def test_health_monitor_opt_in_and_reported():
+    cluster = ClioCluster(num_mns=2, mn_capacity=64 * MB)
+    health = cluster.start_health_monitor(interval_ns=10_000,
+                                          miss_threshold=2)
+    assert cluster.start_health_monitor() is health   # idempotent
+    cluster.board("mn1").crash()
+    cluster.run(until=100_000)
+    report = cluster.report()
+    assert report["health"]["dead_boards"] == ["mn1"]
+    assert report["boards"]["mn1"]["alive"] is False

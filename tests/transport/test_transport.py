@@ -9,7 +9,7 @@ from repro.core.addr import Permission
 from repro.core.pipeline import Status
 from repro.net.packet import PacketType
 from repro.params import ClioParams, NetworkParams
-from repro.transport.clib_transport import RequestFailedError
+from repro.transport.clib_transport import RequestFailed, RequestFailedError
 
 MB = 1 << 20
 
@@ -124,6 +124,85 @@ def test_total_loss_raises_request_failed():
     # Original + max_retries attempts were all made.
     assert cluster.cn(0).transport.total_retries == \
         cluster.params.clib.max_retries
+
+
+def test_request_failed_carries_typed_metadata():
+    cluster = ClioCluster(params=lossy_params(loss=1.0, max_retries=3),
+                          mn_capacity=256 * MB)
+    transport = cluster.cn(0).transport
+    failures = []
+
+    def driver():
+        try:
+            yield from transport.request("mn0", PacketType.READ, pid=1,
+                                         va=4 * MB, size=4)
+        except RequestFailed as exc:
+            failures.append(exc)
+
+    cluster.run(until=cluster.env.process(driver()))
+    exc = failures[0]
+    assert exc.mn == "mn0"
+    assert exc.packet_type is PacketType.READ
+    assert exc.va == 4 * MB
+    assert exc.attempts == cluster.params.clib.max_retries + 1
+    assert exc.reason == "timeout"
+    # The typed error and the legacy alias are the same class.
+    assert RequestFailed is RequestFailedError
+
+
+def test_attempts_hard_capped_and_counted():
+    """Against a black-holed MN the transport makes exactly
+    ``max_retries + 1`` attempts per request, then fails typed — the
+    failure counters balance against issued/completed."""
+    cluster = ClioCluster(params=lossy_params(loss=1.0, max_retries=2),
+                          mn_capacity=256 * MB)
+    transport = cluster.cn(0).transport
+    failures = []
+
+    def driver():
+        for _ in range(3):
+            try:
+                yield from transport.request("mn0", PacketType.READ, pid=1,
+                                             va=4 * MB, size=4)
+            except RequestFailed as exc:
+                failures.append(exc)
+
+    cluster.run(until=cluster.env.process(driver()))
+    assert len(failures) == 3
+    assert all(exc.attempts == 3 for exc in failures)
+    assert transport.requests_issued == 3
+    assert transport.requests_failed == 3
+    assert transport.requests_completed == 0
+    assert transport.total_retries == 3 * 2
+
+
+def test_clib_params_validate_retry_settings():
+    from repro.params import CLibParams
+    with pytest.raises(ValueError):
+        CLibParams(max_retries=-1)
+    with pytest.raises(ValueError):
+        CLibParams(timeout_ns=0)
+    with pytest.raises(ValueError):
+        CLibParams(timeout_ns=1000, slow_timeout_ns=500)
+    CLibParams(max_retries=0, timeout_ns=1000, slow_timeout_ns=1000)
+
+
+def test_counters_balance_on_success():
+    cluster = ClioCluster(mn_capacity=256 * MB)
+    va = alloc(cluster)
+    transport = cluster.cn(0).transport
+    issued_before = transport.requests_issued
+
+    def driver():
+        for index in range(10):
+            yield from transport.request("mn0", PacketType.WRITE, pid=1,
+                                         va=va, size=4,
+                                         data=index.to_bytes(4, "little"))
+
+    cluster.run(until=cluster.env.process(driver()))
+    assert transport.requests_issued - issued_before == 10
+    assert transport.requests_issued == \
+        transport.requests_completed + transport.requests_failed
 
 
 def test_stale_response_after_timeout_is_dropped():
