@@ -1,13 +1,18 @@
-"""Request lifecycle tracing.
+"""Request lifecycle tracing, reconstructed from telemetry spans.
 
-A :class:`TraceCollector` hooks a cluster and records structured events
-for every request: when CLib issued it, every (re)transmission, the MN's
-response generation, and completion — with per-event simulated
-timestamps.  Use it to answer "where did this request spend its time?"
-at a finer grain than the aggregate counters.
+A :class:`TraceCollector` answers "where did this request spend its
+time?" at a finer grain than the aggregate counters: when CLib issued
+each attempt, when the MN generated the response, and when CLib matched
+it — with per-event simulated timestamps.
 
-The collector instruments by wrapping the transport's ``_emit``/pending
-bookkeeping and the board's ``_send``; detaching restores the originals.
+Historically the collector monkey-patched the transport's ``_emit`` and
+the board's ``_send`` and restored them on detach.  It is now a pure
+*view* over :class:`repro.telemetry.spans.Tracer` records: ``attach``
+turns on the cluster's tracer (``ClioCluster.enable_tracing``), and the
+per-request :class:`RequestTimeline` objects are derived lazily from the
+transport's ``attempt:*`` spans and the board's ``mn_response`` instants.
+No private method is ever replaced, so instrumented and uninstrumented
+clusters run the exact same code path.
 """
 
 from __future__ import annotations
@@ -22,7 +27,16 @@ class TraceEvent(enum.Enum):
     SENT = "sent"                # packets handed to the NIC (per attempt)
     MN_RESPONSE = "mn_response"  # board generated the response
     COMPLETED = "completed"      # CLib matched the response
-    TIMED_OUT = "timed_out"      # an attempt expired
+    TIMED_OUT = "timed_out"      # the attempt expired unanswered
+
+#: Stable tie-break so same-timestamp events keep lifecycle order.
+_EVENT_ORDER = {
+    TraceEvent.ISSUED: 0,
+    TraceEvent.SENT: 1,
+    TraceEvent.MN_RESPONSE: 2,
+    TraceEvent.COMPLETED: 3,
+    TraceEvent.TIMED_OUT: 3,
+}
 
 
 @dataclass
@@ -64,121 +78,135 @@ class RequestTimeline:
 
 
 class TraceCollector:
-    """Attachable per-cluster request tracer."""
+    """Attachable per-cluster request-timeline view over the tracer."""
 
     def __init__(self, max_requests: int = 100_000):
         if max_requests <= 0:
             raise ValueError(f"max_requests must be positive, got {max_requests}")
         self.max_requests = max_requests
-        self._timelines: dict[int, RequestTimeline] = {}
-        self._restorers: list = []
-        self.dropped = 0
-
-    # -- recording -------------------------------------------------------------------
-
-    def record(self, request_id: int, event: TraceEvent, at_ns: int,
-               detail: str = "") -> None:
-        timeline = self._timelines.get(request_id)
-        if timeline is None:
-            if len(self._timelines) >= self.max_requests:
-                self.dropped += 1
-                return
-            timeline = RequestTimeline(request_id=request_id)
-            self._timelines[request_id] = timeline
-        timeline.records.append(
-            TraceRecord(request_id=request_id, event=event, at_ns=at_ns,
-                        detail=detail))
-
-    def timeline(self, request_id: int) -> Optional[RequestTimeline]:
-        return self._timelines.get(request_id)
-
-    def timelines(self) -> list[RequestTimeline]:
-        return list(self._timelines.values())
-
-    def completed(self) -> list[RequestTimeline]:
-        return [timeline for timeline in self._timelines.values()
-                if timeline.first(TraceEvent.COMPLETED) is not None]
+        self._cluster = None
+        self._tracer = None
+        # Record-index windows delimiting this collector's attach span;
+        # detach freezes the end so later runs are invisible to it.
+        self._span_start = 0
+        self._instant_start = 0
+        self._span_end: Optional[int] = None
+        self._instant_end: Optional[int] = None
 
     # -- instrumentation --------------------------------------------------------------
 
     def attach(self, cluster) -> None:
-        """Hook every CN transport and MN board in a ClioCluster."""
-        for node in cluster.cns:
-            self._hook_transport(node.transport)
-        for board in cluster.mns:
-            self._hook_board(board)
+        """Start collecting on a ClioCluster (enables its tracer)."""
+        self._cluster = cluster
+        self._tracer = cluster.enable_tracing()
+        self._span_start = len(self._tracer.spans)
+        self._instant_start = len(self._tracer.instants)
+        self._span_end = None
+        self._instant_end = None
 
     def detach(self) -> None:
-        for restore in self._restorers:
-            restore()
-        self._restorers.clear()
+        """Stop collecting; timelines built so far remain queryable."""
+        if self._tracer is not None:
+            self._span_end = len(self._tracer.spans)
+            self._instant_end = len(self._tracer.instants)
+        if self._cluster is not None:
+            self._cluster.disable_tracing()
+        self._cluster = None
 
-    def _hook_transport(self, transport) -> None:
-        collector = self
-        env = transport.env
-        original_emit = transport._emit
-        original_receive = transport.receive
+    # -- timeline reconstruction ----------------------------------------------------
 
-        def traced_emit(mn, request_id, packet_type, pid, va, size, data,
-                        payload, retry_of):
-            event = TraceEvent.SENT
-            detail = f"{packet_type.value} -> {mn}"
+    def _build(self) -> tuple[dict[int, RequestTimeline], int]:
+        """(timelines by request ID, dropped-record count) from spans."""
+        timelines: dict[int, RequestTimeline] = {}
+        dropped = 0
+
+        def record(request_id, event, at_ns, detail=""):
+            nonlocal dropped
+            timeline = timelines.get(request_id)
+            if timeline is None:
+                if len(timelines) >= self.max_requests:
+                    dropped += 1
+                    return
+                timeline = RequestTimeline(request_id=request_id)
+                timelines[request_id] = timeline
+            timeline.records.append(
+                TraceRecord(request_id=request_id, event=event, at_ns=at_ns,
+                            detail=detail))
+
+        if self._tracer is None:
+            return timelines, dropped
+
+        spans = self._tracer.spans[self._span_start:self._span_end]
+        for span in spans:
+            if not span.name.startswith("attempt:"):
+                continue
+            args = span.args or {}
+            request_id = args.get("request_id")
+            if request_id is None:
+                continue
+            packet_type = span.name.split(":", 1)[1]
+            retry_of = args.get("retry_of")
+            detail = f"{packet_type} -> {args.get('mn')}"
             if retry_of is not None:
                 detail += f" (retry of {retry_of})"
-            collector.record(request_id, TraceEvent.ISSUED, env.now,
-                             detail=packet_type.value)
-            collector.record(request_id, event, env.now, detail=detail)
-            original_emit(mn, request_id, packet_type, pid, va, size, data,
-                          payload, retry_of)
+            record(request_id, TraceEvent.ISSUED, span.start_ns,
+                   detail=packet_type)
+            record(request_id, TraceEvent.SENT, span.start_ns, detail=detail)
+            if span.end_ns is not None:
+                outcome = (span.args or {}).get("outcome")
+                if outcome == "ok":
+                    record(request_id, TraceEvent.COMPLETED, span.end_ns)
+                elif outcome == "timeout":
+                    record(request_id, TraceEvent.TIMED_OUT, span.end_ns,
+                           detail="timeout")
 
-        def traced_receive(packet):
-            pending_before = packet.header.request_id in transport._pending
-            original_receive(packet)
-            if pending_before:
-                state = transport._pending.get(packet.header.request_id)
-                if state is not None and state.done.triggered:
-                    collector.record(packet.header.request_id,
-                                     TraceEvent.COMPLETED, env.now)
+        instants = self._tracer.instants[self._instant_start:self._instant_end]
+        for instant in instants:
+            if instant.name != "mn_response":
+                continue
+            args = instant.args or {}
+            request_id = args.get("request_id")
+            if request_id not in timelines:
+                if request_id is not None:
+                    dropped += 1
+                continue
+            record(request_id, TraceEvent.MN_RESPONSE, instant.at_ns,
+                   detail=f"{args.get('type')} -> {args.get('dst')}")
 
-        transport._emit = traced_emit
-        transport.receive = traced_receive
-        # Replace the callback the topology holds, too.
-        topology = transport.topology
-        topology._receivers[transport.node_name] = traced_receive
+        for timeline in timelines.values():
+            timeline.records.sort(
+                key=lambda r: (r.at_ns, _EVENT_ORDER[r.event]))
+        return timelines, dropped
 
-        def restore(t=transport, r=original_receive, topo=topology):
-            # Drop the instance overrides so lookup falls back to the
-            # class methods (restoring identity, not just behaviour).
-            t.__dict__.pop("_emit", None)
-            t.__dict__.pop("receive", None)
-            topo._receivers[t.node_name] = r
+    # -- queries ----------------------------------------------------------------------
 
-        self._restorers.append(restore)
+    @property
+    def dropped(self) -> int:
+        """Records not representable within ``max_requests`` timelines."""
+        return self._build()[1]
 
-    def _hook_board(self, board) -> None:
-        collector = self
-        env = board.env
-        original_send = board._send
+    def timeline(self, request_id: int) -> Optional[RequestTimeline]:
+        return self._build()[0].get(request_id)
 
-        def traced_send(dst, request_id, packet_type, body, **kwargs):
-            collector.record(request_id, TraceEvent.MN_RESPONSE, env.now,
-                             detail=f"{packet_type.value} -> {dst}")
-            original_send(dst, request_id, packet_type, body, **kwargs)
+    def timelines(self) -> list[RequestTimeline]:
+        return list(self._build()[0].values())
 
-        board._send = traced_send
-        self._restorers.append(
-            lambda b=board: b.__dict__.pop("_send", None))
+    def completed(self) -> list[RequestTimeline]:
+        return [timeline for timeline in self.timelines()
+                if timeline.first(TraceEvent.COMPLETED) is not None]
 
     # -- summaries -------------------------------------------------------------------------
 
     def summary(self) -> dict:
-        completed = self.completed()
+        timelines, dropped = self._build()
+        completed = [timeline for timeline in timelines.values()
+                     if timeline.first(TraceEvent.COMPLETED) is not None]
         latencies = [timeline.latency_ns for timeline in completed
                      if timeline.latency_ns is not None]
         return {
-            "traced_requests": len(self._timelines),
+            "traced_requests": len(timelines),
             "completed": len(completed),
-            "dropped": self.dropped,
+            "dropped": dropped,
             "mean_latency_ns": (sum(latencies) / len(latencies)
                                 if latencies else None),
         }

@@ -8,7 +8,9 @@ simulation program:
 * ``compare``  — one-op latency across Clio and every baseline;
 * ``alloc``    — VA/PA allocation costs vs RDMA MR registration;
 * ``ycsb``     — Clio-KV under a YCSB mix;
-* ``chaos``    — a fault-injection scenario with invariant checks.
+* ``chaos``    — a fault-injection scenario with invariant checks;
+* ``metrics``  — an instrumented run: metrics dashboard, span summary,
+  and an optional Chrome/Perfetto trace export.
 
 Every command prints a table via :mod:`repro.analysis.report` and returns
 a process exit code of 0 on success.
@@ -324,13 +326,50 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    from repro.telemetry import render_dashboard, write_chrome_trace
+
+    cluster = ClioCluster(params=_profile(args.profile), seed=args.seed,
+                          mn_capacity=1 * GB)
+    tracer = cluster.enable_tracing()
+    if args.interval_us:
+        cluster.metrics.start_sampling(cluster.env,
+                                       args.interval_us * 1000)
+    thread = cluster.cn(0).process("mn0").thread()
+    size = _parse_size(args.size)
+    payload = b"m" * size
+
+    def app():
+        va = yield from thread.ralloc(max(size, 4 * MB))
+        for _ in range(args.ops):
+            yield from thread.rwrite(va, payload)
+            yield from thread.rread(va, size)
+
+    cluster.run(until=cluster.env.process(app()))
+    cluster.metrics.stop_sampling()
+    print(render_dashboard(
+        cluster.metrics, tracer,
+        title=f"instrumented run: {args.ops}x {size}B write+read "
+              f"({args.profile})",
+        prefix=args.prefix))
+    if args.trace_out:
+        write_chrome_trace(args.trace_out, tracer, cluster.metrics)
+        print(f"chrome trace written to {args.trace_out} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 # -- argument parsing ---------------------------------------------------------------------
 
 
 def build_parser() -> argparse.ArgumentParser:
+    import repro
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Clio reproduction: command-line experiment runner")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {repro.__version__}")
     parser.add_argument("--profile", default="prototype",
                         choices=("prototype", "asic", "cloudlab"),
                         help="parameter profile (default: prototype)")
@@ -379,6 +418,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rerun with the same seed and compare "
                             "fingerprints bit-for-bit")
     chaos.set_defaults(func=cmd_chaos)
+
+    metrics = sub.add_parser(
+        "metrics", help="instrumented run with dashboard + trace export")
+    metrics.add_argument("--size", default="64")
+    metrics.add_argument("--ops", type=int, default=200)
+    metrics.add_argument("--interval-us", type=int, default=0,
+                         help="sample the registry every N us of sim time "
+                              "(0 = no timeseries)")
+    metrics.add_argument("--prefix", default="",
+                         help="only show instruments under this prefix "
+                              "(e.g. cboard.mn0)")
+    metrics.add_argument("--trace-out", default="",
+                         help="write a Chrome/Perfetto trace_event JSON "
+                              "file to this path")
+    metrics.set_defaults(func=cmd_metrics)
 
     return parser
 

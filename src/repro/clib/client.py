@@ -39,13 +39,15 @@ class ComputeNode:
     """A regular server attached to the ToR switch, running CLib."""
 
     def __init__(self, env: Environment, name: str, topology,
-                 params: ClioParams, default_page_size: Optional[int] = None):
+                 params: ClioParams, default_page_size: Optional[int] = None,
+                 registry=None):
         self.env = env
         self.name = name
         self.params = params
         self.default_page_size = (default_page_size
                                   or params.cboard.default_page_size)
-        self.transport = Transport(env, name, topology, params)
+        self.transport = Transport(env, name, topology, params,
+                                   registry=registry)
 
     def process(self, mn: str, page_size: Optional[int] = None,
                 pid: Optional[int] = None) -> "ClioProcess":

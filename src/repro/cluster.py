@@ -18,6 +18,8 @@ from repro.net.switch import Topology
 from repro.params import ClioParams
 from repro.sim import Environment
 from repro.sim.rng import RandomStream
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import Tracer
 
 
 class ClioCluster:
@@ -32,22 +34,30 @@ class ClioCluster:
         self.params = params or ClioParams.prototype()
         self.env = Environment()
         self.rng = RandomStream(seed, "cluster")
+        # One shared metrics namespace for the whole cluster; components
+        # register themselves under their own prefixes at construction.
+        self.metrics = MetricsRegistry()
         self.topology = Topology(self.env, self.params.network,
-                                 rng=self.rng.fork("net"))
+                                 rng=self.rng.fork("net"),
+                                 registry=self.metrics)
         self.mns: list[CBoard] = []
         for index in range(num_mns):
             board = CBoard(self.env, self.params, name=f"mn{index}",
-                           dram_capacity=mn_capacity, page_size=page_size)
+                           dram_capacity=mn_capacity, page_size=page_size,
+                           registry=self.metrics)
             board.attach(self.topology)
             self.mns.append(board)
         self.cns: list[ComputeNode] = [
             ComputeNode(self.env, f"cn{index}", self.topology, self.params,
-                        default_page_size=page_size)
+                        default_page_size=page_size, registry=self.metrics)
             for index in range(num_cns)
         ]
         # Heartbeat health tracking is opt-in: its periodic sweep adds
         # events, so no-fault runs stay bit-identical unless asked for.
         self.health = None
+        # Span tracing is likewise opt-in (recording is passive — no
+        # events, no RNG — but the record buffer costs memory).
+        self.tracer = None
 
     def start_health_monitor(self, interval_ns: int = 100_000,
                              miss_threshold: int = 3):
@@ -61,9 +71,39 @@ class ClioCluster:
             from repro.faults.health import HealthMonitor
             self.health = HealthMonitor(self.env, self.mns,
                                         interval_ns=interval_ns,
-                                        miss_threshold=miss_threshold)
+                                        miss_threshold=miss_threshold,
+                                        registry=self.metrics)
+            self.health.tracer = self.tracer
             self.health.start()
         return self.health
+
+    # -- tracing ------------------------------------------------------------------
+
+    def enable_tracing(self, max_records: int = 1_000_000) -> Tracer:
+        """Attach a :class:`~repro.telemetry.spans.Tracer` everywhere.
+
+        Recording never schedules events and never draws RNG, so a traced
+        run produces bit-identical simulated timestamps to an untraced
+        one (``tests/telemetry/test_zero_cost.py`` proves it).  Idempotent:
+        a second call returns the existing tracer.
+        """
+        if self.tracer is None:
+            self._set_tracer(Tracer(self.env, max_records=max_records))
+        return self.tracer
+
+    def disable_tracing(self) -> None:
+        """Detach the tracer from every component (records are kept)."""
+        self._set_tracer(None)
+
+    def _set_tracer(self, tracer) -> None:
+        self.tracer = tracer
+        for board in self.mns:
+            board.set_tracer(tracer)
+        for node in self.cns:
+            node.transport.tracer = tracer
+        self.topology.set_tracer(tracer)
+        if self.health is not None:
+            self.health.tracer = tracer
 
     def board(self, name: str) -> CBoard:
         """Memory node by name (fault schedules address boards by name)."""
@@ -105,11 +145,7 @@ class ClioCluster:
             "boards": {board.name: board.stats() for board in self.mns},
             "cns": {
                 node.name: {
-                    "requests_issued": node.transport.requests_issued,
-                    "requests_completed": node.transport.requests_completed,
-                    "requests_failed": node.transport.requests_failed,
-                    "total_retries": node.transport.total_retries,
-                    "stale_responses": node.transport.stale_responses,
+                    **node.transport.stats(),
                     "cwnd": {
                         mn: controller.cwnd
                         for mn, controller in

@@ -39,6 +39,8 @@ from repro.core.va_allocator import VAAllocator
 from repro.net.packet import ClioHeader, Packet, PacketType, fragment_payload
 from repro.params import ClioParams
 from repro.sim import Environment
+from repro.telemetry.metrics import MetricsRegistry, StatsView
+from repro.telemetry.spans import Tracer
 
 
 @dataclass(slots=True)
@@ -70,7 +72,8 @@ class CBoard:
 
     def __init__(self, env: Environment, params: ClioParams,
                  name: str = "mn0", dram_capacity: Optional[int] = None,
-                 page_size: Optional[int] = None):
+                 page_size: Optional[int] = None,
+                 registry: Optional[MetricsRegistry] = None):
         self.env = env
         self.params = params
         self.name = name
@@ -135,6 +138,77 @@ class CBoard:
         self.responses_discarded = 0       # in-flight work killed by a crash
         self.last_breakdown: Optional[Breakdown] = None
 
+        # Telemetry.  Counters above stay plain attributes (the hot path
+        # keeps its `+= 1`s); the registry holds function-backed views of
+        # them under `cboard.<name>.*`, and stats() reads those views.
+        # The tracer is None unless the cluster enables span tracing.
+        self.tracer: Optional[Tracer] = None
+        self._crash_span = None
+        self.metrics = (registry if registry is not None
+                        else MetricsRegistry()).scope(f"cboard.{name}")
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        m = self.metrics
+        self._stats = StatsView({
+            "requests_served": m.counter(
+                "requests_served", "requests answered with a response",
+                fn=lambda: self.requests_served),
+            "bytes_served": m.counter(
+                "bytes_served", "payload bytes read/written", unit="B",
+                fn=lambda: self.bytes_served),
+            "tlb_hit_rate": m.gauge(
+                "tlb.hit_rate", "TLB hits / lookups",
+                fn=lambda: self.tlb.hit_rate),
+            "page_faults": m.counter(
+                "faults", "hardware page faults taken",
+                fn=lambda: self.fast_path.faults),
+            "nacks_sent": m.counter(
+                "nacks_sent", "NACKs for corrupt arrivals",
+                fn=lambda: self.nacks_sent),
+            "retry_dedups": m.counter(
+                "retry_dedups", "retries answered from the dedup ring",
+                fn=lambda: self.retry_buffer.dedup_hits),
+            "memory_utilization": m.gauge(
+                "memory_utilization", "allocated fraction of DRAM pages",
+                fn=lambda: self.pa_allocator.utilization),
+            "pt_entries": m.gauge(
+                "page_table.entries", "live PTEs",
+                fn=lambda: self.page_table.entry_count),
+            "alive": m.gauge(
+                "alive", "fail-stop state", fn=lambda: self.alive),
+            "crashes": m.counter(
+                "crashes", fn=lambda: self.crashes),
+            "restarts": m.counter(
+                "restarts", fn=lambda: self.restarts),
+            "packets_dropped_dead": m.counter(
+                "packets_dropped_dead", "arrivals while crashed",
+                fn=lambda: self.packets_dropped_dead),
+            "responses_discarded": m.counter(
+                "responses_discarded", "in-flight work killed by a crash",
+                fn=lambda: self.responses_discarded),
+        })
+        # Finer-grained instruments not part of the public stats() keys.
+        m.counter("tlb.hits", fn=lambda: self.tlb.hits)
+        m.counter("tlb.misses", fn=lambda: self.tlb.misses)
+        m.counter("pipeline.requests", fn=lambda: self.fast_path.requests)
+        m.counter("pipeline.tlb_misses",
+                  fn=lambda: self.fast_path.tlb_miss_count)
+        m.counter("slowpath.allocs", fn=lambda: self.slow_path.allocs)
+        m.counter("slowpath.frees", fn=lambda: self.slow_path.frees)
+        m.counter("slowpath.stalled_requests",
+                  fn=lambda: self.slow_path.stalled_requests)
+        m.gauge("inflight", "requests in the handler chain",
+                fn=lambda: self._inflight)
+
+    def set_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Enable/disable span tracing on the board and its sub-paths."""
+        self.tracer = tracer
+        self.fast_path.tracer = tracer
+        self.fast_path.track = self.name
+        self.slow_path.tracer = tracer
+        self.slow_path.track = self.name
+
     # -- failure model ------------------------------------------------------------
 
     def crash(self) -> None:
@@ -158,6 +232,8 @@ class CBoard:
         self._inflight = 0
         self._fence_barrier = None
         self._drain_events.clear()
+        if self.tracer is not None:
+            self._crash_span = self.tracer.begin("crashed", "fault", self.name)
 
     def restart(self) -> None:
         """Bring a crashed board back; cold caches re-warm on demand.
@@ -170,6 +246,9 @@ class CBoard:
             raise ValueError(f"{self.name} is not crashed")
         self.alive = True
         self.restarts += 1
+        if self.tracer is not None:
+            self.tracer.end(self._crash_span)
+            self._crash_span = None
 
     # -- wiring -------------------------------------------------------------------
 
@@ -211,40 +290,52 @@ class CBoard:
 
     def _handle(self, packet: Packet, path: Path, epoch: int):
         header = packet.header
-        # Fence barrier: anything arriving after a fence waits for the drain.
-        # (A crash resets the barrier without firing it, so pre-crash
-        # waiters park here forever — their responses are lost anyway.)
-        while self._fence_barrier is not None and header.packet_type is not PacketType.FENCE:
-            yield self._fence_barrier
-
-        if header.packet_type is PacketType.FENCE:
-            yield from self._handle_fence(packet, epoch)
-            return
-
-        self._inflight += 1
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                f"mn:{header.packet_type.value}", "cboard", self.name,
+                args={"request_id": header.request_id, "src": header.src})
         try:
-            if path is Path.FAST:
-                if header.packet_type is PacketType.READ:
-                    yield from self._handle_read(packet, epoch)
-                elif header.packet_type is PacketType.WRITE:
-                    yield from self._handle_write(packet, epoch)
-                elif header.packet_type is PacketType.ATOMIC:
-                    yield from self._handle_atomic(packet, epoch)
-            elif path is Path.SLOW:
-                if header.packet_type is PacketType.ALLOC:
-                    yield from self._handle_alloc(packet, epoch)
-                elif header.packet_type is PacketType.FREE:
-                    yield from self._handle_free(packet, epoch)
-            elif path is Path.EXTEND:
-                yield from self._handle_offload(packet, epoch)
+            # Fence barrier: anything arriving after a fence waits for the
+            # drain.  (A crash resets the barrier without firing it, so
+            # pre-crash waiters park here forever — their responses are
+            # lost anyway.)
+            while self._fence_barrier is not None and header.packet_type is not PacketType.FENCE:
+                yield self._fence_barrier
+
+            if header.packet_type is PacketType.FENCE:
+                yield from self._handle_fence(packet, epoch)
+                return
+
+            self._inflight += 1
+            try:
+                if path is Path.FAST:
+                    if header.packet_type is PacketType.READ:
+                        yield from self._handle_read(packet, epoch)
+                    elif header.packet_type is PacketType.WRITE:
+                        yield from self._handle_write(packet, epoch)
+                    elif header.packet_type is PacketType.ATOMIC:
+                        yield from self._handle_atomic(packet, epoch)
+                elif path is Path.SLOW:
+                    if header.packet_type is PacketType.ALLOC:
+                        yield from self._handle_alloc(packet, epoch)
+                    elif header.packet_type is PacketType.FREE:
+                        yield from self._handle_free(packet, epoch)
+                elif path is Path.EXTEND:
+                    yield from self._handle_offload(packet, epoch)
+            finally:
+                # A crash zeroed the in-flight count; a pre-crash handler
+                # must not decrement the new epoch's bookkeeping on its
+                # way out.
+                if epoch == self._epoch:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        while self._drain_events:
+                            self._drain_events.popleft().succeed()
         finally:
-            # A crash zeroed the in-flight count; a pre-crash handler must
-            # not decrement the new epoch's bookkeeping on its way out.
-            if epoch == self._epoch:
-                self._inflight -= 1
-                if self._inflight == 0:
-                    while self._drain_events:
-                        self._drain_events.popleft().succeed()
+            if tracer is not None:
+                tracer.end(span, discarded=epoch != self._epoch)
 
     # -- fast path handlers -----------------------------------------------------------
 
@@ -461,6 +552,11 @@ class CBoard:
             # it lost power, so the packet never makes it to the wire.
             self.responses_discarded += 1
             return
+        if self.tracer is not None:
+            self.tracer.instant(
+                "mn_response", "cboard", self.name,
+                args={"request_id": request_id, "type": packet_type.value,
+                      "dst": dst})
         if self.topology is None:
             return  # locally-driven board (on-board benchmarks): no network
         header = ClioHeader(
@@ -494,18 +590,6 @@ class CBoard:
         return self.pa_allocator.utilization
 
     def stats(self) -> dict:
-        return {
-            "requests_served": self.requests_served,
-            "bytes_served": self.bytes_served,
-            "tlb_hit_rate": self.tlb.hit_rate,
-            "page_faults": self.fast_path.faults,
-            "nacks_sent": self.nacks_sent,
-            "retry_dedups": self.retry_buffer.dedup_hits,
-            "memory_utilization": self.memory_utilization,
-            "pt_entries": self.page_table.entry_count,
-            "alive": self.alive,
-            "crashes": self.crashes,
-            "restarts": self.restarts,
-            "packets_dropped_dead": self.packets_dropped_dead,
-            "responses_discarded": self.responses_discarded,
-        }
+        """Public counters — a view over the board's registry instruments
+        (same keys and values as the historical ad-hoc dict)."""
+        return self._stats.snapshot()

@@ -107,6 +107,11 @@ class FastPath:
         # Background PT write-backs issued by the fault handler (parallel
         # task 1 of 3); tracked only for accounting.
         self.background_pt_writes = 0
+        # Span tracing: None unless the owning board enables it.  Hooks
+        # only *record* — no events, no RNG — so traced and untraced runs
+        # share every simulated timestamp.
+        self.tracer = None
+        self.track = "fastpath"
 
     # -- ingestion (smoothness) ------------------------------------------------
 
@@ -161,6 +166,19 @@ class FastPath:
         self.tlb.insert(pid, vpn, ppn, entry.permission)
         return Status.OK, ppn
 
+    def _stage_span(self, access: AccessType, start: int, status: Status,
+                    breakdown: Breakdown) -> None:
+        """One complete pipeline-stage span carrying the breakdown args."""
+        self.tracer.complete(
+            f"fastpath:{access.name.lower()}", "pipeline", self.track,
+            start, self.env.now,
+            args={"status": status.value,
+                  "ingest_ns": breakdown.ingest_ns,
+                  "pipeline_ns": breakdown.pipeline_ns,
+                  "tlb_miss_ns": breakdown.tlb_miss_ns,
+                  "fault_ns": breakdown.fault_ns,
+                  "dram_ns": breakdown.dram_ns})
+
     def _handle_fault(self, pid: int, vpn: int, entry, breakdown: Breakdown):
         start = self.env.now
         key = (pid, vpn)
@@ -193,6 +211,10 @@ class FastPath:
         finally:
             del self._pending_faults[key]
             done.succeed()
+            if self.tracer is not None:
+                self.tracer.complete("page_fault", "pipeline", self.track,
+                                     start, self.env.now,
+                                     args={"pid": pid, "vpn": vpn})
 
     # -- data access ------------------------------------------------------------------
 
@@ -239,6 +261,8 @@ class FastPath:
             status, ppn = yield from self._translate(pid, vpn, access, breakdown)
             if status is not Status.OK:
                 breakdown.total_ns = self.env.now - start
+                if self.tracer is not None:
+                    self._stage_span(access, start, status, breakdown)
                 return FastPathResult(status=status, breakdown=breakdown,
                                       tlb_missed=self.tlb_miss_count > tlb_misses_before,
                                       faulted=self.faults > faults_before)
@@ -264,6 +288,8 @@ class FastPath:
                 self.dram.write(pa, data[req_off:req_off + length])
 
         breakdown.total_ns = self.env.now - start
+        if self.tracer is not None:
+            self._stage_span(access, start, Status.OK, breakdown)
         return FastPathResult(
             status=Status.OK, data=result_data,
             tlb_missed=self.tlb_miss_count > tlb_misses_before,

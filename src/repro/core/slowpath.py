@@ -62,11 +62,18 @@ class SlowPath:
         # lifts.  The fast path is unaffected — only metadata ops stall.
         self._stall_gate = None
         self.stalled_requests = 0
+        # Span tracing (None = disabled); the owning CBoard sets both.
+        self.tracer = None
+        self.track = "slowpath"
+        self._stall_span = None
 
     def begin_stall(self) -> None:
         """Stop servicing new slow-path work until :meth:`end_stall`."""
         if self._stall_gate is None:
             self._stall_gate = self.env.event()
+            if self.tracer is not None:
+                self._stall_span = self.tracer.begin("arm_stall", "fault",
+                                                     self.track)
 
     def end_stall(self) -> None:
         """Resume servicing; queued requests proceed in arrival order."""
@@ -74,6 +81,9 @@ class SlowPath:
         if gate is not None:
             self._stall_gate = None
             gate.succeed()
+            if self.tracer is not None:
+                self.tracer.end(self._stall_span)
+                self._stall_span = None
 
     @property
     def stalled(self) -> bool:
@@ -98,6 +108,11 @@ class SlowPath:
         (paper section 7.1) + handoff out.  The PTE inserts are forwarded
         to the fast path's table as *valid, not present* entries.
         """
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin("slowpath:alloc", "slowpath", self.track,
+                                args={"pid": pid, "size": size})
         yield from self._stall_check()
         worker = self._workers.request()
         yield worker
@@ -109,6 +124,8 @@ class SlowPath:
                     pid, size, permission=permission, fixed_va=fixed_va)
             except (AllocationError, ValueError) as exc:
                 yield from self._handoff()
+                if tracer is not None:
+                    tracer.end(span, ok=False)
                 return AllocResponse(ok=False, error=str(exc))
             if outcome.retries:
                 yield self.env.timeout(outcome.retries * self.params.arm_retry_ns)
@@ -117,6 +134,8 @@ class SlowPath:
             # on-board table happens in the background (not on this path).
             self.shadow_syncs += 1
             yield from self._handoff()
+            if tracer is not None:
+                tracer.end(span, ok=True, retries=outcome.retries)
             return AllocResponse(ok=True, va=outcome.allocation.va,
                                  size=outcome.allocation.size,
                                  retries=outcome.retries)
@@ -130,6 +149,11 @@ class SlowPath:
         can never observe stale bytes (R5), and stale TLB translations are
         shot down for consistency with in-flight operations.
         """
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin("slowpath:free", "slowpath", self.track,
+                                args={"pid": pid, "va": va})
         yield from self._stall_check()
         worker = self._workers.request()
         yield worker
@@ -140,6 +164,8 @@ class SlowPath:
                 allocation, freed_ppns = self.va_allocator.free(pid, va)
             except KeyError as exc:
                 yield from self._handoff()
+                if tracer is not None:
+                    tracer.end(span, ok=False)
                 return FreeResponse(ok=False, error=str(exc))
             page_size = self.va_allocator.page_spec.page_size
             first_vpn = allocation.va // page_size
@@ -151,6 +177,8 @@ class SlowPath:
                 self.pa_allocator.free(ppn)
             self.frees += 1
             yield from self._handoff()
+            if tracer is not None:
+                tracer.end(span, ok=True, freed_pages=len(freed_ppns))
             return FreeResponse(ok=True, freed_pages=len(freed_ppns))
         finally:
             self._workers.release(worker)

@@ -16,7 +16,9 @@ run's event sequence is untouched.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
+
+from repro.telemetry.metrics import MetricsRegistry, StatsView
 
 
 @dataclass(frozen=True)
@@ -32,7 +34,8 @@ class HealthMonitor:
     """Polls boards every ``interval_ns``; belief lags reality by design."""
 
     def __init__(self, env, boards: Sequence, interval_ns: int = 100_000,
-                 miss_threshold: int = 3):
+                 miss_threshold: int = 3,
+                 registry: Optional[MetricsRegistry] = None):
         if interval_ns <= 0:
             raise ValueError(f"interval must be positive, got {interval_ns}")
         if miss_threshold < 1:
@@ -47,6 +50,17 @@ class HealthMonitor:
         self.transitions: list[HealthTransition] = []
         self.heartbeats = 0
         self._started = False
+        self.tracer = None
+        self.metrics = (registry if registry is not None
+                        else MetricsRegistry()).scope("health")
+        self._stats = StatsView({
+            "heartbeats": self.metrics.counter(
+                "heartbeats", fn=lambda: self.heartbeats),
+            "dead_boards": self.metrics.gauge(
+                "dead_boards", fn=self.dead_boards),
+            "transitions": self.metrics.counter(
+                "transitions", fn=lambda: len(self.transitions)),
+        })
 
     def start(self) -> None:
         """Begin the periodic heartbeat sweep (idempotent)."""
@@ -66,6 +80,8 @@ class HealthMonitor:
                     self._believed_alive[name] = True
                     self.transitions.append(
                         HealthTransition(self.env.now, name, True))
+                    if self.tracer is not None:
+                        self.tracer.instant("board_up", "health", name)
             else:
                 self._misses[name] += 1
                 if (self._believed_alive[name]
@@ -73,6 +89,9 @@ class HealthMonitor:
                     self._believed_alive[name] = False
                     self.transitions.append(
                         HealthTransition(self.env.now, name, False))
+                    if self.tracer is not None:
+                        self.tracer.instant("board_down", "health", name,
+                                            args={"misses": self._misses[name]})
         self.env.schedule_callback(self.interval_ns, self._sweep)
 
     # -- queries -----------------------------------------------------------------
@@ -86,8 +105,4 @@ class HealthMonitor:
                       if not alive)
 
     def stats(self) -> dict:
-        return {
-            "heartbeats": self.heartbeats,
-            "dead_boards": self.dead_boards(),
-            "transitions": len(self.transitions),
-        }
+        return self._stats.snapshot()

@@ -60,6 +60,11 @@ class FaultInjector:
     def _log(self, event: FaultEvent, applied: bool, note: str = "") -> None:
         self.applied.append(AppliedFault(self.env.now, event.kind,
                                          event.target, applied, note))
+        tracer = getattr(self.cluster, "tracer", None)
+        if tracer is not None:
+            tracer.instant(f"fault:{event.kind.value}", "fault",
+                           event.target,
+                           args={"applied": applied, "note": note})
 
     def _board(self, name: str):
         board = self._boards.get(name)

@@ -24,6 +24,7 @@ from repro.net.packet import Packet
 from repro.params import SEC
 from repro.sim import Environment
 from repro.sim.rng import RandomStream
+from repro.telemetry.metrics import MetricsRegistry, StatsView
 
 Deliver = Callable[[Packet], None]
 
@@ -35,7 +36,8 @@ class Link:
                  propagation_ns: int, deliver: Deliver,
                  rng: Optional[RandomStream] = None,
                  loss_rate: float = 0.0, corruption_rate: float = 0.0,
-                 jitter_ns: int = 0):
+                 jitter_ns: int = 0,
+                 registry: Optional[MetricsRegistry] = None):
         if rate_bps <= 0:
             raise ValueError(f"rate must be positive, got {rate_bps}")
         if propagation_ns < 0:
@@ -64,6 +66,26 @@ class Link:
         self.packets_dropped_down = 0
         self.packets_corrupted = 0
         self.bytes_sent = 0
+        # Span tracing (None = disabled, the common case).
+        self.tracer = None
+        self.metrics = (registry if registry is not None
+                        else MetricsRegistry()).scope(f"link.{name}")
+        self._stats = StatsView({
+            "packets_sent": self.metrics.counter(
+                "packets_sent", fn=lambda: self.packets_sent),
+            "packets_dropped": self.metrics.counter(
+                "packets_dropped", fn=lambda: self.packets_dropped),
+            "packets_dropped_down": self.metrics.counter(
+                "packets_dropped_down", fn=lambda: self.packets_dropped_down),
+            "packets_corrupted": self.metrics.counter(
+                "packets_corrupted", fn=lambda: self.packets_corrupted),
+            "bytes_sent": self.metrics.counter(
+                "bytes_sent", fn=lambda: self.bytes_sent, unit="bytes"),
+        })
+        self.metrics.gauge("queue_depth", fn=lambda: self.queue_depth)
+
+    def stats(self) -> dict:
+        return self._stats.snapshot()
 
     def set_down(self) -> None:
         """Take the link down: every send is dropped, no delivery scheduled."""
@@ -80,6 +102,9 @@ class Link:
             # the serializer, the RNG streams, or any delivery callback, so
             # the no-fault event/draw sequence is untouched by this branch.
             self.packets_dropped_down += 1
+            if self.tracer is not None:
+                self.tracer.instant("drop:down", "net", self.name,
+                                    args={"dst": packet.header.dst})
             return
         env = self.env
         now = env.now
@@ -93,10 +118,16 @@ class Link:
         self.bytes_sent += packet.wire_bytes
         if self.rng.chance(self.loss_rate):
             self.packets_dropped += 1
+            if self.tracer is not None:
+                self.tracer.instant("drop:loss", "net", self.name,
+                                    args={"dst": packet.header.dst})
             return
         if self.rng.chance(self.corruption_rate):
             self.packets_corrupted += 1
             packet.corrupt = True
+            if self.tracer is not None:
+                self.tracer.instant("corrupt", "net", self.name,
+                                    args={"dst": packet.header.dst})
         delay = done - now + self.propagation_ns
         if self.jitter_ns:
             delay += self.rng.uniform_int(0, self.jitter_ns)

@@ -16,6 +16,7 @@ from repro.net.packet import Packet
 from repro.sim import Environment
 from repro.sim.rng import RandomStream
 from repro.params import NetworkParams
+from repro.telemetry.metrics import MetricsRegistry, StatsView
 
 Deliver = Callable[[Packet], None]
 
@@ -23,12 +24,24 @@ Deliver = Callable[[Packet], None]
 class Switch:
     """Output-queued ToR switch."""
 
-    def __init__(self, env: Environment, forward_ns: int):
+    def __init__(self, env: Environment, forward_ns: int,
+                 registry: Optional[MetricsRegistry] = None):
         self.env = env
         self.forward_ns = forward_ns
         self._downlinks: dict[str, Link] = {}
         self.packets_forwarded = 0
         self.unroutable = 0
+        self.metrics = (registry if registry is not None
+                        else MetricsRegistry()).scope("switch.tor")
+        self._stats = StatsView({
+            "packets_forwarded": self.metrics.counter(
+                "packets_forwarded", fn=lambda: self.packets_forwarded),
+            "unroutable": self.metrics.counter(
+                "unroutable", fn=lambda: self.unroutable),
+        })
+
+    def stats(self) -> dict:
+        return self._stats.snapshot()
 
     def attach(self, node: str, downlink: Link) -> None:
         if node in self._downlinks:
@@ -61,11 +74,14 @@ class Topology:
     """
 
     def __init__(self, env: Environment, params: NetworkParams,
-                 rng: Optional[RandomStream] = None):
+                 rng: Optional[RandomStream] = None,
+                 registry: Optional[MetricsRegistry] = None):
         self.env = env
         self.params = params
         self.rng = rng or RandomStream(0, "net")
-        self.switch = Switch(env, params.switch_forward_ns)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.switch = Switch(env, params.switch_forward_ns,
+                             registry=self.registry)
         self._uplinks: dict[str, Link] = {}
         self._receivers: dict[str, Deliver] = {}
 
@@ -81,14 +97,14 @@ class Topology:
             deliver=self.switch.ingress, rng=self.rng.fork(f"up/{name}"),
             loss_rate=self.params.loss_rate,
             corruption_rate=self.params.corruption_rate,
-            jitter_ns=self.params.jitter_ns)
+            jitter_ns=self.params.jitter_ns, registry=self.registry)
         downlink = Link(
             self.env, f"tor->{name}", rate, self.params.propagation_ns,
             deliver=lambda packet, _name=name: self._receivers[_name](packet),
             rng=self.rng.fork(f"down/{name}"),
             loss_rate=self.params.loss_rate,
             corruption_rate=self.params.corruption_rate,
-            jitter_ns=self.params.jitter_ns)
+            jitter_ns=self.params.jitter_ns, registry=self.registry)
         self.switch.attach(name, downlink)
 
     def send(self, packet: Packet) -> None:
@@ -110,6 +126,18 @@ class Topology:
     def links_for(self, name: str) -> tuple[Link, Link]:
         """(uplink, downlink) pair of a node, for fault injection."""
         return self.uplink(name), self.downlink(name)
+
+    def all_links(self) -> list[Link]:
+        """Every link in the topology (uplinks then downlinks, by name)."""
+        links = [self._uplinks[n] for n in sorted(self._uplinks)]
+        links += [self.switch._downlinks[n]
+                  for n in sorted(self.switch._downlinks)]
+        return links
+
+    def set_tracer(self, tracer) -> None:
+        """Enable (or with ``None``, disable) span tracing on every link."""
+        for link in self.all_links():
+            link.tracer = tracer
 
     def set_node_up(self, name: str, up: bool) -> None:
         """Cut or restore both directions of a node's cable."""

@@ -1,0 +1,33 @@
+"""First-class observability: metrics, spans, and exporters.
+
+See ``docs/observability.md`` for the instrument and span models, the
+exporter formats, and the zero-cost-when-disabled guarantees.
+"""
+
+from repro.telemetry.export import chrome_trace, render_dashboard, write_chrome_trace
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    MetricsRegistry,
+    MetricsScope,
+    StatsView,
+)
+from repro.telemetry.spans import Instant, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "Instrument",
+    "MetricsRegistry",
+    "MetricsScope",
+    "Span",
+    "StatsView",
+    "Tracer",
+    "chrome_trace",
+    "render_dashboard",
+    "write_chrome_trace",
+]

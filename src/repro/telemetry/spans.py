@@ -1,0 +1,191 @@
+"""Structured span tracing over simulated time.
+
+A :class:`Tracer` records *spans* (named intervals with a start and end
+timestamp) and *instants* (point events) on named *tracks* — one track
+per node, board, or subsystem.  Components carry a ``tracer`` attribute
+that is ``None`` by default; every hook site is guarded by a single
+``is not None`` check, so an untraced run does no work beyond that test
+and stays bit-identical to a tracer-less tree.
+
+Recording never schedules events, never yields, and never draws from an
+RNG stream: even a *traced* run keeps exactly the same simulated
+timestamps as an untraced one.  The only cost is wall-clock time and
+memory, both bounded by ``max_records``.
+
+The span vocabulary the built-in instrumentation emits:
+
+===========================  ==========  =====================================
+name                         category    emitted by
+===========================  ==========  =====================================
+``request:<type>``           transport   CLib request issue -> complete/fail
+``attempt:<type>``           transport   one (re)transmission -> ack/timeout
+``mn:<type>``                cboard      MN handler: receive -> response
+``mn_response`` (instant)    cboard      each response packet generated
+``fastpath:<access>``        pipeline    one fast-path traversal (+breakdown)
+``page_fault``               pipeline    bounded hardware fault resolution
+``slowpath:<op>``            slowpath    ARM alloc/free handling
+``arm_stall``                fault       slow-path stall window
+``crashed``                  fault       board crash -> restart window
+``fault:<kind>`` (instant)   fault       each injector application
+``drop:<why>`` (instant)     net         link loss / down-drop / corruption
+``board_down``/``board_up``  health      monitor belief transitions (instant)
+===========================  ==========  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass(slots=True)
+class Span:
+    """A named interval on a track; ``end_ns`` is None while open."""
+
+    name: str
+    category: str
+    track: str
+    start_ns: int
+    end_ns: Optional[int] = None
+    args: Optional[dict] = None
+    seq: int = 0
+
+    @property
+    def open(self) -> bool:
+        return self.end_ns is None
+
+    @property
+    def duration_ns(self) -> Optional[int]:
+        if self.end_ns is None:
+            return None
+        return self.end_ns - self.start_ns
+
+
+@dataclass(slots=True)
+class Instant:
+    """A point event on a track."""
+
+    name: str
+    category: str
+    track: str
+    at_ns: int
+    args: Optional[dict] = None
+    seq: int = 0
+
+
+class Tracer:
+    """Bounded recorder of spans and instants against one environment."""
+
+    def __init__(self, env, max_records: int = 1_000_000):
+        if max_records <= 0:
+            raise ValueError(
+                f"max_records must be positive, got {max_records}")
+        self.env = env
+        self.max_records = max_records
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self.dropped = 0
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants)
+
+    def _admit(self) -> bool:
+        if len(self.spans) + len(self.instants) >= self.max_records:
+            self.dropped += 1
+            return False
+        return True
+
+    # -- recording -------------------------------------------------------------
+
+    def begin(self, name: str, category: str, track: str,
+              args: Optional[dict] = None,
+              at_ns: Optional[int] = None) -> Optional[Span]:
+        """Open a span; returns None (a no-op handle) when over capacity."""
+        if not self._admit():
+            return None
+        self._seq += 1
+        span = Span(name=name, category=category, track=track,
+                    start_ns=self.env.now if at_ns is None else at_ns,
+                    args=args, seq=self._seq)
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Optional[Span], at_ns: Optional[int] = None,
+            **extra_args: Any) -> None:
+        """Close a span from :meth:`begin`; tolerates the None handle."""
+        if span is None:
+            return
+        span.end_ns = self.env.now if at_ns is None else at_ns
+        if extra_args:
+            if span.args is None:
+                span.args = {}
+            span.args.update(extra_args)
+
+    def complete(self, name: str, category: str, track: str,
+                 start_ns: int, end_ns: int,
+                 args: Optional[dict] = None) -> Optional[Span]:
+        """Record an already-finished interval in one call."""
+        if not self._admit():
+            return None
+        self._seq += 1
+        span = Span(name=name, category=category, track=track,
+                    start_ns=start_ns, end_ns=end_ns, args=args,
+                    seq=self._seq)
+        self.spans.append(span)
+        return span
+
+    def instant(self, name: str, category: str, track: str,
+                at_ns: Optional[int] = None,
+                args: Optional[dict] = None) -> Optional[Instant]:
+        if not self._admit():
+            return None
+        self._seq += 1
+        event = Instant(name=name, category=category, track=track,
+                        at_ns=self.env.now if at_ns is None else at_ns,
+                        args=args, seq=self._seq)
+        self.instants.append(event)
+        return event
+
+    # -- queries ----------------------------------------------------------------
+
+    def find_spans(self, name_prefix: str = "",
+                   category: Optional[str] = None,
+                   track: Optional[str] = None) -> list[Span]:
+        return [span for span in self.spans
+                if span.name.startswith(name_prefix)
+                and (category is None or span.category == category)
+                and (track is None or span.track == track)]
+
+    def find_instants(self, name_prefix: str = "",
+                      category: Optional[str] = None,
+                      track: Optional[str] = None) -> list[Instant]:
+        return [event for event in self.instants
+                if event.name.startswith(name_prefix)
+                and (category is None or event.category == category)
+                and (track is None or event.track == track)]
+
+    def tracks(self) -> list[str]:
+        return sorted({record.track for record in self.spans}
+                      | {record.track for record in self.instants})
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.instants.clear()
+        self.dropped = 0
+
+    def summary(self) -> dict:
+        """Per-span-name aggregate: count and total/mean duration (ns)."""
+        out: dict[str, dict] = {}
+        for span in self.spans:
+            entry = out.setdefault(span.name, {"count": 0, "total_ns": 0,
+                                               "open": 0})
+            entry["count"] += 1
+            if span.end_ns is None:
+                entry["open"] += 1
+            else:
+                entry["total_ns"] += span.end_ns - span.start_ns
+        for entry in out.values():
+            closed = entry["count"] - entry["open"]
+            entry["mean_ns"] = entry["total_ns"] / closed if closed else None
+        return out

@@ -18,6 +18,8 @@ from typing import Any, Optional
 from repro.net.packet import ClioHeader, Packet, PacketType, fragment_payload
 from repro.params import ClioParams
 from repro.sim import Environment, Event
+from repro.telemetry.metrics import MetricsRegistry, StatsView
+from repro.telemetry.spans import Tracer
 from repro.transport.congestion import (
     CongestionController,
     IncastController,
@@ -87,7 +89,8 @@ class Transport:
     """One CN's transport endpoint: send requests, match responses."""
 
     def __init__(self, env: Environment, node_name: str, topology,
-                 params: ClioParams):
+                 params: ClioParams,
+                 registry: Optional[MetricsRegistry] = None):
         self.env = env
         self.node_name = node_name
         self.topology = topology
@@ -105,6 +108,34 @@ class Transport:
         self.requests_failed = 0
         topology.add_node(node_name, self.receive,
                           port_rate_bps=params.network.cn_nic_rate_bps)
+        # Telemetry: counters stay plain attributes; the registry holds
+        # function-backed views under `transport.<node>.*`; span tracing
+        # is off (None) unless the cluster enables it.
+        self.tracer: Optional[Tracer] = None
+        self.metrics = (registry if registry is not None
+                        else MetricsRegistry()).scope(
+                            f"transport.{node_name}")
+        m = self.metrics
+        self._stats = StatsView({
+            "requests_issued": m.counter(
+                "requests_issued", fn=lambda: self.requests_issued),
+            "requests_completed": m.counter(
+                "requests_completed", fn=lambda: self.requests_completed),
+            "requests_failed": m.counter(
+                "requests_failed", "original + all retries exhausted",
+                fn=lambda: self.requests_failed),
+            "total_retries": m.counter(
+                "total_retries", fn=lambda: self.total_retries),
+            "stale_responses": m.counter(
+                "stale_responses", "responses to already-retried IDs",
+                fn=lambda: self.stale_responses),
+        })
+        m.gauge("pending", "in-flight request IDs",
+                fn=lambda: len(self._pending))
+
+    def stats(self) -> dict:
+        """Public transport counters — a view over registry instruments."""
+        return self._stats.snapshot()
 
     def congestion(self, mn: str) -> CongestionController:
         controller = self._congestion.get(mn)
@@ -225,6 +256,12 @@ class Transport:
         congestion = self.congestion(mn)
         original_id: Optional[int] = None
         retries = 0
+        tracer = self.tracer
+        request_span = None
+        if tracer is not None:
+            request_span = tracer.begin(
+                f"request:{packet_type.value}", "transport", self.node_name,
+                args={"mn": mn, "pid": pid, "va": va, "size": size})
 
         for attempt in range(clib.max_retries + 1):
             # Uncontended fast path: skip the admission generator entirely.
@@ -249,6 +286,13 @@ class Transport:
             yield self.env.timeout(clib.request_overhead_ns // 2)
             self._emit(mn, request_id, packet_type, pid, va, size, data,
                        payload, retry_of)
+            attempt_span = None
+            if tracer is not None:
+                attempt_span = tracer.begin(
+                    f"attempt:{packet_type.value}", "transport",
+                    self.node_name,
+                    args={"request_id": request_id, "mn": mn,
+                          "retry_of": retry_of})
 
             # Exponential backoff: each retry doubles the TIMEOUT, so a
             # transient incast queue drains instead of being re-fed.  The
@@ -264,11 +308,16 @@ class Transport:
                 congestion.on_ack(rtt)
                 self._wake_senders()
                 del self._pending[request_id]
+                if tracer is not None:
+                    tracer.end(attempt_span, outcome="ok")
                 yield self.env.timeout(clib.request_overhead_ns
                                        - clib.request_overhead_ns // 2)
                 body, response_data = self._assemble(state)
                 self.requests_completed += 1
                 self.total_retries += retries
+                if tracer is not None:
+                    tracer.end(request_span, outcome="ok", retries=retries,
+                               request_id=request_id, rtt_ns=rtt)
                 return RequestOutcome(body=body, data=response_data,
                                       rtt_ns=rtt, retries=retries,
                                       request_id=request_id)
@@ -280,6 +329,8 @@ class Transport:
                 last_reason = "corrupted response"
             else:
                 last_reason = "timeout"
+            if tracer is not None:
+                tracer.end(attempt_span, outcome=last_reason)
             if not state.timed_out:
                 congestion.on_ack(self.env.now - state.sent_at)
             else:
@@ -291,6 +342,9 @@ class Transport:
 
         self.total_retries += retries
         self.requests_failed += 1
+        if tracer is not None:
+            tracer.end(request_span, outcome="failed", retries=retries,
+                       reason=last_reason)
         raise RequestFailed(mn, packet_type, va, attempts=retries + 1,
                             reason=last_reason)
 

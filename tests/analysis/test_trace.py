@@ -79,17 +79,48 @@ def test_retry_attempts_visible_in_trace():
     assert retried     # with 25% loss some attempt carried retry_of
 
 
-def test_detach_restores_hooks():
+def test_attach_never_patches_private_methods():
+    """The span-backed collector is a pure view: no instance overrides."""
     cluster = ClioCluster(mn_capacity=256 * MB)
     collector = TraceCollector()
     transport = cluster.cn(0).transport
+    board = cluster.mn
     collector.attach(cluster)
-    assert "_emit" in transport.__dict__        # instance override active
-    collector.detach()
-    assert "_emit" not in transport.__dict__    # class method restored
+    # _emit/_send stay the class methods — nothing is monkey-patched.
+    assert "_emit" not in transport.__dict__
+    assert "receive" not in transport.__dict__
+    assert "_send" not in board.__dict__
     assert transport._emit.__func__ is type(transport)._emit
+    assert board._send.__func__ is type(board)._send
+    assert cluster.tracer is not None
+    collector.detach()
+    assert cluster.tracer is None
+    assert transport.tracer is None
+    assert board.tracer is None
+
+
+def test_detach_stops_collection():
+    cluster = ClioCluster(mn_capacity=256 * MB)
+    collector = TraceCollector()
+    collector.attach(cluster)
+    collector.detach()
     run_simple_workload(cluster, ops=1)
     assert collector.summary()["traced_requests"] == 0
+
+
+def test_detach_freezes_collected_window():
+    """Records from the attached window stay queryable after detach,
+    and a later re-enabled tracer does not leak into the old window."""
+    cluster = ClioCluster(mn_capacity=256 * MB)
+    collector = TraceCollector()
+    collector.attach(cluster)
+    run_simple_workload(cluster, ops=1)
+    collector.detach()
+    traced = collector.summary()["traced_requests"]
+    assert traced >= 3      # alloc + write + read
+    cluster.enable_tracing()
+    run_simple_workload(cluster, ops=2)
+    assert collector.summary()["traced_requests"] == traced
 
 
 def test_bounded_memory_drops_over_capacity():

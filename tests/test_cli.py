@@ -97,6 +97,53 @@ def test_chaos_rejects_unknown_scenario():
         main(["chaos", "--scenario", "gremlins"])
 
 
+def test_version_flag(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert repro.__version__ in out
+    assert out.startswith("repro ")
+
+
+def test_metrics_command(capsys):
+    assert main(["metrics", "--ops", "20", "--size", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "cboard.mn0.requests_served" in out
+    assert "transport.cn0.requests_issued" in out
+    assert "attempt:read" in out            # span summary present
+
+
+def test_metrics_command_trace_export(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    assert main(["metrics", "--ops", "10", "--interval-us", "20",
+                 "--trace-out", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "timeseries" in out
+    assert str(trace_path) in out
+    trace = json.loads(trace_path.read_text())
+    events = trace["traceEvents"]
+    assert events
+    for event in events:
+        assert "name" in event and "ph" in event
+        if event["ph"] != "M":
+            assert isinstance(event["ts"], (int, float))
+    phases = {event["ph"] for event in events}
+    assert "X" in phases        # completed spans
+    assert "C" in phases        # sampled counters
+
+
+def test_metrics_command_prefix_filter(capsys):
+    assert main(["metrics", "--ops", "10", "--prefix", "cboard.mn0"]) == 0
+    out = capsys.readouterr().out
+    assert "cboard.mn0.requests_served" in out
+    assert "transport.cn0" not in out
+
+
 def test_cprofile_flag_prints_profile(capsys):
     assert main(["--cprofile", "latency", "--ops", "20"]) == 0
     out = capsys.readouterr().out
