@@ -9,6 +9,8 @@ simulation program:
 * ``alloc``    — VA/PA allocation costs vs RDMA MR registration;
 * ``ycsb``     — Clio-KV under a YCSB mix;
 * ``chaos``    — a fault-injection scenario with invariant checks;
+* ``verify``   — the runtime correctness stack: shadow oracle, invariant
+  sweeps, and linearizability checks over recorded histories;
 * ``metrics``  — an instrumented run: metrics dashboard, span summary,
   and an optional Chrome/Perfetto trace export.
 
@@ -326,6 +328,74 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """Run the correctness-checking stack end to end (docs/correctness.md).
+
+    Three passes: the MN atomic unit under multi-CN contention with a
+    crash mid-run (linearizability + invariants), Clio-KV get/put under
+    a YCSB-A-style mix with a crash (linearizability), and a verified
+    chaos scenario (shadow oracle + invariant sweeps).  Exit 1 on any
+    violation, with the offending telemetry spans printed for context.
+    """
+    from repro.verify import (
+        run_kv_linearizability,
+        run_sync_linearizability,
+        run_verified_chaos,
+        spans_near,
+    )
+
+    failures: list[str] = []
+    rows = []
+
+    def audit(result):
+        status = "ok" if result.ok else "VIOLATED"
+        if result.lin is not None and result.lin.ok is None:
+            status = "undecided"
+        rows.append([result.name, result.history_len,
+                     "yes" if (result.lin and result.lin.ok) else
+                     ("n/a" if result.lin is None else "NO"),
+                     result.report.get("read_mismatches", 0),
+                     len(result.violations), status])
+        for problem in result.problems():
+            failures.append(problem)
+            at_ns = None
+            for violation in result.violations:
+                at_ns = violation.at_ns
+                break
+            if at_ns is not None:
+                failures.extend(spans_near(result.tracer, at_ns))
+
+    sync_result = run_sync_linearizability(
+        seed=args.seed, num_clients=args.clients,
+        ops_per_client=args.ops, crash=not args.no_crash)
+    audit(sync_result)
+    kv_result = run_kv_linearizability(
+        seed=args.seed, ops_per_client=args.ops, crash=not args.no_crash)
+    audit(kv_result)
+
+    chaos = run_verified_chaos(args.scenario, seed=args.seed or 1234,
+                               ops_per_worker=args.ops * 10)
+    chaos_problems = chaos.check_invariants()
+    verification = chaos.verification or {}
+    rows.append([f"chaos:{args.scenario}", len(chaos.ops),
+                 "n/a", verification.get("read_mismatches", 0),
+                 verification.get("invariant_violations", 0),
+                 "ok" if not chaos_problems else "VIOLATED"])
+    failures.extend(chaos_problems)
+
+    print(render_table(
+        f"repro verify (seed {args.seed})",
+        ["workload", "history ops", "linearizable", "read mismatches",
+         "invariant violations", "verdict"], rows))
+    if failures:
+        for failure in failures:
+            print(f"VIOLATION: {failure}")
+        return 1
+    print("verification: oracle clean, invariants hold, "
+          "histories linearizable")
+    return 0
+
+
 def cmd_metrics(args) -> int:
     from repro.telemetry import render_dashboard, write_chrome_trace
 
@@ -418,6 +488,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rerun with the same seed and compare "
                             "fingerprints bit-for-bit")
     chaos.set_defaults(func=cmd_chaos)
+
+    verify = sub.add_parser(
+        "verify", help="runtime correctness checks: oracle, invariants, "
+                       "linearizability (docs/correctness.md)")
+    verify.add_argument("--ops", type=int, default=30,
+                        help="atomic/KV ops per client (chaos runs 10x)")
+    verify.add_argument("--clients", type=int, default=3,
+                        help="CNs hammering the shared atomic word")
+    verify.add_argument("--scenario", default="board-crash",
+                        help="chaos scenario to run under the oracle")
+    verify.add_argument("--no-crash", action="store_true",
+                        help="skip the mid-run board crash/restart")
+    verify.set_defaults(func=cmd_verify)
 
     metrics = sub.add_parser(
         "metrics", help="instrumented run with dashboard + trace export")

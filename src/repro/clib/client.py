@@ -48,6 +48,9 @@ class ComputeNode:
                                   or params.cboard.default_page_size)
         self.transport = Transport(env, name, topology, params,
                                    registry=registry)
+        # Runtime correctness checking (repro.verify); None = disabled,
+        # and every hook below sits behind a single `is not None` check.
+        self.verifier = None
 
     def process(self, mn: str, page_size: Optional[int] = None,
                 pid: Optional[int] = None) -> "ClioProcess":
@@ -73,6 +76,7 @@ class ClioProcess:
         self.mn = mn
         self.pid = pid
         self.page_spec = PageSpec(page_size)
+        self._thread_count = 0
 
     def thread(self, ordering_granularity: str = "page") -> "ClioThread":
         """New thread; ``ordering_granularity`` is "page" (paper default)
@@ -91,6 +95,10 @@ class ClioThread:
         self._tracker = DependencyTracker(self.env, process.page_spec,
                                           granularity=ordering_granularity)
         self.ops_issued = 0
+        process._thread_count += 1
+        #: Stable identity for verification histories (who invoked an op).
+        self.label = (f"{process.node.name}/p{process.pid}"
+                      f"/t{process._thread_count}")
 
     # -- internals -----------------------------------------------------------------
 
@@ -123,6 +131,10 @@ class ClioThread:
             self.process.mn, PacketType.ALLOC, pid=self.process.pid,
             payload=(size, permission, fixed_va))
         self._check(outcome, f"ralloc({size})")
+        verifier = self.process.node.verifier
+        if verifier is not None:
+            verifier.alloc_done(self, outcome.body.value.va,
+                                outcome.body.value.size)
         return outcome.body.value.va
 
     def rfree(self, va: int):
@@ -137,7 +149,12 @@ class ClioThread:
         outcome = yield from self._transport.request(
             self.process.mn, PacketType.FREE, pid=self.process.pid, va=va)
         self._check(outcome, f"rfree({va:#x})")
-        return outcome.body.value.freed_pages
+        freed_pages = outcome.body.value.freed_pages
+        verifier = self.process.node.verifier
+        if verifier is not None:
+            verifier.free_done(
+                self, va, freed_pages * self.process.page_spec.page_size)
+        return freed_pages
 
     # -- asynchronous metadata (section 3.1 offers both versions) ---------------------
 
@@ -155,6 +172,10 @@ class ClioThread:
                 self.process.mn, PacketType.ALLOC, pid=self.process.pid,
                 payload=(size, permission, None))
             self._check(outcome, f"async ralloc({size})")
+            verifier = self.process.node.verifier
+            if verifier is not None:
+                verifier.alloc_done(self, outcome.body.value.va,
+                                    outcome.body.value.size)
             return outcome.body.value.va
 
         process = self.env.process(runner())
@@ -183,7 +204,13 @@ class ClioThread:
                     self.process.mn, PacketType.FREE, pid=self.process.pid,
                     va=va)
                 self._check(outcome, f"async rfree({va:#x})")
-                return outcome.body.value.freed_pages
+                freed_pages = outcome.body.value.freed_pages
+                verifier = self.process.node.verifier
+                if verifier is not None:
+                    verifier.free_done(
+                        self, va,
+                        freed_pages * self.process.page_spec.page_size)
+                return freed_pages
             finally:
                 if not done.triggered:
                     done.succeed()
@@ -197,8 +224,19 @@ class ClioThread:
         """Process-generator: blocking read; returns the bytes."""
         self.ops_issued += 1
         yield from self._tracker.wait_for_conflicts(va, size, is_write=False)
-        outcome = yield from self._data_request(PacketType.READ, va, size, None)
-        self._check(outcome, f"rread({va:#x}, {size})")
+        verifier = self.process.node.verifier
+        token = (verifier.read_begin(self, va, size)
+                 if verifier is not None else None)
+        try:
+            outcome = yield from self._data_request(PacketType.READ, va,
+                                                    size, None)
+            self._check(outcome, f"rread({va:#x}, {size})")
+        except BaseException:
+            if token is not None:
+                verifier.read_failed(token)
+            raise
+        if token is not None:
+            verifier.read_checked(token, outcome.data, outcome.retries)
         return outcome.data
 
     def rwrite(self, va: int, data: bytes):
@@ -207,19 +245,49 @@ class ClioThread:
             raise ValueError("rwrite needs a non-empty payload")
         self.ops_issued += 1
         yield from self._tracker.wait_for_conflicts(va, len(data), is_write=True)
-        outcome = yield from self._data_request(
-            PacketType.WRITE, va, len(data), bytes(data))
-        self._check(outcome, f"rwrite({va:#x}, {len(data)})")
+        verifier = self.process.node.verifier
+        token = (verifier.write_begin(self, va, data)
+                 if verifier is not None else None)
+        try:
+            outcome = yield from self._data_request(
+                PacketType.WRITE, va, len(data), bytes(data))
+            self._check(outcome, f"rwrite({va:#x}, {len(data)})")
+        except BaseException:
+            # A failed or rejected write may still have applied at the MN
+            # (a crash can eat the ack after the data landed): the oracle
+            # keeps its bytes as acceptable "ghost" values.
+            if token is not None:
+                verifier.write_failed(token)
+            raise
+        if token is not None:
+            verifier.write_acked(token, outcome.retries)
 
     # -- asynchronous data path ------------------------------------------------------------
 
     def _async_op(self, packet_type: PacketType, va: int, size: int,
-                  data: Optional[bytes], done):
+                  data: Optional[bytes], done, vtoken=None):
+        verifier = (self.process.node.verifier
+                    if vtoken is not None else None)
         try:
-            outcome = yield from self._data_request(packet_type, va, size, data)
-            self._check(
-                outcome,
-                f"async {packet_type.value}({va:#x}, {size})")
+            try:
+                outcome = yield from self._data_request(packet_type, va,
+                                                        size, data)
+                self._check(
+                    outcome,
+                    f"async {packet_type.value}({va:#x}, {size})")
+            except BaseException:
+                if verifier is not None:
+                    if packet_type is PacketType.WRITE:
+                        verifier.write_failed(vtoken)
+                    else:
+                        verifier.read_failed(vtoken)
+                raise
+            if verifier is not None:
+                if packet_type is PacketType.WRITE:
+                    verifier.write_acked(vtoken, outcome.retries)
+                else:
+                    verifier.read_checked(vtoken, outcome.data,
+                                          outcome.retries)
             return outcome.data
         finally:
             if not done.triggered:
@@ -234,8 +302,12 @@ class ClioThread:
         self.ops_issued += 1
         yield from self._tracker.wait_for_conflicts(va, size, is_write=False)
         done = self._tracker.register(va, size, is_write=False)
+        verifier = self.process.node.verifier
+        vtoken = (verifier.read_begin(self, va, size)
+                  if verifier is not None else None)
         process = self.env.process(
-            self._async_op(PacketType.READ, va, size, None, done))
+            self._async_op(PacketType.READ, va, size, None, done,
+                           vtoken=vtoken))
         return AsyncHandle(self.env, process, "read")
 
     def rwrite_async(self, va: int, data: bytes):
@@ -246,8 +318,12 @@ class ClioThread:
         size = len(data)
         yield from self._tracker.wait_for_conflicts(va, size, is_write=True)
         done = self._tracker.register(va, size, is_write=True)
+        verifier = self.process.node.verifier
+        vtoken = (verifier.write_begin(self, va, data)
+                  if verifier is not None else None)
         process = self.env.process(
-            self._async_op(PacketType.WRITE, va, size, bytes(data), done))
+            self._async_op(PacketType.WRITE, va, size, bytes(data), done,
+                           vtoken=vtoken))
         return AsyncHandle(self.env, process, "write")
 
     def rpoll(self, handles: Sequence[AsyncHandle]):
@@ -262,10 +338,29 @@ class ClioThread:
 
     def _atomic(self, va: int, op: AtomicOp) -> "AtomicResult":
         self.ops_issued += 1
-        outcome = yield from self._transport.request(
-            self.process.mn, PacketType.ATOMIC, pid=self.process.pid,
-            va=va, payload=op)
-        self._check(outcome, f"atomic {op.kind}({va:#x})")
+        verifier = self.process.node.verifier
+        token = (verifier.atomic_begin(self, va, op)
+                 if verifier is not None else None)
+        try:
+            outcome = yield from self._transport.request(
+                self.process.mn, PacketType.ATOMIC, pid=self.process.pid,
+                va=va, payload=op)
+        except BaseException:
+            # Retries exhausted: the op may or may not have executed
+            # (indeterminate in the recorded history).
+            if token is not None:
+                verifier.atomic_failed(token, maybe_applied=True)
+            raise
+        try:
+            self._check(outcome, f"atomic {op.kind}({va:#x})")
+        except RemoteAccessError:
+            # The MN answered with a rejection: the op never executed.
+            if token is not None:
+                verifier.atomic_failed(token, maybe_applied=False)
+            raise
+        if token is not None:
+            verifier.atomic_acked(token, outcome.body.atomic,
+                                  outcome.retries)
         return outcome.body.atomic
 
     def rlock(self, lock_va: int, backoff_ns: int = 200,

@@ -58,6 +58,8 @@ class ClioCluster:
         # Span tracing is likewise opt-in (recording is passive — no
         # events, no RNG — but the record buffer costs memory).
         self.tracer = None
+        # Runtime correctness checking is opt-in the same way.
+        self.verifier = None
 
     def start_health_monitor(self, interval_ns: int = 100_000,
                              miss_threshold: int = 3):
@@ -104,6 +106,29 @@ class ClioCluster:
         self.topology.set_tracer(tracer)
         if self.health is not None:
             self.health.tracer = tracer
+
+    # -- verification -------------------------------------------------------------
+
+    def enable_verification(self, quick_checks: bool = True):
+        """Attach a :class:`~repro.verify.ClusterVerifier` everywhere.
+
+        Like tracing, checking is passive — hooks record and inspect
+        state synchronously inside existing callbacks, scheduling no
+        events and drawing no RNG — so a verified run keeps bit-identical
+        simulated timestamps (``tests/verify/test_chaos_oracle.py`` pins
+        it).  Idempotent: a second call returns the existing verifier.
+        """
+        if self.verifier is None:
+            from repro.verify import ClusterVerifier
+            self.verifier = ClusterVerifier(self, quick_checks=quick_checks)
+            self.verifier.attach()
+        return self.verifier
+
+    def disable_verification(self) -> None:
+        """Detach the verifier from every component (records are kept)."""
+        if self.verifier is not None:
+            self.verifier.detach()
+            self.verifier = None
 
     def board(self, name: str) -> CBoard:
         """Memory node by name (fault schedules address boards by name)."""

@@ -144,6 +144,8 @@ class CBoard:
         # The tracer is None unless the cluster enables span tracing.
         self.tracer: Optional[Tracer] = None
         self._crash_span = None
+        # Runtime correctness checking (repro.verify); None = disabled.
+        self.verifier = None
         self.metrics = (registry if registry is not None
                         else MetricsRegistry()).scope(f"cboard.{name}")
         self._register_metrics()
@@ -232,6 +234,8 @@ class CBoard:
         self._inflight = 0
         self._fence_barrier = None
         self._drain_events.clear()
+        if self.verifier is not None:
+            self.verifier.on_board_crash(self)
         if self.tracer is not None:
             self._crash_span = self.tracer.begin("crashed", "fault", self.name)
 
@@ -246,6 +250,8 @@ class CBoard:
             raise ValueError(f"{self.name} is not crashed")
         self.alive = True
         self.restarts += 1
+        if self.verifier is not None:
+            self.verifier.on_board_restart(self)
         if self.tracer is not None:
             self.tracer.end(self._crash_span)
             self._crash_span = None
@@ -334,6 +340,8 @@ class CBoard:
                         while self._drain_events:
                             self._drain_events.popleft().succeed()
         finally:
+            if self.verifier is not None and epoch == self._epoch:
+                self.verifier.on_board_request(self)
             if tracer is not None:
                 tracer.end(span, discarded=epoch != self._epoch)
 

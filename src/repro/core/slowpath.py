@@ -66,6 +66,10 @@ class SlowPath:
         self.tracer = None
         self.track = "slowpath"
         self._stall_span = None
+        # Runtime correctness checking (repro.verify); metadata ops are
+        # where pages move between free list, async buffer, and PTEs, so
+        # the verifier runs a full conservation sweep after each one.
+        self.verifier = None
 
     def begin_stall(self) -> None:
         """Stop servicing new slow-path work until :meth:`end_stall`."""
@@ -134,6 +138,8 @@ class SlowPath:
             # on-board table happens in the background (not on this path).
             self.shadow_syncs += 1
             yield from self._handoff()
+            if self.verifier is not None:
+                self.verifier.on_metadata_op(self)
             if tracer is not None:
                 tracer.end(span, ok=True, retries=outcome.retries)
             return AllocResponse(ok=True, va=outcome.allocation.va,
@@ -177,6 +183,8 @@ class SlowPath:
                 self.pa_allocator.free(ppn)
             self.frees += 1
             yield from self._handoff()
+            if self.verifier is not None:
+                self.verifier.on_metadata_op(self)
             if tracer is not None:
                 tracer.end(span, ok=True, freed_pages=len(freed_ppns))
             return FreeResponse(ok=True, freed_pages=len(freed_ppns))

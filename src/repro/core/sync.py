@@ -62,11 +62,19 @@ class AtomicUnit:
         self.dram = dram
         self._unit = Resource(env, capacity=1)
         self.operations = 0
+        # Occupancy watermarks: max_active > 1 would mean the serialization
+        # claim is broken (repro.verify checks it; plain ints, so tracking
+        # costs no events and no RNG).
+        self.active = 0
+        self.max_active = 0
 
     def execute(self, pa: int, op: AtomicOp):
         """Process-generator performing the RMW; returns AtomicResult."""
         request = self._unit.request()
         yield request
+        self.active += 1
+        if self.active > self.max_active:
+            self.max_active = self.active
         try:
             yield self.env.timeout(self.dram.access_time_ns(ATOMIC_WIDTH))
             old = int.from_bytes(self.dram.read(pa, ATOMIC_WIDTH), "little")
@@ -77,6 +85,7 @@ class AtomicUnit:
             self.operations += 1
             return AtomicResult(old_value=old, success=success)
         finally:
+            self.active -= 1
             self._unit.release(request)
 
     @staticmethod

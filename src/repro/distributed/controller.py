@@ -86,6 +86,9 @@ class GlobalController:
         self._migrating: dict[int, Any] = {}   # region_id -> drain event
         self.migrations = 0
         self.failed_migrations = 0
+        # Runtime correctness checking (repro.verify); when set, the
+        # shadow oracle follows regions across migrations.
+        self.verifier = None
 
     # -- placement ---------------------------------------------------------------------
 
@@ -257,10 +260,13 @@ class GlobalController:
                 lease.pid, lease.va)
             source_state.regions.discard(lease.region_id)
             target_state.regions.add(lease.region_id)
+            old_mn, old_va = lease.mn, lease.va
             lease.mn = target
             lease.va = response.va
             lease.generation += 1
             self.migrations += 1
+            if self.verifier is not None:
+                self.verifier.on_region_migrated(lease, old_mn, old_va)
             return True
         finally:
             del self._migrating[lease.region_id]

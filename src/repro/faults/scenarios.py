@@ -61,6 +61,10 @@ class ChaosReport:
     board_counters: dict[str, dict]
     crash_window: Optional[tuple[int, int]] = None  # (crash_ns, restart_ns)
     notes: list[str] = field(default_factory=list)
+    #: ClusterVerifier.report() when the run was verified; None otherwise.
+    #: Deliberately NOT part of fingerprint(): verification is passive, and
+    #: the fingerprint must stay bit-identical with it on or off.
+    verification: Optional[dict] = None
 
     # -- derived ---------------------------------------------------------------
 
@@ -103,6 +107,13 @@ class ChaosReport:
                 problems.append(
                     f"{name}: {issued} issued != {settled} settled "
                     "(a request neither completed nor failed)")
+        if self.verification is not None:
+            if self.verification["read_mismatches"]:
+                problems.extend(self.verification["mismatch_details"])
+            if self.verification["epoch_violations"]:
+                problems.extend(self.verification["epoch_details"])
+            if self.verification["invariant_violations"]:
+                problems.extend(self.verification["violations"])
         return problems
 
     def phase_throughput(self, settle_ns: int = 100 * US) -> Optional[dict]:
@@ -201,13 +212,19 @@ def run_chaos(scenario: str = "board-crash", seed: int = 1234,
               read_fraction: float = 0.5,
               deadline_ns: int = 200 * MS,
               params: Optional[ClioParams] = None,
-              schedule: Optional[FaultSchedule] = None) -> ChaosReport:
+              schedule: Optional[FaultSchedule] = None,
+              verify: bool = False) -> ChaosReport:
     """Run one chaos scenario end to end and return its report.
 
     ``schedule`` overrides the canned one (scenario then only names the
     report).  The workload is a YCSB-A-style mix: each worker does
     ``ops_per_worker`` reads/writes of ``io_bytes`` at seeded offsets in
     its own region, tolerating typed failures and recording every op.
+
+    With ``verify=True`` the full checking stack (shadow oracle +
+    invariant sweeps) rides along; checking is passive, so the report's
+    fingerprint is bit-identical either way, and its findings land in
+    ``report.verification`` (audited by ``check_invariants``).
     """
     if scenario not in SCENARIOS and schedule is None:
         raise ValueError(f"unknown scenario {scenario!r}; "
@@ -218,6 +235,7 @@ def run_chaos(scenario: str = "board-crash", seed: int = 1234,
 
     cluster = ClioCluster(params=params or _chaos_params(), seed=seed,
                           num_cns=num_cns, mn_capacity=256 * MB)
+    verifier = cluster.enable_verification() if verify else None
     injector = FaultInjector(cluster, schedule)
     env = cluster.env
     records: list[OpRecord] = []
@@ -278,4 +296,7 @@ def run_chaos(scenario: str = "board-crash", seed: int = 1234,
         board_counters={board.name: board.stats() for board in cluster.mns},
         crash_window=crash_window,
     )
+    if verifier is not None:
+        verifier.sweep()
+        report.verification = verifier.report()
     return report

@@ -1,0 +1,69 @@
+"""repro.verify: opt-in runtime correctness checking.
+
+Three layers, attached together by
+:meth:`repro.cluster.ClioCluster.enable_verification`:
+
+* :mod:`repro.verify.oracle` — a shadow-memory mirror of every
+  acknowledged write, checking every completed read (retransmission-
+  and epoch-aware);
+* :mod:`repro.verify.invariants` — conservation/coherence predicates
+  over allocator, page-table, TLB, retry-ring, sync-unit, and transport
+  state;
+* :mod:`repro.verify.linearize` — a Wing–Gong linearizability checker
+  applied to the MN atomic unit and Clio-KV histories.
+
+``docs/correctness.md`` describes the layers and the `repro verify`
+CLI entry point.
+"""
+
+from repro.verify.harness import (
+    ClusterVerifier,
+    VerifyRunResult,
+    run_kv_linearizability,
+    run_sync_linearizability,
+    run_verified_chaos,
+    spans_near,
+)
+from repro.verify.invariants import (
+    Violation,
+    check_board,
+    check_cluster,
+    check_transport,
+    quick_check_board,
+)
+from repro.verify.linearize import (
+    AtomicWordModel,
+    HistoryOp,
+    KVModel,
+    LinearizeResult,
+    check_history,
+)
+from repro.verify.oracle import (
+    EpochViolation,
+    OpToken,
+    ReadMismatch,
+    ShadowOracle,
+)
+
+__all__ = [
+    "AtomicWordModel",
+    "ClusterVerifier",
+    "EpochViolation",
+    "HistoryOp",
+    "KVModel",
+    "LinearizeResult",
+    "OpToken",
+    "ReadMismatch",
+    "ShadowOracle",
+    "VerifyRunResult",
+    "Violation",
+    "check_board",
+    "check_cluster",
+    "check_history",
+    "check_transport",
+    "quick_check_board",
+    "run_kv_linearizability",
+    "run_sync_linearizability",
+    "run_verified_chaos",
+    "spans_near",
+]

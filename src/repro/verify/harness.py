@@ -1,0 +1,491 @@
+"""ClusterVerifier: wires oracle + invariants + history capture into a
+cluster, plus canned verification workloads for the CLI and tests.
+
+Attachment follows the telemetry pattern exactly: components carry a
+``verifier`` attribute that is ``None`` by default and every hook sits
+behind a single ``is not None`` check, so an unverified run schedules no
+events, draws no RNG, and keeps bit-identical timestamps.  A *verified*
+run is also passive — recording and checking happen synchronously inside
+existing callbacks — so even then the simulated timeline is unchanged
+(``tests/verify/test_chaos_oracle.py`` pins both properties).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+from repro.params import MB, MS, US, ClioParams
+from repro.verify.invariants import (
+    Violation,
+    check_board,
+    check_cluster,
+    quick_check_board,
+)
+from repro.verify.linearize import (
+    AtomicWordModel,
+    HistoryOp,
+    KVModel,
+    LinearizeResult,
+    check_history,
+)
+from repro.verify.oracle import ShadowOracle
+
+
+class ClusterVerifier:
+    """Attaches the three checking layers to a live ClioCluster."""
+
+    MAX_VIOLATIONS = 400
+
+    def __init__(self, cluster, quick_checks: bool = True):
+        self.cluster = cluster
+        self.quick_checks = quick_checks
+        self.oracle = ShadowOracle(cluster.env)
+        self.violations: list[Violation] = []
+        self.total_violations = 0
+        self._seen: set = set()
+        #: (mn, pid, va) -> [HistoryOp] for the linearizability checker.
+        self.atomic_histories: dict = {}
+        self._atomic_meta: dict = {}   # token op_id -> HistoryOp placeholder
+        self._slowpath_board: dict = {}
+        self.sweeps = 0
+        self._attached = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def attach(self) -> "ClusterVerifier":
+        for board in self.cluster.mns:
+            board.verifier = self
+            board.slow_path.verifier = self
+            self._slowpath_board[id(board.slow_path)] = board
+        for node in self.cluster.cns:
+            node.verifier = self
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        for board in self.cluster.mns:
+            board.verifier = None
+            board.slow_path.verifier = None
+        for node in self.cluster.cns:
+            node.verifier = None
+        self._attached = False
+
+    # -- violation recording ---------------------------------------------------
+
+    def _record(self, violations: list[Violation]) -> None:
+        for violation in violations:
+            self.total_violations += 1
+            key = (violation.invariant, violation.subject, violation.detail)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            if len(self.violations) < self.MAX_VIOLATIONS:
+                self.violations.append(violation)
+
+    # -- CLib-side hooks (called from ClioThread, behind `is not None`) --------
+
+    def read_begin(self, thread, va: int, size: int):
+        process = thread.process
+        return self.oracle.read_begin(process.mn, process.pid, va, size)
+
+    def read_checked(self, token, data: bytes, retries: int) -> None:
+        self.oracle.read_checked(token, data, retries)
+
+    def read_failed(self, token) -> None:
+        self.oracle.read_failed(token)
+
+    def write_begin(self, thread, va: int, data: bytes):
+        process = thread.process
+        return self.oracle.write_begin(process.mn, process.pid, va, data)
+
+    def write_acked(self, token, retries: int) -> None:
+        self.oracle.write_acked(token, retries)
+
+    def write_failed(self, token) -> None:
+        self.oracle.write_failed(token)
+
+    def atomic_begin(self, thread, va: int, op):
+        process = thread.process
+        token = self.oracle.atomic_begin(process.mn, process.pid, va, op)
+        token.client = thread.label
+        return token
+
+    def atomic_acked(self, token, result, retries: int) -> None:
+        self.oracle.atomic_acked(token, result, retries)
+        self._history_for(token).append(HistoryOp(
+            client=token.client, action=_atomic_action(token.op),
+            result=(result.old_value, result.success),
+            start_ns=token.started_ns, end_ns=self.oracle.env.now,
+            completed=True))
+
+    def atomic_failed(self, token, maybe_applied: bool) -> None:
+        if not maybe_applied:
+            # Rejected before execution (bad VA/permission): the op never
+            # reached the word, so it does not belong in the history.
+            return
+        self.oracle.atomic_failed(token)
+        self._history_for(token).append(HistoryOp(
+            client=token.client, action=_atomic_action(token.op),
+            start_ns=token.started_ns, completed=False))
+
+    def _history_for(self, token) -> list:
+        key = (token.mn, token.pid, token.va)
+        history = self.atomic_histories.get(key)
+        if history is None:
+            history = self.atomic_histories[key] = []
+        return history
+
+    def alloc_done(self, thread, va: int, size: int) -> None:
+        process = thread.process
+        self.oracle.region_cleared(process.mn, process.pid, va, size)
+
+    def free_done(self, thread, va: int, size: int) -> None:
+        process = thread.process
+        self.oracle.region_cleared(process.mn, process.pid, va, size)
+
+    # -- board-side hooks -------------------------------------------------------
+
+    def on_board_request(self, board) -> None:
+        if self.quick_checks:
+            problems = quick_check_board(board)
+            if problems:
+                self._record(problems)
+
+    def on_board_crash(self, board) -> None:
+        self.oracle.on_board_crash(board.name)
+
+    def on_board_restart(self, board) -> None:
+        self.oracle.on_board_restart(board.name)
+
+    def on_metadata_op(self, slow_path) -> None:
+        """Full board sweep after every alloc/free — the operations that
+        move pages between the free list, the async buffer, and PTEs."""
+        board = self._slowpath_board.get(id(slow_path))
+        if board is not None:
+            self._record(check_board(board))
+
+    def on_region_migrated(self, lease, old_mn: str, old_va: int) -> None:
+        self.oracle.region_remapped(lease.pid, old_mn, old_va,
+                                    lease.mn, lease.va, lease.size)
+
+    # -- sweeps and verdicts -----------------------------------------------------
+
+    def sweep(self) -> list[Violation]:
+        """Full invariant pass over every board and transport."""
+        self.sweeps += 1
+        found = check_cluster(self.cluster)
+        self._record(found)
+        return found
+
+    def check_atomic_histories(self, max_states: int = 500_000) -> dict:
+        """Run the linearizability checker on every captured word."""
+        return {key: check_history(history, AtomicWordModel,
+                                   max_states=max_states)
+                for key, history in self.atomic_histories.items()}
+
+    @property
+    def ok(self) -> bool:
+        return self.oracle.ok and self.total_violations == 0
+
+    def report(self) -> dict:
+        """JSON-able digest of everything the verifier observed."""
+        out = dict(self.oracle.report())
+        out["invariant_violations"] = self.total_violations
+        out["violations"] = [v.describe() for v in self.violations[:20]]
+        out["sweeps"] = self.sweeps
+        out["atomic_words_tracked"] = len(self.atomic_histories)
+        return out
+
+
+def _atomic_action(op) -> tuple:
+    """AtomicOp -> the spec-level action tuple AtomicWordModel takes."""
+    if op.kind == "tas":
+        return ("tas",)
+    if op.kind == "cas":
+        return ("cas", op.expected, op.value)
+    if op.kind == "faa":
+        return ("faa", op.value)
+    return ("store", op.value)
+
+
+def spans_near(tracer, at_ns: int, window_ns: int = 3000,
+               limit: int = 6) -> list[str]:
+    """Telemetry spans overlapping ``at_ns`` — context for a violation."""
+    if tracer is None:
+        return []
+    hits = []
+    for span in tracer.spans:
+        start = span.start_ns
+        end = span.end_ns if span.end_ns is not None else at_ns
+        if start - window_ns <= at_ns <= end + window_ns:
+            hits.append(f"  span {span.name} [{span.track}] "
+                        f"{start}..{span.end_ns} {span.args or ''}")
+            if len(hits) >= limit:
+                break
+    return hits
+
+
+# -- canned verification workloads ---------------------------------------------
+
+
+@dataclass
+class VerifyRunResult:
+    """Outcome of one verification workload."""
+
+    name: str
+    lin: Optional[LinearizeResult]
+    history_len: int
+    violations: list = field(default_factory=list)
+    report: dict = field(default_factory=dict)
+    tracer: object = None
+    notes: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        if self.lin is not None and self.lin.ok is False:
+            return False
+        if self.violations:
+            return False
+        if self.report.get("read_mismatches") or self.report.get(
+                "epoch_violations"):
+            return False
+        return True
+
+    def problems(self) -> list[str]:
+        out = []
+        if self.lin is not None and self.lin.ok is False:
+            out.append(f"{self.name}: history is NOT linearizable "
+                       f"({self.lin.reason})")
+        out.extend(f"{self.name}: {v.describe()}" for v in self.violations)
+        out.extend(f"{self.name}: {m}" for m in
+                   self.report.get("mismatch_details", []))
+        out.extend(f"{self.name}: {e}" for e in
+                   self.report.get("epoch_details", []))
+        return out
+
+
+def _verify_params() -> ClioParams:
+    """Chaos-scale failure timeouts (see faults.scenarios._chaos_params)."""
+    params = ClioParams.prototype()
+    return replace(params, clib=replace(params.clib, timeout_ns=20 * US,
+                                        slow_timeout_ns=1 * MS,
+                                        max_retries=3))
+
+
+#: Shared-word PID for the sync-unit harness; clients on every CN open a
+#: process with this PID so they address the same RAS.
+_SYNC_PID = 7701
+_KV_PID_BASE = 8801
+
+
+def run_sync_linearizability(seed: int = 0, num_clients: int = 3,
+                             ops_per_client: int = 30, crash: bool = True,
+                             mutate: Optional[Callable] = None,
+                             trace: bool = True,
+                             deadline_ns: int = 50 * MS) -> VerifyRunResult:
+    """Hammer one atomic word from ``num_clients`` CNs; check the history.
+
+    With ``crash=True`` the board crashes mid-run for 200 us — long
+    enough that every attempt of an op in flight at the crash expires
+    against the dark port (20/40/80/160 us backoff), so no acknowledged
+    op can be a silent pre-crash double-execution; those ops fail and
+    enter the history as indeterminate.  ``mutate(cluster)`` runs after
+    the verifier attaches — the seeded-bug tests use it to break the
+    machinery and prove the checkers can fail.
+    """
+    from repro.cluster import ClioCluster
+    from repro.core.sync import AtomicOp
+    from repro.faults.injector import FaultInjector
+    from repro.faults.schedule import FaultSchedule
+    from repro.sim.rng import RandomStream
+    from repro.transport.clib_transport import RequestFailed
+    from repro.clib.client import RemoteAccessError
+
+    cluster = ClioCluster(params=_verify_params(), seed=seed,
+                          num_cns=num_clients, mn_capacity=64 * MB)
+    verifier = cluster.enable_verification()
+    if trace:
+        cluster.enable_tracing()
+    if mutate is not None:
+        mutate(cluster)
+    env = cluster.env
+    rng = RandomStream(seed, "verify/sync")
+
+    threads = [cluster.cn(i).process("mn0", pid=_SYNC_PID).thread()
+               for i in range(num_clients)]
+
+    # Client 0 allocates the shared page; the word starts zeroed.
+    setup = {}
+
+    def setup_proc():
+        va = yield from threads[0].ralloc(4096)
+        setup["va"] = va
+
+    cluster.run(until=env.process(setup_proc()))
+    word_va = setup["va"]
+
+    done_events = [env.event() for _ in range(num_clients)]
+
+    def client(index: int):
+        thread = threads[index]
+        crng = rng.fork(f"client{index}")
+        try:
+            for _ in range(ops_per_client):
+                roll = crng.uniform()
+                if roll < 0.40:
+                    op = AtomicOp(kind="faa",
+                                  value=crng.uniform_int(1, 3))
+                elif roll < 0.65:
+                    op = AtomicOp(kind="cas",
+                                  expected=crng.uniform_int(0, 3),
+                                  value=crng.uniform_int(0, 3))
+                elif roll < 0.85:
+                    op = AtomicOp(kind="tas")
+                else:
+                    op = AtomicOp(kind="store",
+                                  value=crng.uniform_int(0, 3))
+                try:
+                    yield from thread._atomic(word_va, op)
+                except (RequestFailed, RemoteAccessError):
+                    pass
+                yield env.timeout(crng.uniform_int(50, 800))
+        finally:
+            done_events[index].succeed()
+
+    for index in range(num_clients):
+        env.process(client(index))
+    if crash:
+        injector = FaultInjector(cluster, FaultSchedule().crash_board(
+            60 * US, "mn0", restart_after_ns=200 * US))
+        injector.arm()
+
+    all_done = env.all_of(done_events)
+    cluster.run(until=deadline_ns)
+    notes = [] if all_done.triggered else ["workload hit the deadline"]
+    if crash:
+        notes.append("board-crash window 60us..260us spanned the run")
+
+    history = verifier.atomic_histories.get(("mn0", _SYNC_PID, word_va), [])
+    lin = check_history(history, AtomicWordModel)
+    verifier.sweep()
+    return VerifyRunResult(name="sync-unit", lin=lin,
+                           history_len=len(history),
+                           violations=list(verifier.violations),
+                           report=verifier.report(),
+                           tracer=cluster.tracer, notes=notes)
+
+
+def run_kv_linearizability(seed: int = 0, num_clients: int = 2,
+                           ops_per_client: int = 30, crash: bool = True,
+                           keys: int = 6, trace: bool = True,
+                           deadline_ns: int = 100 * MS) -> VerifyRunResult:
+    """Clio-KV get/put under a YCSB-A-style 50/50 mix; check the history.
+
+    Values are fixed-width so every post-load put is an in-place update:
+    Clio-KV's growing-update path (unlink old, link new) is only
+    read-committed, while in-place updates are single-write atomic and
+    the whole workload is linearizable.  The harness records the history
+    itself (KV ops ride OFFLOAD packets, which the CLib data hooks do
+    not see): a failed put is kept as indeterminate — a crash may have
+    eaten the response after the mutation applied — and a failed get is
+    dropped (reads have no effect).
+    """
+    from repro.apps.kv_store import ClioKV, register_kv_offload
+    from repro.cluster import ClioCluster
+    from repro.faults.injector import FaultInjector
+    from repro.faults.schedule import FaultSchedule
+    from repro.sim.rng import RandomStream
+    from repro.transport.clib_transport import RequestFailed
+    from repro.clib.client import RemoteAccessError
+
+    cluster = ClioCluster(params=_verify_params(), seed=seed,
+                          num_cns=num_clients, mn_capacity=128 * MB)
+    verifier = cluster.enable_verification()
+    if trace:
+        cluster.enable_tracing()
+    env = cluster.env
+    rng = RandomStream(seed, "verify/kv")
+    register_kv_offload(cluster.mn.extend_path)
+
+    kvs = [ClioKV(cluster.cn(i).process("mn0", pid=_KV_PID_BASE + i).thread())
+           for i in range(num_clients)]
+    key_names = [f"key{k:02d}".encode() for k in range(keys)]
+    history: list[HistoryOp] = []
+
+    def value_bytes(client: int, sequence: int) -> bytes:
+        return (client * 1_000_000 + sequence).to_bytes(8, "little")
+
+    def load():
+        # Single-client load phase: every key exists before contention.
+        for k, key in enumerate(key_names):
+            start = env.now
+            yield from kvs[0].put(key, value_bytes(0, k))
+            history.append(HistoryOp(
+                client="load", action=("put", key, value_bytes(0, k)),
+                result="ok", start_ns=start, end_ns=env.now))
+
+    cluster.run(until=env.process(load()))
+
+    done_events = [env.event() for _ in range(num_clients)]
+
+    def client(index: int):
+        kv = kvs[index]
+        crng = rng.fork(f"kv{index}")
+        label = f"cn{index}"
+        try:
+            for op_index in range(ops_per_client):
+                key = key_names[crng.uniform_int(0, keys - 1)]
+                start = env.now
+                if crng.uniform() < 0.5:
+                    try:
+                        value = yield from kv.get(key)
+                    except (RequestFailed, RemoteAccessError):
+                        continue     # reads have no effect: drop
+                    history.append(HistoryOp(
+                        client=label, action=("get", key), result=value,
+                        start_ns=start, end_ns=env.now))
+                else:
+                    payload = value_bytes(index + 1, op_index)
+                    action = ("put", key, payload)
+                    try:
+                        yield from kv.put(key, payload)
+                    except (RequestFailed, RemoteAccessError):
+                        history.append(HistoryOp(
+                            client=label, action=action,
+                            start_ns=start, completed=False))
+                        continue
+                    history.append(HistoryOp(
+                        client=label, action=action, result="ok",
+                        start_ns=start, end_ns=env.now))
+                yield env.timeout(crng.uniform_int(100, 2000))
+        finally:
+            done_events[index].succeed()
+
+    for index in range(num_clients):
+        env.process(client(index))
+    if crash:
+        injector = FaultInjector(cluster, FaultSchedule().crash_board(
+            150 * US, "mn0", restart_after_ns=500 * US))
+        injector.arm()
+
+    all_done = env.all_of(done_events)
+    cluster.run(until=deadline_ns)
+    notes = [] if all_done.triggered else ["workload hit the deadline"]
+    if crash:
+        notes.append("board-crash window 150us..650us spanned the run")
+
+    lin = check_history(history, KVModel)
+    verifier.sweep()
+    return VerifyRunResult(name="clio-kv", lin=lin,
+                           history_len=len(history),
+                           violations=list(verifier.violations),
+                           report=verifier.report(),
+                           tracer=cluster.tracer, notes=notes)
+
+
+def run_verified_chaos(scenario: str = "board-crash",
+                       seed: int = 1234, **kwargs):
+    """One chaos scenario with the full verifier attached."""
+    from repro.faults.scenarios import run_chaos
+    return run_chaos(scenario, seed=seed, verify=True, **kwargs)

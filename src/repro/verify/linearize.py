@@ -1,0 +1,208 @@
+"""Wing–Gong-style linearizability checking over concurrent op histories.
+
+A *history* is a list of :class:`HistoryOp`: invocations with real-time
+bounds (``start_ns``/``end_ns``), the observed result, and a
+``completed`` flag.  The checker searches for a *linearization*: a total
+order of the operations that (a) respects real time — if op A completed
+before op B started, A precedes B — and (b) is legal under a sequential
+specification (:class:`AtomicWordModel`, :class:`KVModel`), with every
+completed op's observed result matching the spec.
+
+Ops with ``completed=False`` (timed out, or in flight when the run
+ended) are *indeterminate*: the checker may linearize them at any point
+after their invocation **or** drop them entirely (the request may never
+have reached the memory node).  This is exactly the treatment crash-
+spanning histories need: an op that failed across a board crash may or
+may not have applied, and both worlds must be explored.
+
+The search is a depth-first walk over (set of linearized ops, spec
+state) pairs with memoization — the Wing & Gong algorithm [WG93] with
+the Lowe-style state cache.  Histories from the MN's single atomic unit
+and from Clio-KV are short (hundreds of ops) and have per-client
+concurrency of one, so the walk is small in practice; ``max_states``
+bounds it defensively and an exceeded budget reports *undecided* rather
+than a verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Atomic words are 8 bytes (repro.core.sync.ATOMIC_WIDTH).
+_WORD_MASK = (1 << 64) - 1
+
+_FAR_FUTURE = 1 << 62
+
+
+@dataclass
+class HistoryOp:
+    """One operation as observed by a client.
+
+    ``action`` is a spec-level tuple (e.g. ``("faa", 3)``,
+    ``("put", key, value)``); ``result`` is what the client observed.
+    ``completed=False`` marks an indeterminate op whose ``result`` is
+    ignored and whose effect may or may not have taken place.
+    """
+
+    client: str
+    action: tuple
+    result: Any = None
+    start_ns: int = 0
+    end_ns: Optional[int] = None
+    completed: bool = True
+
+
+@dataclass
+class LinearizeResult:
+    """Outcome of a linearizability check.
+
+    ``ok`` is True (a linearization exists), False (provably none), or
+    None (the ``max_states`` budget ran out — undecided).
+    """
+
+    ok: Optional[bool]
+    order: list = field(default_factory=list)   # witness, when ok
+    states_explored: int = 0
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok is True
+
+
+class AtomicWordModel:
+    """Sequential spec of the MN atomic unit on one 8-byte word.
+
+    Actions: ``("tas",)``, ``("cas", expected, value)``,
+    ``("faa", delta)``, ``("store", value)``, ``("read",)``.
+    Results for atomics are ``(old_value, success)`` tuples — the wire
+    format of :class:`repro.core.sync.AtomicResult`; a read's result is
+    the observed value.  The semantics mirror ``AtomicUnit._apply``
+    independently (a bug there must *disagree* with this model).
+    """
+
+    initial = 0
+
+    @staticmethod
+    def apply(state: int, action: tuple) -> tuple[int, Any]:
+        kind = action[0]
+        if kind == "tas":
+            if state == 0:
+                return 1, (0, True)
+            return state, (state, False)
+        if kind == "cas":
+            if state == action[1]:
+                return action[2] & _WORD_MASK, (state, True)
+            return state, (state, False)
+        if kind == "faa":
+            return (state + action[1]) & _WORD_MASK, (state, True)
+        if kind == "store":
+            return action[1] & _WORD_MASK, (state, True)
+        if kind == "read":
+            return state, state
+        raise ValueError(f"unknown atomic action {kind!r}")
+
+
+class KVModel:
+    """Sequential spec of Clio-KV get/put/delete.
+
+    State is a sorted tuple of ``(key, value)`` pairs (hashable, so the
+    checker can memoize on it).  ``put`` results are normalized to
+    ``"ok"`` — the created/updated distinction depends on heap-layout
+    details the spec does not model.
+    """
+
+    initial: tuple = ()
+
+    @staticmethod
+    def apply(state: tuple, action: tuple) -> tuple[tuple, Any]:
+        kind = action[0]
+        if kind == "get":
+            return state, dict(state).get(action[1])
+        if kind == "put":
+            store = dict(state)
+            store[action[1]] = action[2]
+            return tuple(sorted(store.items())), "ok"
+        if kind == "delete":
+            store = dict(state)
+            existed = store.pop(action[1], None) is not None
+            return tuple(sorted(store.items())), existed
+        raise ValueError(f"unknown KV action {kind!r}")
+
+
+def check_history(history: list[HistoryOp], model,
+                  max_states: int = 500_000) -> LinearizeResult:
+    """Search for a linearization of ``history`` under ``model``.
+
+    Returns a :class:`LinearizeResult`; ``ok=None`` means the state
+    budget was exceeded before a verdict (treat as inconclusive, not as
+    a violation).
+    """
+    ops = sorted(history,
+                 key=lambda o: (o.start_ns,
+                                o.end_ns if o.end_ns is not None
+                                else _FAR_FUTURE))
+    n = len(ops)
+    if n == 0:
+        return LinearizeResult(ok=True, reason="empty history")
+    if n > 1200:
+        return LinearizeResult(
+            ok=None, reason=f"history too long to check ({n} ops)")
+
+    completed_mask = 0
+    ends = []
+    for index, op in enumerate(ops):
+        if op.completed:
+            completed_mask |= 1 << index
+            ends.append(op.end_ns if op.end_ns is not None else _FAR_FUTURE)
+        else:
+            ends.append(_FAR_FUTURE)
+
+    initial = model.initial
+    # DFS frames: (mask of linearized ops, spec state, order so far).
+    stack: list[tuple[int, Any, tuple]] = [(0, initial, ())]
+    seen = {(0, initial)}
+    states = 0
+
+    while stack:
+        mask, state, order = stack.pop()
+        if mask & completed_mask == completed_mask:
+            # Every completed op linearized; leftover indeterminate ops
+            # are the ones that never took effect.
+            return LinearizeResult(
+                ok=True, order=[ops[i] for i in order],
+                states_explored=states)
+        states += 1
+        if states > max_states:
+            return LinearizeResult(
+                ok=None, states_explored=states,
+                reason=f"state budget exceeded ({max_states})")
+        # Frontier: the next linearized op must have started before every
+        # unlinearized completed op finished (real-time order).
+        min_end = _FAR_FUTURE
+        for index in range(n):
+            bit = 1 << index
+            if mask & bit or not (completed_mask & bit):
+                continue
+            if ends[index] < min_end:
+                min_end = ends[index]
+        for index in range(n):
+            bit = 1 << index
+            if mask & bit:
+                continue
+            op = ops[index]
+            if op.start_ns > min_end:
+                # Ops are start-sorted: nothing later qualifies either.
+                break
+            new_state, expected = model.apply(state, op.action)
+            if op.completed and expected != op.result:
+                continue
+            new_mask = mask | bit
+            key = (new_mask, new_state)
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.append((new_mask, new_state, order + (index,)))
+
+    return LinearizeResult(ok=False, states_explored=states,
+                           reason="no linearization exists")

@@ -1,0 +1,380 @@
+"""Shadow-memory oracle: a CLib-level mirror of every acknowledged write.
+
+The oracle keeps a per-byte shadow of each (MN, PID) address space and
+checks every *completed* read against it.  The model must be exactly as
+strong as the system's guarantees — no stronger, or healthy concurrent
+runs would false-positive; no weaker, or real corruption would slip by:
+
+* A byte's **committed** value is the payload of the last *acknowledged*
+  write covering it.  A read whose window ``[start, end]`` begins after
+  the commit must observe it (read-your-writes through retransmission,
+  crash, and migration).
+* Writes **in flight** at the read's completion (issued, unacked) may or
+  may not be visible — the MN may have applied them already.
+* Commits landing **inside** the read window are acceptable too, as is
+  the last commit before the window (the read may have been served
+  before or after them).  A bounded per-byte history supports this; if
+  the history was evicted past the window the byte is counted
+  *unchecked* rather than guessed at.
+* A **failed** write (retries exhausted) may have applied at the MN even
+  though the client saw an error — the epoch model deliberately lets a
+  crash discard the *response* while DRAM keeps the data.  Its bytes
+  become *ghosts*: acceptable until the next acknowledged write commits
+  over them.
+* **Atomics** update the shadow word from the acknowledged
+  ``(old, success)`` result — retransmission-aware by construction: the
+  client acks an atomic exactly once however many retries it took, so a
+  dedup failure at the MN (double-applied ``faa``) makes later observed
+  old-values diverge from the mirror.
+* **Epoch fencing**: a board crash/restart pair is recorded; any op
+  acknowledged with *zero* retransmissions whose lifetime spans an
+  entire crash→restart window is reported — a pre-crash in-flight op
+  became visible post-fence, which the epoch discard must prevent.
+
+Recording is passive: no events, no RNG, wall-clock/memory cost only —
+the same zero-cost contract as telemetry (hooks behind one
+``is not None`` check; ``tests/verify/test_chaos_oracle.py`` pins the
+fingerprint invariance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.sync import ATOMIC_WIDTH, AtomicOp, AtomicUnit
+
+
+@dataclass(frozen=True)
+class ReadMismatch:
+    """One byte of a completed read that no legal history explains."""
+
+    at_ns: int
+    mn: str
+    pid: int
+    va: int            # absolute byte address of the mismatch
+    observed: int
+    acceptable: tuple  # sorted acceptable byte values at check time
+    started_ns: int
+    note: str = ""
+
+    def describe(self) -> str:
+        return (f"read mismatch at t={self.at_ns} {self.mn}/pid{self.pid} "
+                f"va={self.va:#x}: observed {self.observed:#04x}, "
+                f"acceptable {sorted(self.acceptable)} "
+                f"(window {self.started_ns}..{self.at_ns}){self.note}")
+
+
+@dataclass(frozen=True)
+class EpochViolation:
+    """A zero-retry ack whose lifetime spans a full crash→restart window."""
+
+    at_ns: int
+    mn: str
+    pid: int
+    va: int
+    kind: str          # "read" | "write" | "atomic"
+    started_ns: int
+    crash_ns: int
+    restart_ns: int
+
+    def describe(self) -> str:
+        return (f"epoch violation at t={self.at_ns}: {self.kind} on "
+                f"{self.mn}/pid{self.pid} va={self.va:#x} issued at "
+                f"{self.started_ns} was acknowledged without retransmission "
+                f"across crash window [{self.crash_ns}, {self.restart_ns}] "
+                "— a pre-crash in-flight op became visible post-fence")
+
+
+@dataclass
+class OpToken:
+    """Handle linking an in-flight client op to its shadow bookkeeping."""
+
+    op_id: int
+    kind: str                 # "read" | "write" | "atomic"
+    mn: str
+    pid: int
+    va: int
+    started_ns: int
+    data: bytes = b""
+    size: int = 0
+    op: Optional[AtomicOp] = None
+    client: str = ""          # filled by the verifier for history capture
+
+
+class _Cell:
+    """Shadow state of one byte of one (MN, PID) address space."""
+
+    __slots__ = ("committed", "committed_at", "history", "evicted",
+                 "pending", "ghosts", "atomic_ok", "tainted")
+
+    def __init__(self):
+        self.committed = 0
+        self.committed_at = -1     # zero-fill "since forever" (fresh DRAM)
+        self.history: list = []    # [(committed_at, value)] older commits
+        self.evicted = False
+        self.pending: dict = {}    # op_id -> value (in-flight writes)
+        self.ghosts: set = set()   # failed writes that may have applied
+        self.atomic_ok: set = set()  # bytes touched by concurrent atomics
+        self.tainted = False       # value unknowable until next commit
+
+
+class ShadowOracle:
+    """Passive mirror + checker for remote-memory data correctness."""
+
+    HISTORY_DEPTH = 16
+    GHOST_CAP = 8
+    ATOMIC_OK_CAP = 32
+    RECORD_CAP = 200
+
+    def __init__(self, env):
+        self.env = env
+        self._spaces: dict = {}    # (mn, pid) -> {addr: _Cell}
+        self._next_op = 0
+        self.mismatches: list[ReadMismatch] = []
+        self.total_mismatches = 0
+        self.epoch_violations: list[EpochViolation] = []
+        self.crash_log: dict = {}  # mn -> [[crash_ns, restart_ns|None]]
+        self.writes_tracked = 0
+        self.reads_checked = 0
+        self.atomics_tracked = 0
+        self.bytes_checked = 0
+        self.unchecked_bytes = 0   # tainted / history-evicted skips
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.epoch_violations
+
+    # -- internals -------------------------------------------------------------
+
+    def _space(self, mn: str, pid: int) -> dict:
+        key = (mn, pid)
+        space = self._spaces.get(key)
+        if space is None:
+            space = self._spaces[key] = {}
+        return space
+
+    def _token(self, kind: str, mn: str, pid: int, va: int, **extra) -> OpToken:
+        self._next_op += 1
+        return OpToken(op_id=self._next_op, kind=kind, mn=mn, pid=pid,
+                       va=va, started_ns=self.env.now, **extra)
+
+    def _commit_byte(self, cell: _Cell, value: int, now: int) -> None:
+        cell.history.append((cell.committed_at, cell.committed))
+        if len(cell.history) > self.HISTORY_DEPTH:
+            cell.history.pop(0)
+            cell.evicted = True
+        cell.committed = value
+        cell.committed_at = now
+
+    def _check_epoch(self, token: OpToken, retries: int) -> None:
+        if retries:
+            return
+        windows = self.crash_log.get(token.mn)
+        if not windows:
+            return
+        now = self.env.now
+        for crash_ns, restart_ns in windows:
+            if restart_ns is None:
+                continue
+            if token.started_ns < crash_ns and now > restart_ns:
+                self.epoch_violations.append(EpochViolation(
+                    at_ns=now, mn=token.mn, pid=token.pid, va=token.va,
+                    kind=token.kind, started_ns=token.started_ns,
+                    crash_ns=crash_ns, restart_ns=restart_ns))
+                return
+
+    # -- write tracking ---------------------------------------------------------
+
+    def write_begin(self, mn: str, pid: int, va: int, data: bytes) -> OpToken:
+        token = self._token("write", mn, pid, va, data=bytes(data))
+        space = self._space(mn, pid)
+        for offset, value in enumerate(token.data):
+            cell = space.get(va + offset)
+            if cell is None:
+                cell = space[va + offset] = _Cell()
+            cell.pending[token.op_id] = value
+        self.writes_tracked += 1
+        return token
+
+    def write_acked(self, token: OpToken, retries: int = 0) -> None:
+        """The write was acknowledged: it is now the committed value."""
+        now = self.env.now
+        self._check_epoch(token, retries)
+        space = self._space(token.mn, token.pid)
+        for offset, value in enumerate(token.data):
+            cell = space.get(token.va + offset)
+            if cell is None:
+                cell = space[token.va + offset] = _Cell()
+            cell.pending.pop(token.op_id, None)
+            self._commit_byte(cell, value, now)
+            cell.ghosts.clear()
+            cell.atomic_ok.clear()
+            cell.tainted = False
+
+    def write_failed(self, token: OpToken) -> None:
+        """All retries exhausted — the write *may* still have applied."""
+        space = self._space(token.mn, token.pid)
+        for offset, value in enumerate(token.data):
+            cell = space.get(token.va + offset)
+            if cell is None:
+                continue
+            cell.pending.pop(token.op_id, None)
+            if len(cell.ghosts) >= self.GHOST_CAP:
+                cell.tainted = True
+            else:
+                cell.ghosts.add(value)
+
+    # -- read checking ----------------------------------------------------------
+
+    def read_begin(self, mn: str, pid: int, va: int, size: int) -> OpToken:
+        return self._token("read", mn, pid, va, size=size)
+
+    def read_failed(self, token: OpToken) -> None:
+        """Reads have no effect; a failed one needs no bookkeeping."""
+
+    def read_checked(self, token: OpToken, data: bytes,
+                     retries: int = 0) -> None:
+        """Check a completed read's payload against the mirror."""
+        now = self.env.now
+        self._check_epoch(token, retries)
+        self.reads_checked += 1
+        space = self._spaces.get((token.mn, token.pid))
+        start = token.started_ns
+        for offset, observed in enumerate(data):
+            self.bytes_checked += 1
+            addr = token.va + offset
+            cell = space.get(addr) if space else None
+            if cell is None:
+                # Untouched allocated memory reads as zero (DRAM is
+                # sparse/zero-filled and freed pages are scrubbed).
+                if observed != 0:
+                    self._mismatch(token, addr, observed, (0,), now)
+                continue
+            if cell.tainted:
+                self.unchecked_bytes += 1
+                continue
+            acceptable = {cell.committed}
+            acceptable.update(cell.pending.values())
+            acceptable.update(cell.ghosts)
+            acceptable.update(cell.atomic_ok)
+            undetermined = False
+            if cell.committed_at > start:
+                # Commits landed inside the window: those and the last
+                # pre-window value are all legal serving points.
+                found_pre = False
+                for committed_at, value in reversed(cell.history):
+                    acceptable.add(value)
+                    if committed_at <= start:
+                        found_pre = True
+                        break
+                if not found_pre and cell.evicted:
+                    undetermined = True
+            if observed in acceptable:
+                continue
+            if undetermined:
+                self.unchecked_bytes += 1
+                continue
+            self._mismatch(token, addr, observed, tuple(sorted(acceptable)),
+                           now)
+
+    def _mismatch(self, token: OpToken, addr: int, observed: int,
+                  acceptable: tuple, now: int, note: str = "") -> None:
+        self.total_mismatches += 1
+        if len(self.mismatches) < self.RECORD_CAP:
+            self.mismatches.append(ReadMismatch(
+                at_ns=now, mn=token.mn, pid=token.pid, va=addr,
+                observed=observed, acceptable=acceptable,
+                started_ns=token.started_ns, note=note))
+
+    # -- atomics ----------------------------------------------------------------
+
+    def atomic_begin(self, mn: str, pid: int, va: int,
+                     op: AtomicOp) -> OpToken:
+        return self._token("atomic", mn, pid, va, op=op, size=ATOMIC_WIDTH)
+
+    def atomic_acked(self, token: OpToken, result, retries: int = 0) -> None:
+        """An acknowledged atomic pins both the old and new word values."""
+        now = self.env.now
+        self._check_epoch(token, retries)
+        self.atomics_tracked += 1
+        new, _success = AtomicUnit._apply(result.old_value, token.op)
+        after = result.old_value if new is None else new
+        old_bytes = result.old_value.to_bytes(ATOMIC_WIDTH, "little")
+        new_bytes = after.to_bytes(ATOMIC_WIDTH, "little")
+        space = self._space(token.mn, token.pid)
+        for offset in range(ATOMIC_WIDTH):
+            addr = token.va + offset
+            cell = space.get(addr)
+            if cell is None:
+                cell = space[addr] = _Cell()
+            self._commit_byte(cell, new_bytes[offset], now)
+            cell.tainted = False
+            # Concurrent readers may catch any interleaving of in-flight
+            # atomics; old/new stay acceptable until a plain write commits.
+            if len(cell.atomic_ok) >= self.ATOMIC_OK_CAP:
+                cell.tainted = True
+                cell.atomic_ok.clear()
+            else:
+                cell.atomic_ok.add(old_bytes[offset])
+                cell.atomic_ok.add(new_bytes[offset])
+
+    def atomic_failed(self, token: OpToken) -> None:
+        """A failed atomic may or may not have applied; for ``faa`` the
+        resulting word is unknowable, so the word is tainted until the
+        next acknowledged commit pins it again."""
+        space = self._space(token.mn, token.pid)
+        for offset in range(ATOMIC_WIDTH):
+            cell = space.get(token.va + offset)
+            if cell is None:
+                cell = space[token.va + offset] = _Cell()
+            cell.tainted = True
+
+    # -- address-space lifecycle ------------------------------------------------
+
+    def region_cleared(self, mn: str, pid: int, va: int, size: int) -> None:
+        """A fresh allocation or a free: the range reads as zero again
+        (new pages are untouched; freed pages are scrubbed)."""
+        space = self._spaces.get((mn, pid))
+        if not space:
+            return
+        end = va + size
+        for addr in [a for a in space if va <= a < end]:
+            del space[addr]
+
+    def region_remapped(self, pid: int, old_mn: str, old_va: int,
+                        new_mn: str, new_va: int, size: int) -> None:
+        """A region migrated between boards: move the mirror with it."""
+        source = self._spaces.get((old_mn, pid))
+        if not source:
+            return
+        target = self._space(new_mn, pid)
+        end = old_va + size
+        for addr in [a for a in source if old_va <= a < end]:
+            target[addr - old_va + new_va] = source.pop(addr)
+
+    # -- failure model ----------------------------------------------------------
+
+    def on_board_crash(self, mn: str) -> None:
+        self.crash_log.setdefault(mn, []).append([self.env.now, None])
+
+    def on_board_restart(self, mn: str) -> None:
+        windows = self.crash_log.get(mn)
+        if windows and windows[-1][1] is None:
+            windows[-1][1] = self.env.now
+
+    # -- reporting --------------------------------------------------------------
+
+    def report(self) -> dict:
+        return {
+            "writes_tracked": self.writes_tracked,
+            "reads_checked": self.reads_checked,
+            "atomics_tracked": self.atomics_tracked,
+            "bytes_checked": self.bytes_checked,
+            "unchecked_bytes": self.unchecked_bytes,
+            "read_mismatches": self.total_mismatches,
+            "epoch_violations": len(self.epoch_violations),
+            "mismatch_details": [m.describe() for m in self.mismatches[:20]],
+            "epoch_details": [v.describe()
+                              for v in self.epoch_violations[:20]],
+        }

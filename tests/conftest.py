@@ -1,0 +1,25 @@
+"""Shared pytest configuration: deterministic Hypothesis profiles.
+
+CI must be reproducible: a stateful test that fails on one run and
+passes the next is worse than no test.  The ``deterministic`` profile
+(the default) derandomizes example generation so the same examples run
+every time; set ``HYPOTHESIS_PROFILE=random`` locally to explore fresh
+examples when hunting for new counterexamples.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "deterministic",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "random",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "deterministic"))

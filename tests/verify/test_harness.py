@@ -1,0 +1,71 @@
+"""End-to-end verification harness runs at seed — everything must pass.
+
+These are the acceptance runs: the MN atomic unit and Clio-KV produce
+linearizable histories (including crash-spanning ones), the oracle sees
+no unexplained bytes, and the ``repro verify`` CLI reports a clean bill.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.verify import (
+    run_kv_linearizability,
+    run_sync_linearizability,
+    run_verified_chaos,
+)
+
+
+@pytest.mark.parametrize("crash", [False, True],
+                         ids=["steady", "crash-spanning"])
+def test_sync_unit_history_linearizable(crash):
+    result = run_sync_linearizability(seed=0, crash=crash, trace=False)
+    assert result.ok, result.problems()
+    assert result.lin.ok is True
+    assert result.history_len > 0
+    assert result.report["atomics_tracked"] > 0
+    assert result.violations == []
+
+
+def test_sync_unit_histories_from_other_seeds():
+    for seed in (1, 2):
+        result = run_sync_linearizability(seed=seed, crash=True,
+                                          ops_per_client=20, trace=False)
+        assert result.ok, (seed, result.problems())
+
+
+@pytest.mark.parametrize("crash", [False, True],
+                         ids=["steady", "crash-spanning"])
+def test_kv_history_linearizable(crash):
+    result = run_kv_linearizability(seed=0, crash=crash, trace=False)
+    assert result.ok, result.problems()
+    assert result.lin.ok is True
+    assert result.history_len > 0
+
+
+def test_crash_run_actually_spans_a_crash():
+    result = run_sync_linearizability(seed=0, crash=True, trace=False)
+    assert "crash" in " ".join(result.notes).lower()
+    # Some ops must be indeterminate (in flight when the board died) for
+    # the crash case to exercise the checker's drop-or-keep branch —
+    # or at least the run recorded the crash window.
+    assert result.report["atomics_tracked"] > 0
+
+
+def test_verified_chaos_wrapper():
+    report = run_verified_chaos("board-crash", seed=1234,
+                                ops_per_worker=200)
+    assert report.verification is not None
+    assert report.check_invariants() == []
+
+
+def test_cli_verify_clean(capsys):
+    assert main(["verify", "--ops", "12", "--clients", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "sync-unit" in out
+    assert "clio-kv" in out
+    assert "oracle clean" in out
+
+
+def test_cli_verify_no_crash(capsys):
+    assert main(["verify", "--ops", "8", "--clients", "2",
+                 "--no-crash"]) == 0

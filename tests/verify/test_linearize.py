@@ -1,0 +1,195 @@
+"""Unit tests for the Wing–Gong linearizability checker.
+
+The checker is itself a trusted oracle, so it gets adversarial tests:
+known-linearizable histories must pass, known-impossible ones must fail
+with ``ok is False`` (not merely undecided), and indeterminate ops must
+be allowed to either take effect or vanish.
+"""
+
+from repro.verify import (
+    AtomicWordModel,
+    HistoryOp,
+    KVModel,
+    check_history,
+)
+
+
+def op(client, action, result, start, end, completed=True):
+    return HistoryOp(client=client, action=action, result=result,
+                     start_ns=start, end_ns=end, completed=completed)
+
+
+# -- atomic word ---------------------------------------------------------------
+
+
+def test_empty_history_is_linearizable():
+    result = check_history([], AtomicWordModel)
+    assert result.ok is True
+
+
+def test_sequential_faa_chain():
+    history = [
+        op("a", ("faa", 1), (0, True), 0, 10),
+        op("a", ("faa", 1), (1, True), 20, 30),
+        op("a", ("faa", 5), (2, True), 40, 50),
+    ]
+    result = check_history(history, AtomicWordModel)
+    assert result.ok is True
+    assert [o.result[0] for o in result.order] == [0, 1, 2]
+
+
+def test_concurrent_faa_both_orders_explored():
+    # Two overlapping faa(+1): the observed old values force the order
+    # b-then-a even though a started first.
+    history = [
+        op("a", ("faa", 1), (1, True), 0, 100),
+        op("b", ("faa", 1), (0, True), 10, 90),
+    ]
+    result = check_history(history, AtomicWordModel)
+    assert result.ok is True
+    assert result.order[0].client == "b"
+
+
+def test_double_applied_faa_rejected():
+    # The crash double-apply hazard: two successful faa(+1) both claiming
+    # old=0 cannot be linearized — one of them must have seen 1.
+    history = [
+        op("a", ("faa", 1), (0, True), 0, 100),
+        op("b", ("faa", 1), (0, True), 10, 90),
+    ]
+    result = check_history(history, AtomicWordModel)
+    assert result.ok is False
+    assert "no linearization" in result.reason
+
+
+def test_real_time_order_enforced():
+    # a completed strictly before b started, so a must precede b; but the
+    # observed old values only work in the order b-then-a.  Not
+    # linearizable even though a pure value order exists.
+    history = [
+        op("a", ("faa", 1), (1, True), 0, 10),
+        op("b", ("faa", 1), (0, True), 20, 30),
+    ]
+    result = check_history(history, AtomicWordModel)
+    assert result.ok is False
+
+
+def test_tas_and_cas_semantics():
+    history = [
+        op("a", ("tas",), (0, True), 0, 10),      # 0 -> 1
+        op("b", ("tas",), (1, False), 20, 30),    # stays 1
+        op("a", ("cas", 1, 7), (1, True), 40, 50),
+        op("b", ("cas", 1, 9), (7, False), 60, 70),
+        op("a", ("store", 0), (7, True), 80, 90),
+        op("b", ("tas",), (0, True), 100, 110),
+    ]
+    result = check_history(history, AtomicWordModel)
+    assert result.ok is True
+
+
+def test_indeterminate_op_may_take_effect():
+    # The timed-out faa must have applied for b's observation to hold.
+    history = [
+        op("a", ("faa", 1), None, 0, None, completed=False),
+        op("b", ("faa", 1), (1, True), 50, 60),
+    ]
+    result = check_history(history, AtomicWordModel)
+    assert result.ok is True
+
+
+def test_indeterminate_op_may_vanish():
+    # ...or it may never have reached the board.
+    history = [
+        op("a", ("faa", 1), None, 0, None, completed=False),
+        op("b", ("faa", 1), (0, True), 50, 60),
+    ]
+    result = check_history(history, AtomicWordModel)
+    assert result.ok is True
+
+
+def test_indeterminate_cannot_rescue_impossible_history():
+    # Even with the indeterminate op free to land anywhere (or nowhere),
+    # two successful tas from value 0 cannot both be first.
+    history = [
+        op("x", ("store", 5), None, 0, None, completed=False),
+        op("a", ("tas",), (0, True), 100, 110),
+        op("b", ("tas",), (0, True), 120, 130),
+    ]
+    result = check_history(history, AtomicWordModel)
+    assert result.ok is False
+
+
+def test_word_wraps_at_64_bits():
+    history = [
+        op("a", ("store", (1 << 64) - 1), (0, True), 0, 10),
+        op("a", ("faa", 1), ((1 << 64) - 1, True), 20, 30),
+        op("a", ("read",), 0, 40, 50),
+    ]
+    result = check_history(history, AtomicWordModel)
+    assert result.ok is True
+
+
+def test_state_budget_reports_undecided():
+    # Fully-overlapping successful stores of distinct values: a dense
+    # search space.  A tiny budget must yield None, never a verdict.
+    history = [
+        op(f"c{i}", ("store", i), (None, None), 0, 1000, completed=False)
+        for i in range(20)
+    ]
+    history.append(op("r", ("read",), 7, 500, 600))
+    result = check_history(history, AtomicWordModel, max_states=5)
+    assert result.ok is None
+    assert "budget" in result.reason
+    assert bool(result) is False
+
+
+def test_oversized_history_is_undecided_not_crash():
+    history = [op("a", ("faa", 1), (i, True), i * 10, i * 10 + 5)
+               for i in range(1300)]
+    result = check_history(history, AtomicWordModel)
+    assert result.ok is None
+
+
+# -- KV model ------------------------------------------------------------------
+
+
+def test_kv_sequential_put_get():
+    history = [
+        op("a", ("put", "k", b"1"), "ok", 0, 10),
+        op("b", ("get", "k"), b"1", 20, 30),
+        op("a", ("put", "k", b"2"), "ok", 40, 50),
+        op("b", ("get", "k"), b"2", 60, 70),
+        op("b", ("get", "missing"), None, 80, 90),
+    ]
+    result = check_history(history, KVModel)
+    assert result.ok is True
+
+
+def test_kv_stale_read_rejected():
+    # get returned the old value after the put provably completed.
+    history = [
+        op("a", ("put", "k", b"new"), "ok", 0, 10),
+        op("b", ("get", "k"), None, 20, 30),
+    ]
+    result = check_history(history, KVModel)
+    assert result.ok is False
+
+
+def test_kv_concurrent_put_get_either_value():
+    history = [
+        op("a", ("put", "k", b"x"), "ok", 0, 100),
+        op("b", ("get", "k"), None, 10, 20),   # linearizes before the put
+    ]
+    result = check_history(history, KVModel)
+    assert result.ok is True
+
+
+def test_kv_delete_result_checked():
+    history = [
+        op("a", ("put", "k", b"1"), "ok", 0, 10),
+        op("a", ("delete", "k"), True, 20, 30),
+        op("a", ("delete", "k"), False, 40, 50),
+        op("a", ("get", "k"), None, 60, 70),
+    ]
+    result = check_history(history, KVModel)
+    assert result.ok is True

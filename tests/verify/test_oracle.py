@@ -1,0 +1,279 @@
+"""Unit tests for the shadow-memory oracle.
+
+Driven with a fake clock rather than a full cluster: every rule in the
+acceptability model (committed / pending / ghost / atomic / window
+history / taint / epoch) gets exercised in isolation.
+"""
+
+from repro.core.sync import AtomicOp, AtomicResult
+from repro.verify import ShadowOracle
+
+
+class FakeEnv:
+    def __init__(self):
+        self.now = 0
+
+
+def make():
+    env = FakeEnv()
+    return env, ShadowOracle(env)
+
+
+def ack_write(oracle, mn, pid, va, data, retries=0):
+    token = oracle.write_begin(mn, pid, va, data)
+    oracle.write_acked(token, retries=retries)
+    return token
+
+
+def check_read(oracle, mn, pid, va, data, start_at=None, retries=0):
+    token = oracle.read_begin(mn, pid, va, len(data))
+    if start_at is not None:
+        token.started_ns = start_at
+    oracle.read_checked(token, data, retries=retries)
+    return token
+
+
+# -- committed values ----------------------------------------------------------
+
+
+def test_read_your_write():
+    env, oracle = make()
+    ack_write(oracle, "mn0", 1, 0x1000, b"hello")
+    env.now = 100
+    check_read(oracle, "mn0", 1, 0x1000, b"hello")
+    assert oracle.ok
+    assert oracle.bytes_checked == 5
+
+
+def test_untouched_memory_reads_zero():
+    env, oracle = make()
+    check_read(oracle, "mn0", 1, 0x2000, b"\x00" * 8)
+    assert oracle.ok
+    check_read(oracle, "mn0", 1, 0x2000, b"\x00\x07")
+    assert not oracle.ok
+    assert oracle.total_mismatches == 1
+    assert oracle.mismatches[0].va == 0x2001
+    assert oracle.mismatches[0].observed == 0x07
+
+
+def test_stale_read_flagged():
+    env, oracle = make()
+    ack_write(oracle, "mn0", 1, 0x1000, b"\xaa")
+    env.now = 50
+    ack_write(oracle, "mn0", 1, 0x1000, b"\xbb")
+    env.now = 100
+    # Read started after the second commit: 0xaa is no longer legal.
+    check_read(oracle, "mn0", 1, 0x1000, b"\xaa", start_at=60)
+    assert oracle.total_mismatches == 1
+    detail = oracle.mismatches[0].describe()
+    assert "0xaa" in detail and "mn0" in detail
+
+
+def test_spaces_are_isolated_per_mn_and_pid():
+    env, oracle = make()
+    ack_write(oracle, "mn0", 1, 0x1000, b"\xaa")
+    check_read(oracle, "mn1", 1, 0x1000, b"\x00")   # other board: zero
+    check_read(oracle, "mn0", 2, 0x1000, b"\x00")   # other pid: zero
+    assert oracle.ok
+
+
+# -- concurrency windows -------------------------------------------------------
+
+
+def test_commit_inside_read_window_old_and_new_both_legal():
+    env, oracle = make()
+    ack_write(oracle, "mn0", 1, 0x1000, b"\x01")
+    env.now = 100
+    read = oracle.read_begin("mn0", 1, 0x1000, 1)
+    env.now = 150
+    ack_write(oracle, "mn0", 1, 0x1000, b"\x02")   # lands mid-read
+    env.now = 200
+    oracle.read_checked(read, b"\x01")              # served before it
+    read2 = oracle.read_begin("mn0", 1, 0x1000, 1)
+    oracle.read_checked(read2, b"\x02")             # or after
+    assert oracle.ok
+    # But a value that was never committed stays illegal.
+    check_read(oracle, "mn0", 1, 0x1000, b"\x03", start_at=100)
+    assert oracle.total_mismatches == 1
+
+
+def test_inflight_write_may_or_may_not_be_visible():
+    env, oracle = make()
+    ack_write(oracle, "mn0", 1, 0x1000, b"\x01")
+    env.now = 100
+    pending = oracle.write_begin("mn0", 1, 0x1000, b"\x02")  # never acked
+    check_read(oracle, "mn0", 1, 0x1000, b"\x01")
+    check_read(oracle, "mn0", 1, 0x1000, b"\x02")
+    assert oracle.ok
+    # Once acked, only the new value survives.
+    env.now = 200
+    oracle.write_acked(pending)
+    check_read(oracle, "mn0", 1, 0x1000, b"\x01", start_at=300)
+    assert oracle.total_mismatches == 1
+
+
+def test_failed_write_ghost_acceptable_until_next_commit():
+    env, oracle = make()
+    ack_write(oracle, "mn0", 1, 0x1000, b"\x01")
+    env.now = 100
+    doomed = oracle.write_begin("mn0", 1, 0x1000, b"\x05")
+    env.now = 150
+    oracle.write_failed(doomed)
+    check_read(oracle, "mn0", 1, 0x1000, b"\x05", start_at=200)  # ghost
+    check_read(oracle, "mn0", 1, 0x1000, b"\x01", start_at=200)  # or not
+    assert oracle.ok
+    env.now = 300
+    ack_write(oracle, "mn0", 1, 0x1000, b"\x07")   # commit clears ghosts
+    check_read(oracle, "mn0", 1, 0x1000, b"\x05", start_at=400)
+    assert oracle.total_mismatches == 1
+
+
+def test_ghost_cap_taints_instead_of_growing():
+    env, oracle = make()
+    for value in range(ShadowOracle.GHOST_CAP + 2):
+        doomed = oracle.write_begin("mn0", 1, 0x1000, bytes([value + 1]))
+        oracle.write_failed(doomed)
+    # Tainted byte: anything goes, counted unchecked, no mismatch.
+    check_read(oracle, "mn0", 1, 0x1000, b"\xff")
+    assert oracle.ok
+    assert oracle.unchecked_bytes == 1
+
+
+def test_history_eviction_counts_unchecked_not_mismatch():
+    env, oracle = make()
+    read = oracle.read_begin("mn0", 1, 0x1000, 1)   # starts at t=0
+    # Push far more commits than HISTORY_DEPTH inside the read window.
+    for step in range(ShadowOracle.HISTORY_DEPTH + 5):
+        env.now = 10 + step
+        ack_write(oracle, "mn0", 1, 0x1000, bytes([step + 1]))
+    env.now = 1000
+    # The pre-window value (0) was evicted: unknowable, not wrong.
+    oracle.read_checked(read, b"\x00")
+    assert oracle.ok
+    assert oracle.unchecked_bytes == 1
+
+
+# -- atomics -------------------------------------------------------------------
+
+
+def test_atomic_updates_mirror_word():
+    env, oracle = make()
+    token = oracle.atomic_begin("mn0", 1, 0x1000, AtomicOp("faa", value=5))
+    env.now = 10
+    oracle.atomic_acked(token, AtomicResult(old_value=0, success=True))
+    env.now = 20
+    check_read(oracle, "mn0", 1, 0x1000,
+               (5).to_bytes(8, "little"), start_at=15)
+    assert oracle.ok
+    assert oracle.atomics_tracked == 1
+
+
+def test_double_applied_faa_diverges_from_mirror():
+    env, oracle = make()
+    token = oracle.atomic_begin("mn0", 1, 0x1000, AtomicOp("faa", value=1))
+    env.now = 10
+    oracle.atomic_acked(token, AtomicResult(old_value=0, success=True))
+    # A dedup bug applied the faa twice: DRAM holds 2, the mirror holds 1.
+    env.now = 20
+    check_read(oracle, "mn0", 1, 0x1000,
+               (2).to_bytes(8, "little"), start_at=15)
+    assert oracle.total_mismatches == 1
+
+
+def test_failed_atomic_taints_word():
+    env, oracle = make()
+    ack_write(oracle, "mn0", 1, 0x1000, (7).to_bytes(8, "little"))
+    env.now = 10
+    token = oracle.atomic_begin("mn0", 1, 0x1000, AtomicOp("faa", value=1))
+    oracle.atomic_failed(token)
+    env.now = 20
+    # 7 or 8 would both be fine — and so is garbage: the word is tainted.
+    check_read(oracle, "mn0", 1, 0x1000, (99).to_bytes(8, "little"),
+               start_at=15)
+    assert oracle.ok
+    assert oracle.unchecked_bytes == 8
+
+
+# -- lifecycle -----------------------------------------------------------------
+
+
+def test_region_cleared_resets_to_zero_fill():
+    env, oracle = make()
+    ack_write(oracle, "mn0", 1, 0x1000, b"\xaa\xbb")
+    oracle.region_cleared("mn0", 1, 0x1000, 4096)
+    env.now = 100
+    check_read(oracle, "mn0", 1, 0x1000, b"\x00\x00", start_at=50)
+    assert oracle.ok
+
+
+def test_region_remapped_moves_mirror():
+    env, oracle = make()
+    ack_write(oracle, "mn0", 7, 0x1000, b"data")
+    oracle.region_remapped(7, "mn0", 0x1000, "mn1", 0x9000, 4096)
+    env.now = 100
+    check_read(oracle, "mn1", 7, 0x9000, b"data", start_at=50)
+    check_read(oracle, "mn0", 7, 0x1000, b"\x00" * 4, start_at=50)
+    assert oracle.ok
+
+
+# -- epoch fencing -------------------------------------------------------------
+
+
+def test_zero_retry_ack_across_crash_window_flagged():
+    env, oracle = make()
+    token = oracle.write_begin("mn0", 1, 0x1000, b"\x01")
+    env.now = 100
+    oracle.on_board_crash("mn0")
+    env.now = 200
+    oracle.on_board_restart("mn0")
+    env.now = 300
+    oracle.write_acked(token, retries=0)
+    assert len(oracle.epoch_violations) == 1
+    violation = oracle.epoch_violations[0]
+    assert (violation.crash_ns, violation.restart_ns) == (100, 200)
+    assert "post-fence" in violation.describe()
+
+
+def test_retransmitted_ack_across_crash_window_is_legal():
+    env, oracle = make()
+    token = oracle.write_begin("mn0", 1, 0x1000, b"\x01")
+    env.now = 100
+    oracle.on_board_crash("mn0")
+    env.now = 200
+    oracle.on_board_restart("mn0")
+    env.now = 300
+    oracle.write_acked(token, retries=2)   # the retry explains the ack
+    assert not oracle.epoch_violations
+
+
+def test_ack_before_restart_is_legal():
+    env, oracle = make()
+    token = oracle.write_begin("mn0", 1, 0x1000, b"\x01")
+    env.now = 100
+    oracle.on_board_crash("mn0")
+    env.now = 150
+    oracle.write_acked(token, retries=0)   # board still down: no window
+    assert not oracle.epoch_violations
+
+
+def test_crash_on_other_board_ignored():
+    env, oracle = make()
+    token = oracle.write_begin("mn0", 1, 0x1000, b"\x01")
+    env.now = 100
+    oracle.on_board_crash("mn1")
+    env.now = 200
+    oracle.on_board_restart("mn1")
+    env.now = 300
+    oracle.write_acked(token, retries=0)
+    assert not oracle.epoch_violations
+
+
+def test_report_shape():
+    env, oracle = make()
+    ack_write(oracle, "mn0", 1, 0x1000, b"\x01")
+    check_read(oracle, "mn0", 1, 0x1000, b"\x01", start_at=0)
+    report = oracle.report()
+    assert report["writes_tracked"] == 1
+    assert report["reads_checked"] == 1
+    assert report["read_mismatches"] == 0
+    assert report["mismatch_details"] == []
