@@ -102,11 +102,13 @@ class RemoteColumnTable:
             inflight.append((handle, count))
             if len(inflight) >= self.pipeline_depth:
                 handle, count = inflight.pop(0)
-                (blob,) = yield from self.thread.rpoll([handle])
+                (completion,) = yield from self.thread.rpoll([handle])
+                blob = completion.result
                 yield self.env.timeout(COMPUTE_NS_PER_VALUE * count)
                 values.extend(_unpack(blob))
         for handle, count in inflight:
-            (blob,) = yield from self.thread.rpoll([handle])
+            (completion,) = yield from self.thread.rpoll([handle])
+            blob = completion.result
             yield self.env.timeout(COMPUTE_NS_PER_VALUE * count)
             values.extend(_unpack(blob))
         return values

@@ -116,7 +116,8 @@ class RemoteEmbeddingTable:
                 handles.append(handle)
             out = []
             for handle in handles:
-                (blob,) = yield from self.thread.rpoll([handle])
+                (completion,) = yield from self.thread.rpoll([handle])
+                blob = completion.result
                 out.append(blob)
             return out
         if strategy == "offload":

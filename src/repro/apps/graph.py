@@ -129,7 +129,8 @@ class RemoteGraph:
             if handle is None:
                 results.append([])
                 continue
-            (blob,) = yield from self.thread.rpoll([handle])
+            (completion,) = yield from self.thread.rpoll([handle])
+            blob = completion.result
             self.bytes_fetched += len(blob)
             results.append(_unpack_u32s(blob))
         return results

@@ -331,13 +331,16 @@ def cmd_chaos(args) -> int:
 def cmd_verify(args) -> int:
     """Run the correctness-checking stack end to end (docs/correctness.md).
 
-    Three passes: the MN atomic unit under multi-CN contention with a
+    Four passes: the MN atomic unit under multi-CN contention with a
     crash mid-run (linearizability + invariants), Clio-KV get/put under
-    a YCSB-A-style mix with a crash (linearizability), and a verified
-    chaos scenario (shadow oracle + invariant sweeps).  Exit 1 on any
-    violation, with the offending telemetry spans printed for context.
+    a YCSB-A-style mix with a crash (linearizability), a YCSB-A data mix
+    over batched rread/rwrite (shadow oracle + linearizability with the
+    adaptive batcher on), and a verified chaos scenario (shadow oracle +
+    invariant sweeps).  Exit 1 on any violation, with the offending
+    telemetry spans printed for context.
     """
     from repro.verify import (
+        run_batched_ycsb,
         run_kv_linearizability,
         run_sync_linearizability,
         run_verified_chaos,
@@ -372,6 +375,9 @@ def cmd_verify(args) -> int:
     kv_result = run_kv_linearizability(
         seed=args.seed, ops_per_client=args.ops, crash=not args.no_crash)
     audit(kv_result)
+    batched_result = run_batched_ycsb(
+        seed=args.seed, num_clients=args.clients, ops_per_client=args.ops)
+    audit(batched_result)
 
     chaos = run_verified_chaos(args.scenario, seed=args.seed or 1234,
                                ops_per_worker=args.ops * 10)

@@ -1,0 +1,248 @@
+"""Per-thread request batching: the CLib half of repro.batch.
+
+Small remote ops pay a full Clio header and a congestion-window slot
+each; a :class:`ThreadBatcher` coalesces ops issued within a time/count
+window into one multi-op BATCH frame so the header, the CLib per-request
+overhead, and the window slot amortize across the batch.  Batching is
+strictly opt-in (``ClioThread.enable_batching``): with it off, no code
+in this module runs and event sequences stay bit-identical.
+
+The explicit vector ops (``rreadv``/``rwritev``) reuse the same frame
+machinery without the adaptive window: the caller's list *is* the batch,
+greedily chunked into MTU-sized frames that are all issued concurrently
+(pipelined), one window slot per frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.net.packet import BatchSubOp, PacketType
+from repro.sim import Event
+
+
+@dataclass(slots=True)
+class _PendingOp:
+    """One submitted op waiting for (or riding) a frame."""
+
+    kind: str                     # "read" or "write"
+    va: int
+    size: int
+    data: Optional[bytes]
+    done: Event                   # dependency-tracker completion
+    completion: Event             # fulfils the op's AsyncHandle
+    vtoken: Any                   # verifier token (None when disabled)
+
+
+def _subop_cost(net, kind: str, size: int) -> int:
+    """Wire bytes one sub-op adds to a frame."""
+    return net.subop_header_bytes + (size if kind == "write" else 0)
+
+
+def _issue_frame(thread, ops: list[_PendingOp]):
+    """Process-generator: one frame on the wire, fan the ack back out.
+
+    The transport treats the frame as a single request (one ID, one
+    retransmission unit); this generator distributes the per-sub-op
+    statuses to each op's completion event and verifier token.
+    """
+    process = thread.process
+    transport = process.node.transport
+    verifier = process.node.verifier
+    sub_ops = tuple(
+        BatchSubOp(op=PacketType.WRITE if op.kind == "write"
+                   else PacketType.READ,
+                   va=op.va, size=op.size, data=op.data)
+        for op in ops)
+    try:
+        outcome = yield from transport.request_batch(
+            process.mn, process.pid, sub_ops)
+    except BaseException as exc:
+        # Whole-frame failure (retries exhausted): every rider fails the
+        # same way a lone op would — writes become oracle "ghosts".
+        for op in ops:
+            if verifier is not None and op.vtoken is not None:
+                if op.kind == "write":
+                    verifier.write_failed(op.vtoken)
+                else:
+                    verifier.read_failed(op.vtoken)
+            op.completion.fail(exc)
+            if not op.done.triggered:
+                op.done.succeed()
+        return
+    from repro.clib.client import RemoteAccessError
+    from repro.core.pipeline import Status
+    offset = 0
+    for op, status in zip(ops, outcome.statuses):
+        part = None
+        if op.kind == "read" and status is Status.OK:
+            part = outcome.data[offset:offset + op.size]
+            offset += op.size
+        if verifier is not None and op.vtoken is not None:
+            if status is Status.OK:
+                if op.kind == "write":
+                    verifier.write_acked(op.vtoken, outcome.retries)
+                else:
+                    verifier.read_checked(op.vtoken, part, outcome.retries)
+            elif op.kind == "write":
+                verifier.write_failed(op.vtoken)
+            else:
+                verifier.read_failed(op.vtoken)
+        if status is Status.OK:
+            op.completion.succeed(part)
+        else:
+            op.completion.fail(RemoteAccessError(
+                status, f"batched {op.kind}({op.va:#x}, {op.size})"))
+        if not op.done.triggered:
+            op.done.succeed()
+
+
+class ThreadBatcher:
+    """Coalesces one thread's small async ops into multi-op frames.
+
+    Flush policy (adaptive window):
+
+    * a frame fills to ``max_ops`` sub-ops → flushed immediately;
+    * adding an op would overflow the frame byte budget → the pending
+      frame is flushed first, the op starts a new one;
+    * otherwise a timer flushes whatever accumulated ``window_ns`` after
+      the first op of the frame arrived (0 = coalesce only ops issued at
+      the same instant).
+    """
+
+    def __init__(self, thread, max_ops: Optional[int] = None,
+                 window_ns: Optional[int] = None,
+                 max_frame_bytes: Optional[int] = None):
+        params = thread.process.node.params
+        clib = params.clib
+        net = params.network
+        self.thread = thread
+        self.env = thread.env
+        self.max_ops = max_ops if max_ops is not None else clib.batch_max_ops
+        self.window_ns = (window_ns if window_ns is not None
+                          else clib.batch_window_ns)
+        # Frame payload budget: descriptors + write payloads must fit one
+        # link-layer packet, so a frame never needs request fragmentation.
+        self.max_frame_bytes = (max_frame_bytes if max_frame_bytes is not None
+                                else net.mtu)
+        if self.max_ops < 1:
+            raise ValueError(f"max_ops must be >= 1, got {self.max_ops}")
+        if self.max_frame_bytes < net.subop_header_bytes + 1:
+            raise ValueError("max_frame_bytes below one sub-op descriptor")
+        self._net = net
+        self._pending: list[_PendingOp] = []
+        self._pending_bytes = 0
+        self._timer_armed = False
+        self.frames_issued = 0
+        self.subops_batched = 0
+
+    def admits(self, kind: str, size: int) -> bool:
+        """True when an op of this shape can ride a frame at all."""
+        return _subop_cost(self._net, kind, size) <= self.max_frame_bytes
+
+    def submit(self, kind: str, va: int, size: int, data: Optional[bytes],
+               done: Event, vtoken: Any) -> Event:
+        """Queue one op; returns the event that fulfils its handle."""
+        cost = _subop_cost(self._net, kind, size)
+        if self._pending and self._pending_bytes + cost > self.max_frame_bytes:
+            self.flush()
+        completion = self.env.event()
+        self._pending.append(_PendingOp(kind=kind, va=va, size=size,
+                                        data=data, done=done,
+                                        completion=completion, vtoken=vtoken))
+        self._pending_bytes += cost
+        if len(self._pending) >= self.max_ops:
+            self.flush()
+        elif not self._timer_armed:
+            self._timer_armed = True
+            self.env.schedule_callback(self.window_ns, self._on_timer)
+        return completion
+
+    def _on_timer(self) -> None:
+        self._timer_armed = False
+        if self._pending:
+            self.flush()
+
+    def flush(self) -> None:
+        """Issue the pending frame now (no-op when nothing is pending)."""
+        if not self._pending:
+            return
+        frame = self._pending
+        self._pending = []
+        self._pending_bytes = 0
+        self.frames_issued += 1
+        self.subops_batched += len(frame)
+        self.env.process(_issue_frame(self.thread, frame))
+
+
+def issue_vector(thread, kind: str, specs):
+    """Process-generator shared by rreadv_async/rwritev_async.
+
+    ``specs`` is a list of (va, size, data) triples.  Each op goes
+    through dependency admission in list order; batchable ops are
+    greedily chunked into MTU-sized frames, oversized ops fall back to
+    the classic per-op path.  Every frame (and fallback op) is in flight
+    concurrently when this returns — the pipelined issue the paper's
+    async API exists for.  Returns one AsyncHandle per op, in order.
+    """
+    from repro.clib.handles import AsyncHandle
+    params = thread.process.node.params
+    net = params.network
+    batcher = thread.batcher
+    if batcher is not None:
+        max_ops = batcher.max_ops
+        budget = batcher.max_frame_bytes
+    else:
+        max_ops = params.clib.batch_max_ops
+        budget = net.mtu
+    handles: list[AsyncHandle] = []
+    chunk: list[_PendingOp] = []
+    chunk_bytes = 0
+
+    def seal():
+        nonlocal chunk, chunk_bytes
+        if chunk:
+            thread.env.process(_issue_frame(thread, chunk))
+            chunk = []
+            chunk_bytes = 0
+
+    is_write = kind == "write"
+    for va, size, data in specs:
+        thread.ops_issued += 1
+        if chunk and thread.tracker.conflicts(va, size, is_write=is_write):
+            # The conflict may be with an op in the unsent chunk, whose
+            # completion needs the chunk on the wire: seal before waiting
+            # (ops conflicting within a vector serialize, frame by frame,
+            # exactly like the classic per-op async path).
+            seal()
+        yield from thread.tracker.wait_for_conflicts(va, size,
+                                                     is_write=is_write)
+        done = thread.tracker.register(va, size, is_write=is_write)
+        verifier = thread.process.node.verifier
+        if verifier is None:
+            vtoken = None
+        elif is_write:
+            vtoken = verifier.write_begin(thread, va, data)
+        else:
+            vtoken = verifier.read_begin(thread, va, size)
+        cost = _subop_cost(net, kind, size)
+        if cost > budget:
+            # Too big for any frame: classic per-op issue (the existing
+            # path already fragments large writes at the MTU).
+            packet_type = PacketType.WRITE if is_write else PacketType.READ
+            process = thread.env.process(thread._async_op(
+                packet_type, va, size, data, done, vtoken=vtoken))
+            handles.append(AsyncHandle(thread.env, process, kind))
+            continue
+        if chunk and (len(chunk) >= max_ops
+                      or chunk_bytes + cost > budget):
+            seal()
+        completion = thread.env.event()
+        chunk.append(_PendingOp(kind=kind, va=va, size=size, data=data,
+                                done=done, completion=completion,
+                                vtoken=vtoken))
+        chunk_bytes += cost
+        handles.append(AsyncHandle(thread.env, completion, kind))
+    seal()
+    return handles

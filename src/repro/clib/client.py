@@ -13,7 +13,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional, Sequence
 
-from repro.clib.handles import AsyncHandle
+from repro.clib.handles import AsyncHandle, Completion
 from repro.core.addr import Permission
 from repro.core.pipeline import Status
 from repro.core.sync import AtomicOp, AtomicResult
@@ -95,6 +95,10 @@ class ClioThread:
         self._tracker = DependencyTracker(self.env, process.page_spec,
                                           granularity=ordering_granularity)
         self.ops_issued = 0
+        # Adaptive request batching (repro.batch): None = off (default);
+        # enable_batching installs a ThreadBatcher that coalesces small
+        # async data ops into multi-op frames.
+        self._batcher = None
         process._thread_count += 1
         #: Stable identity for verification histories (who invoked an op).
         self.label = (f"{process.node.name}/p{process.pid}"
@@ -105,6 +109,43 @@ class ClioThread:
     @property
     def tracker(self) -> DependencyTracker:
         return self._tracker
+
+    @property
+    def batcher(self):
+        """The thread's ThreadBatcher, or None when batching is off."""
+        return self._batcher
+
+    # -- request batching (repro.batch, opt-in) ---------------------------------------
+
+    def enable_batching(self, max_ops: Optional[int] = None,
+                        window_ns: Optional[int] = None,
+                        max_frame_bytes: Optional[int] = None):
+        """Opt this thread into adaptive request batching.
+
+        Async data ops (``rread_async``/``rwrite_async``) issued within
+        ``window_ns`` of each other coalesce into one multi-op frame of
+        up to ``max_ops`` sub-ops (defaults from
+        :class:`~repro.params.CLibParams`).  Returns the
+        :class:`~repro.clib.batch.ThreadBatcher` handle; idempotent.
+        Synchronous ops and ops too large for a frame are unaffected.
+        """
+        if self._batcher is None:
+            from repro.clib.batch import ThreadBatcher
+            self._batcher = ThreadBatcher(self, max_ops=max_ops,
+                                          window_ns=window_ns,
+                                          max_frame_bytes=max_frame_bytes)
+        return self._batcher
+
+    def disable_batching(self) -> None:
+        """Flush anything pending and return to per-op issue."""
+        if self._batcher is not None:
+            self._batcher.flush()
+            self._batcher = None
+
+    def _flush_batches(self) -> None:
+        """Push pending batched ops onto the wire before a drain point."""
+        if self._batcher is not None:
+            self._batcher.flush()
 
     def _check(self, outcome: RequestOutcome, what: str) -> RequestOutcome:
         status = outcome.body.status if outcome.body is not None else Status.INVALID_VA
@@ -145,6 +186,7 @@ class ClioThread:
         any in-flight access of this thread.
         """
         self.ops_issued += 1
+        self._flush_batches()
         yield from self._tracker.drain()
         outcome = yield from self._transport.request(
             self.process.mn, PacketType.FREE, pid=self.process.pid, va=va)
@@ -305,6 +347,10 @@ class ClioThread:
         verifier = self.process.node.verifier
         vtoken = (verifier.read_begin(self, va, size)
                   if verifier is not None else None)
+        batcher = self._batcher
+        if batcher is not None and batcher.admits("read", size):
+            completion = batcher.submit("read", va, size, None, done, vtoken)
+            return AsyncHandle(self.env, completion, "read")
         process = self.env.process(
             self._async_op(PacketType.READ, va, size, None, done,
                            vtoken=vtoken))
@@ -321,18 +367,77 @@ class ClioThread:
         verifier = self.process.node.verifier
         vtoken = (verifier.write_begin(self, va, data)
                   if verifier is not None else None)
+        batcher = self._batcher
+        if batcher is not None and batcher.admits("write", size):
+            completion = batcher.submit("write", va, size, bytes(data),
+                                        done, vtoken)
+            return AsyncHandle(self.env, completion, "write")
         process = self.env.process(
             self._async_op(PacketType.WRITE, va, size, bytes(data), done,
                            vtoken=vtoken))
         return AsyncHandle(self.env, process, "write")
 
+    # -- vector data path (scatter/gather) ---------------------------------------------
+
+    def rreadv_async(self, ops: Sequence[tuple[int, int]]):
+        """Process-generator: scatter-read ``[(va, size), ...]``.
+
+        The list is chunked into multi-op frames (one header + window
+        slot per frame instead of per op) that are all in flight
+        concurrently on return.  Returns one handle per op, in order;
+        each handle's result is that op's bytes.
+        """
+        if not ops:
+            raise ValueError("rreadv needs at least one (va, size) op")
+        from repro.clib.batch import issue_vector
+        handles = yield from issue_vector(
+            self, "read", [(va, size, None) for va, size in ops])
+        return handles
+
+    def rwritev_async(self, ops: Sequence[tuple[int, bytes]]):
+        """Process-generator: gather-write ``[(va, data), ...]``; see
+        :meth:`rreadv_async`."""
+        if not ops:
+            raise ValueError("rwritev needs at least one (va, data) op")
+        for _va, data in ops:
+            if not data:
+                raise ValueError("rwritev needs non-empty payloads")
+        from repro.clib.batch import issue_vector
+        handles = yield from issue_vector(
+            self, "write",
+            [(va, len(data), bytes(data)) for va, data in ops])
+        return handles
+
+    def rreadv(self, ops: Sequence[tuple[int, int]]):
+        """Process-generator: blocking scatter read; returns the per-op
+        bytes in order (raises on the first failed op)."""
+        handles = yield from self.rreadv_async(ops)
+        completions = yield from self.rpoll(handles)
+        return [completion.result for completion in completions]
+
+    def rwritev(self, ops: Sequence[tuple[int, bytes]]):
+        """Process-generator: blocking gather write (raises on the first
+        failed op)."""
+        handles = yield from self.rwritev_async(ops)
+        completions = yield from self.rpoll(handles)
+        for completion in completions:
+            completion.result   # surface any per-op failure
+        return None
+
     def rpoll(self, handles: Sequence[AsyncHandle]):
-        """Process-generator: wait for the given async operations."""
-        results = []
+        """Process-generator: wait for the given async operations.
+
+        Accepts any mix of handle kinds (alloc/free/read/write, batched
+        or not) and returns one :class:`~repro.clib.handles.Completion`
+        per handle, in order.  Per-op failures land in the completion's
+        ``status``/``error`` instead of raising here; use
+        ``completion.result`` to unwrap (re-raising the failure).
+        """
+        completions = []
         for handle in handles:
-            result = yield from handle.poll()
-            results.append(result)
-        return results
+            completion = yield from handle.poll()
+            completions.append(completion)
+        return completions
 
     # -- synchronization ---------------------------------------------------------------------
 
@@ -382,6 +487,7 @@ class ClioThread:
         All earlier asynchronous operations of this thread complete before
         the unlock is issued — the release ordering of section 3.1.
         """
+        self._flush_batches()
         yield from self._tracker.drain()
         yield from self._atomic(lock_va, AtomicOp(kind="store", value=0))
 
@@ -391,6 +497,7 @@ class ClioThread:
         Drains this thread's in-flight requests, then asks the MN to
         block all future requests until its own in-flight ones complete.
         """
+        self._flush_batches()
         yield from self._tracker.drain()
         self.ops_issued += 1
         outcome = yield from self._transport.request(

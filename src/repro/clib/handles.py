@@ -1,46 +1,108 @@
-"""Completion handles for asynchronous CLib operations."""
+"""Completion handles for asynchronous CLib operations.
+
+One protocol for every async family: ``ralloc_async``, ``rfree_async``,
+``rread_async``, ``rwrite_async``, and the vector/batched ops all return
+an :class:`AsyncHandle`, and ``rpoll`` redeems any mix of them into
+:class:`Completion` records with per-op status — call sites no longer
+need to know which family a handle came from or wrap rpoll in
+try/except per shape.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.sim import Environment, Process
+from repro.sim import Environment, Event
+from repro.transport.clib_transport import RequestFailed
+
+
+@dataclass(slots=True)
+class Completion:
+    """Outcome of one asynchronous operation, as returned by ``rpoll``.
+
+    ``status`` is a short machine-readable string: ``"ok"`` on success,
+    the MN's rejection status (``"invalid_va"``, ``"permission"``,
+    ``"oom"``) when the board answered with an error, or
+    ``"request_failed"`` when retransmission was exhausted.
+    """
+
+    kind: str                              # "read"/"write"/"alloc"/"free"
+    ok: bool
+    value: Any = None                      # read bytes / alloc VA / ...
+    status: str = "ok"
+    error: Optional[BaseException] = None
+
+    @property
+    def result(self) -> Any:
+        """The value; re-raises the operation's failure if it has one."""
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+def _failure(kind: str, exc: BaseException) -> Completion:
+    status = getattr(exc, "status", None)   # RemoteAccessError carries one
+    if status is not None:
+        status = status.value
+    elif isinstance(exc, RequestFailed):
+        status = "request_failed"
+    else:
+        status = "error"
+    return Completion(kind=kind, ok=False, status=status, error=exc)
 
 
 class AsyncHandle:
-    """Handle returned by asynchronous rread/rwrite; redeemed via rpoll.
+    """Handle returned by every asynchronous CLib op; redeemed via rpoll.
 
-    Wraps the background simulation process executing the request.  The
-    result (read bytes, or None for writes) is available after the handle
-    completes; touching it earlier raises.
+    Wraps the operation's completion event — either a background
+    simulation process (classic per-op issue) or a plain event fulfilled
+    by the thread batcher when the op rode a multi-op frame.  The result
+    (read bytes, alloc VA, None for writes) is available after the
+    handle completes; touching it earlier raises.
     """
 
-    def __init__(self, env: Environment, process: Process, kind: str):
+    __slots__ = ("env", "kind", "_event")
+
+    def __init__(self, env: Environment, completion_event: Event, kind: str):
         self.env = env
-        self._process = process
         self.kind = kind
-        # The failure (e.g. RequestFailedError after exhausted retries)
+        self._event = completion_event
+        # The failure (e.g. RequestFailed after exhausted retries)
         # belongs to whoever polls the handle, not to the event loop:
-        # mark the process defused so an early failure waits for rpoll.
-        process._defused = True  # type: ignore[attr-defined]
+        # mark the event defused so an early failure waits for rpoll.
+        completion_event._defused = True
 
     @property
-    def completion_event(self) -> Process:
-        return self._process
+    def completion_event(self) -> Event:
+        return self._event
 
     @property
     def complete(self) -> bool:
-        return not self._process.is_alive
+        return self._event.triggered
 
     @property
-    def result(self) -> Optional[Any]:
-        if self._process.is_alive:
+    def result(self) -> Any:
+        if not self._event.triggered:
             raise RuntimeError("async operation still in flight; rpoll first")
-        return self._process.value
+        return self._event.value
+
+    def completion(self) -> Completion:
+        """The op's :class:`Completion`; only valid once complete."""
+        if not self._event.triggered:
+            raise RuntimeError("async operation still in flight; rpoll first")
+        try:
+            return Completion(kind=self.kind, ok=True,
+                              value=self._event.value)
+        except BaseException as exc:
+            return _failure(self.kind, exc)
 
     def poll(self):
-        """Process-generator: wait for completion, return the result."""
-        if self._process.is_alive:
-            yield self._process
-            return self._process.value
-        return self._process.value
+        """Process-generator: wait for completion, return a Completion."""
+        event = self._event
+        if not event.triggered:
+            try:
+                yield event
+            except BaseException as exc:
+                return _failure(self.kind, exc)
+        return self.completion()

@@ -61,13 +61,20 @@ class ClioCluster:
         # Runtime correctness checking is opt-in the same way.
         self.verifier = None
 
-    def start_health_monitor(self, interval_ns: int = 100_000,
-                             miss_threshold: int = 3):
+    # -- health monitoring ----------------------------------------------------------
+    #
+    # Every opt-in subsystem follows the same surface: ``enable_*()``
+    # returns the subsystem handle (idempotent), ``disable_*()`` detaches
+    # it while keeping whatever it recorded.
+
+    def enable_health_monitor(self, interval_ns: int = 100_000,
+                              miss_threshold: int = 3):
         """Opt into heartbeat-based board health tracking.
 
         Returns the :class:`~repro.faults.health.HealthMonitor`; pass it
         to a :class:`~repro.distributed.controller.GlobalController` so
-        placement avoids boards believed dead.
+        placement avoids boards believed dead.  Idempotent: a second
+        call returns the existing monitor.
         """
         if self.health is None:
             from repro.faults.health import HealthMonitor
@@ -76,8 +83,19 @@ class ClioCluster:
                                         miss_threshold=miss_threshold,
                                         registry=self.metrics)
             self.health.tracer = self.tracer
-            self.health.start()
+        self.health.start()
         return self.health
+
+    def disable_health_monitor(self) -> None:
+        """Stop the heartbeat sweep (beliefs and transitions are kept)."""
+        if self.health is not None:
+            self.health.stop()
+
+    def start_health_monitor(self, interval_ns: int = 100_000,
+                             miss_threshold: int = 3):
+        """Deprecated alias for :meth:`enable_health_monitor`."""
+        return self.enable_health_monitor(interval_ns=interval_ns,
+                                          miss_threshold=miss_threshold)
 
     # -- tracing ------------------------------------------------------------------
 

@@ -130,6 +130,7 @@ class CBoard:
 
         # Counters
         self.requests_served = 0
+        self.batch_subops_served = 0
         self.nacks_sent = 0
         self.bytes_served = 0
         self.crashes = 0
@@ -191,6 +192,9 @@ class CBoard:
                 fn=lambda: self.responses_discarded),
         })
         # Finer-grained instruments not part of the public stats() keys.
+        m.counter("batch.subops_served",
+                  "sub-ops executed out of multi-op frames",
+                  fn=lambda: self.batch_subops_served)
         m.counter("tlb.hits", fn=lambda: self.tlb.hits)
         m.counter("tlb.misses", fn=lambda: self.tlb.misses)
         m.counter("pipeline.requests", fn=lambda: self.fast_path.requests)
@@ -323,6 +327,8 @@ class CBoard:
                         yield from self._handle_write(packet, epoch)
                     elif header.packet_type is PacketType.ATOMIC:
                         yield from self._handle_atomic(packet, epoch)
+                    elif header.packet_type is PacketType.BATCH:
+                        yield from self._handle_batch(packet, epoch)
                 elif path is Path.SLOW:
                     if header.packet_type is PacketType.ALLOC:
                         yield from self._handle_alloc(packet, epoch)
@@ -417,6 +423,88 @@ class CBoard:
         self._send(header.src, header.request_id, PacketType.RESPONSE,
                    ResponseBody(status=progress.status,
                                 breakdown=progress.breakdown), epoch=epoch)
+
+    def _handle_batch(self, packet: Packet, epoch: int):
+        """Unroll a multi-op frame through the fast path at II=1 per sub-op.
+
+        Each sub-op pays exactly the per-request pipeline cost — one
+        ingest slot sized by its own descriptor (+ write payload), one
+        TLB/page-table access — and nothing batch-wide can stall the
+        whole frame: a rejected sub-op records its status and the next
+        sub-op proceeds.  One response acks the frame, carrying the
+        per-sub-op status vector and the concatenated read data.
+        """
+        header = packet.header
+        executed, cached = self.retry_buffer.check(header.retry_of)
+        if executed and cached is not None:
+            # A retried frame containing writes must not re-execute
+            # (section 4.5); replay the remembered status vector + data.
+            statuses, blob = cached
+            self._send_batch_response(header, statuses, blob, epoch)
+            return
+        subop_header = self.params.network.subop_header_bytes
+        # Unroll the frame *pipelined*: every sub-op enters the fast path
+        # as its own in-flight request, in frame order.  The pipeline's
+        # own bookkeeping serializes them where hardware would — the
+        # one-flit-per-cycle ingest (II=1) and the read DMA setup — so a
+        # slow sub-op (TLB miss, fault) stalls only itself, never the
+        # frame.  Spawn order fixes ingest order, keeping runs
+        # deterministic.
+        procs = []
+        contains_write = False
+        for sub in packet.payload:
+            if sub.op is PacketType.WRITE:
+                contains_write = True
+                procs.append(self.env.process(self.fast_path.execute(
+                    header.pid, AccessType.WRITE, sub.va, sub.size,
+                    data=sub.data, wire_bytes=subop_header + sub.size)))
+            else:
+                procs.append(self.env.process(self.fast_path.execute(
+                    header.pid, AccessType.READ, sub.va, sub.size,
+                    wire_bytes=subop_header)))
+        results = []
+        for proc in procs:
+            results.append((yield proc))
+        if epoch != self._epoch:
+            # Crash mid-frame: the partial response never reaches the wire.
+            self.responses_discarded += 1
+            return
+        statuses = []
+        parts = []
+        for sub, result in zip(packet.payload, results):
+            statuses.append(result.status)
+            self.last_breakdown = result.breakdown
+            if result.status is Status.OK:
+                self.batch_subops_served += 1
+                self.bytes_served += sub.size
+                if sub.op is PacketType.READ:
+                    parts.append(result.data)
+        self.requests_served += 1
+        statuses = tuple(statuses)
+        blob = b"".join(parts)
+        if contains_write:
+            # Read-only frames are idempotent and re-execute freely on
+            # retry; remembering only write-bearing frames keeps the
+            # bounded dedup ring small, exactly like single WRITEs.
+            self.retry_buffer.remember(header.request_id, (statuses, blob))
+            if header.retry_of is not None:
+                self.retry_buffer.remember(header.retry_of, (statuses, blob))
+        self._send_batch_response(header, statuses, blob, epoch)
+
+    def _send_batch_response(self, header: ClioHeader, statuses, blob: bytes,
+                             epoch: int) -> None:
+        """Ack a frame: status vector on fragment 0, read data fragmented."""
+        fragments = fragment_payload(len(blob), self._mtu)
+        count = len(fragments)
+        for index, (offset, size) in enumerate(fragments):
+            body = ResponseBody(
+                status=next((s for s in statuses if s is not Status.OK),
+                            Status.OK),
+                value=statuses if index == 0 else None,
+                data=blob[offset:offset + size])
+            self._send(header.src, header.request_id, PacketType.RESPONSE,
+                       body, fragment=index, fragments=count,
+                       payload_bytes=size, total_size=len(blob), epoch=epoch)
 
     def _handle_atomic(self, packet: Packet, epoch: int):
         header = packet.header

@@ -60,6 +60,7 @@ DEFAULT_RULES = (
     MatchRule(action=Path.FAST, packet_type=PacketType.WRITE),
     MatchRule(action=Path.FAST, packet_type=PacketType.ATOMIC),
     MatchRule(action=Path.FAST, packet_type=PacketType.FENCE),
+    MatchRule(action=Path.FAST, packet_type=PacketType.BATCH),
     MatchRule(action=Path.SLOW, packet_type=PacketType.ALLOC),
     MatchRule(action=Path.SLOW, packet_type=PacketType.FREE),
     MatchRule(action=Path.EXTEND, packet_type=PacketType.OFFLOAD),

@@ -50,6 +50,7 @@ class HealthMonitor:
         self.transitions: list[HealthTransition] = []
         self.heartbeats = 0
         self._started = False
+        self._armed = False    # a sweep callback is scheduled
         self.tracer = None
         self.metrics = (registry if registry is not None
                         else MetricsRegistry()).scope("health")
@@ -67,9 +68,23 @@ class HealthMonitor:
         if self._started:
             return
         self._started = True
-        self.env.schedule_callback(self.interval_ns, self._sweep)
+        if not self._armed:
+            self._armed = True
+            self.env.schedule_callback(self.interval_ns, self._sweep)
+
+    def stop(self) -> None:
+        """Stop sweeping (idempotent); beliefs and history are kept.
+
+        The already-scheduled callback still fires once but does nothing
+        and does not re-arm, so no further sweeps (or events) occur —
+        unless ``start`` re-enables the monitor first.
+        """
+        self._started = False
 
     def _sweep(self) -> None:
+        if not self._started:
+            self._armed = False
+            return
         for board in self._boards:
             name = board.name
             if board.alive:

@@ -20,6 +20,7 @@ class PacketType(enum.Enum):
     WRITE = "write"          # fast path
     ATOMIC = "atomic"        # fast path (synchronization unit)
     FENCE = "fence"          # fast path barrier
+    BATCH = "batch"          # fast path multi-op frame (scatter/gather)
     ALLOC = "alloc"          # slow path
     FREE = "free"            # slow path
     OFFLOAD = "offload"      # extend path
@@ -29,7 +30,8 @@ class PacketType(enum.Enum):
 
 #: Fast-path types the MAT keeps in the ASIC pipeline.
 FAST_PATH_TYPES = frozenset(
-    {PacketType.READ, PacketType.WRITE, PacketType.ATOMIC, PacketType.FENCE})
+    {PacketType.READ, PacketType.WRITE, PacketType.ATOMIC, PacketType.FENCE,
+     PacketType.BATCH})
 
 _packet_ids = itertools.count(1)
 
@@ -49,6 +51,34 @@ class ClioHeader:
     fragment: int = 0             # fragment index within the request
     fragments: int = 1            # total fragments of the request
     retry_of: Optional[int] = None  # request ID of the failed original
+
+
+@dataclass(frozen=True, slots=True)
+class BatchSubOp:
+    """One operation inside a multi-op BATCH frame.
+
+    The frame header carries the shared fields (PID, request ID); each
+    sub-op contributes only its own descriptor — ``op`` (READ or WRITE),
+    the target VA, the size, and the write payload.  On the wire a
+    descriptor costs ``NetworkParams.subop_header_bytes`` instead of a
+    full per-request header.
+    """
+
+    op: PacketType
+    va: int
+    size: int
+    data: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in (PacketType.READ, PacketType.WRITE):
+            raise ValueError(f"batch sub-ops are READ/WRITE, got {self.op}")
+        if self.size <= 0:
+            raise ValueError(f"sub-op size must be positive, got {self.size}")
+        if self.op is PacketType.WRITE:
+            if self.data is None or len(self.data) != self.size:
+                raise ValueError("write sub-op needs data matching size")
+        elif self.data is not None:
+            raise ValueError("read sub-op carries no data")
 
 
 @dataclass(slots=True)

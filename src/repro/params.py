@@ -128,6 +128,10 @@ class NetworkParams:
 
     mtu: int = 1500                        # link-layer payload bytes
     header_bytes: int = 64                 # Ethernet + Clio header per packet
+    # Per-sub-op descriptor inside a multi-op BATCH frame (opcode, VA,
+    # size).  Small relative to header_bytes: that gap is exactly the
+    # header amortization batching buys.
+    subop_header_bytes: int = 16
     cn_nic_rate_bps: int = 40 * GBPS       # ConnectX-3 at the CN
     mn_port_rate_bps: int = 10 * GBPS      # ZCU106 SFP+ at the MN
     switch_rate_bps: int = 40 * GBPS
@@ -180,7 +184,20 @@ class CLibParams:
     # Incast control
     iwnd_bytes: int = 256 * KB             # max outstanding expected response bytes
 
+    # Request batching (repro.batch) — opt-in per thread and therefore
+    # inert by default: nothing reads these unless a thread calls
+    # ``enable_batching`` or issues a vector op.
+    batch_max_ops: int = 16                # sub-ops coalesced per frame
+    batch_window_ns: int = 500             # max linger before a forced flush
+
     def __post_init__(self) -> None:
+        if self.batch_max_ops < 1:
+            raise ValueError(
+                f"batch_max_ops must be >= 1, got {self.batch_max_ops}")
+        if self.batch_window_ns < 0:
+            raise ValueError(
+                f"batch_window_ns must be non-negative, "
+                f"got {self.batch_window_ns}")
         if self.max_retries < 0:
             raise ValueError(
                 f"max_retries must be non-negative, got {self.max_retries}")

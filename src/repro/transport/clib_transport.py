@@ -15,7 +15,13 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.net.packet import ClioHeader, Packet, PacketType, fragment_payload
+from repro.net.packet import (
+    BatchSubOp,
+    ClioHeader,
+    Packet,
+    PacketType,
+    fragment_payload,
+)
 from repro.params import ClioParams
 from repro.sim import Environment, Event
 from repro.telemetry.metrics import MetricsRegistry, StatsView
@@ -67,6 +73,22 @@ class RequestOutcome:
 
 
 @dataclass(slots=True)
+class BatchOutcome:
+    """A completed multi-op frame: per-sub-op statuses + read data.
+
+    ``statuses`` holds one entry per sub-op in issue order; ``data`` is
+    the concatenation of every successful read's bytes in that same
+    order (the CLib layer slices it back apart using the sub-op sizes).
+    """
+
+    statuses: tuple           # per-sub-op Status, in issue order
+    data: bytes               # concatenated successful read payloads
+    rtt_ns: int
+    retries: int
+    request_id: int
+
+
+@dataclass(slots=True)
 class _Pending:
     """Reassembly and completion state for one in-flight request ID."""
 
@@ -106,6 +128,13 @@ class Transport:
         self.requests_issued = 0
         self.requests_completed = 0
         self.requests_failed = 0
+        # Batch accounting.  A multi-op frame occupies exactly one window
+        # slot and one request ID, so it counts once in requests_issued /
+        # completed / failed (the conservation invariant is unchanged);
+        # these counters additionally track the sub-ops it carried.
+        self.batches_issued = 0
+        self.batch_subops_issued = 0
+        self.batch_subops_completed = 0
         topology.add_node(node_name, self.receive,
                           port_rate_bps=params.network.cn_nic_rate_bps)
         # Telemetry: counters stay plain attributes; the registry holds
@@ -129,9 +158,20 @@ class Transport:
             "stale_responses": m.counter(
                 "stale_responses", "responses to already-retried IDs",
                 fn=lambda: self.stale_responses),
+            "batches_issued": m.counter(
+                "batches_issued", "multi-op frames issued",
+                fn=lambda: self.batches_issued),
+            "batch_subops_issued": m.counter(
+                "batch_subops_issued", "sub-ops carried by issued frames",
+                fn=lambda: self.batch_subops_issued),
+            "batch_subops_completed": m.counter(
+                "batch_subops_completed", "sub-ops whose frame was acked",
+                fn=lambda: self.batch_subops_completed),
         })
         m.gauge("pending", "in-flight request IDs",
                 fn=lambda: len(self._pending))
+        self._batch_sizes = m.histogram(
+            "batch.size", "sub-ops per issued multi-op frame")
 
     def stats(self) -> dict:
         """Public transport counters — a view over registry instruments."""
@@ -222,6 +262,24 @@ class Transport:
                 wire_bytes=header_bytes + (len(body) if isinstance(body, (bytes, bytearray)) else 0),
                 sent_at=self.env.now))
 
+    def _emit_batch(self, mn: str, request_id: int, pid: int,
+                    sub_ops: tuple[BatchSubOp, ...], wire_bytes: int,
+                    retry_of: Optional[int]) -> None:
+        """Transmit one multi-op frame as a single link-layer packet.
+
+        ``header.size`` carries the sub-op count (the geometry field a
+        real frame header would need); per-op VAs/sizes live in the
+        sub-op descriptors, already priced into ``wire_bytes``.
+        """
+        total = sum(sub.size for sub in sub_ops)
+        header = ClioHeader(
+            src=self.node_name, dst=mn, request_id=request_id,
+            packet_type=PacketType.BATCH, pid=pid, va=sub_ops[0].va,
+            size=len(sub_ops), total_size=total, retry_of=retry_of)
+        self.topology.send(Packet(header=header, payload=sub_ops,
+                                  wire_bytes=wire_bytes,
+                                  sent_at=self.env.now))
+
     #: Request types handled off the fast path: they get the long timeout.
     SLOW_TYPES = frozenset({PacketType.ALLOC, PacketType.FREE,
                             PacketType.OFFLOAD, PacketType.FENCE})
@@ -253,6 +311,85 @@ class Transport:
                 wire_ns = ((size + expected_response_bytes) * 8 * 1_000_000_000
                            // self.params.network.mn_port_rate_bps)
                 timeout_ns = clib.timeout_ns + 4 * wire_ns
+
+        def emit(request_id: int, retry_of: Optional[int]) -> None:
+            self._emit(mn, request_id, packet_type, pid, va, size, data,
+                       payload, retry_of)
+
+        outcome = yield from self._transact(
+            mn, packet_type, emit, expected_response_bytes, timeout_ns,
+            va=va, trace_args={"mn": mn, "pid": pid, "va": va, "size": size})
+        return outcome
+
+    def request_batch(self, mn: str, pid: int, sub_ops,
+                      timeout_ns: Optional[int] = None):
+        """Process-generator: issue one multi-op frame (repro.batch).
+
+        The frame is a single fast-path request on the wire: one request
+        ID, one congestion-window slot, one retransmission unit (whole
+        frame retried with a fresh ID; write-bearing frames dedup at the
+        MN).  Returns a :class:`BatchOutcome` with per-sub-op statuses;
+        raises :class:`RequestFailed` like :meth:`request`.
+        """
+        sub_ops = tuple(sub_ops)
+        if not sub_ops:
+            raise ValueError("request_batch needs at least one sub-op")
+        clib = self.params.clib
+        net = self.params.network
+        request_bytes = net.header_bytes + sum(
+            net.subop_header_bytes
+            + (sub.size if sub.op is PacketType.WRITE else 0)
+            for sub in sub_ops)
+        if request_bytes > net.header_bytes + net.mtu:
+            raise ValueError(
+                f"batch frame exceeds the MTU ({request_bytes - net.header_bytes}"
+                f" > {net.mtu} payload bytes); split it or shrink ops")
+        self.requests_issued += 1
+        self.batches_issued += 1
+        self.batch_subops_issued += len(sub_ops)
+        self._batch_sizes.observe(len(sub_ops))
+        read_bytes = sum(sub.size for sub in sub_ops
+                         if sub.op is PacketType.READ)
+        expected_response_bytes = net.header_bytes + read_bytes
+        if timeout_ns is None:
+            wire_ns = ((request_bytes + expected_response_bytes) * 8
+                       * 1_000_000_000 // net.mn_port_rate_bps)
+            # A frame's service time grows with its sub-op count (each
+            # sub-op holds the board pipeline, reads the serialized DMA
+            # engine), and admitted frames queue behind each other per
+            # window slot — so the retransmission budget must scale with
+            # frame size or deep batches spuriously time out and retry.
+            timeout_ns = (clib.timeout_ns
+                          + clib.timeout_ns * (len(sub_ops) - 1) // 4
+                          + 8 * wire_ns)
+
+        def emit(request_id: int, retry_of: Optional[int]) -> None:
+            self._emit_batch(mn, request_id, pid, sub_ops, request_bytes,
+                             retry_of)
+
+        outcome = yield from self._transact(
+            mn, PacketType.BATCH, emit, expected_response_bytes, timeout_ns,
+            va=sub_ops[0].va,
+            trace_args={"mn": mn, "pid": pid, "batch_size": len(sub_ops)},
+            rtt_scale=len(sub_ops))
+        self.batch_subops_completed += len(sub_ops)
+        return BatchOutcome(statuses=tuple(outcome.body.value),
+                            data=outcome.data or b"",
+                            rtt_ns=outcome.rtt_ns, retries=outcome.retries,
+                            request_id=outcome.request_id)
+
+    def _transact(self, mn: str, packet_type: PacketType, emit,
+                  expected_response_bytes: int, timeout_ns: int,
+                  va: int, trace_args: dict, rtt_scale: int = 1):
+        """Shared retry state machine behind request()/request_batch().
+
+        ``rtt_scale`` normalizes the RTT sample fed to congestion
+        control: a frame of N sub-ops legitimately takes ~N times one
+        op's service time, so its ack reports the *per-sub-op* pace —
+        otherwise every deep batch reads as queueing delay and the
+        window collapses to its floor.
+        """
+        clib = self.params.clib
         congestion = self.congestion(mn)
         original_id: Optional[int] = None
         retries = 0
@@ -261,7 +398,7 @@ class Transport:
         if tracer is not None:
             request_span = tracer.begin(
                 f"request:{packet_type.value}", "transport", self.node_name,
-                args={"mn": mn, "pid": pid, "va": va, "size": size})
+                args=trace_args)
 
         for attempt in range(clib.max_retries + 1):
             # Uncontended fast path: skip the admission generator entirely.
@@ -284,8 +421,7 @@ class Transport:
 
             # CLib processing cost, then kernel-bypass raw Ethernet send.
             yield self.env.timeout(clib.request_overhead_ns // 2)
-            self._emit(mn, request_id, packet_type, pid, va, size, data,
-                       payload, retry_of)
+            emit(request_id, retry_of)
             attempt_span = None
             if tracer is not None:
                 attempt_span = tracer.begin(
@@ -305,7 +441,7 @@ class Transport:
             self._incast.on_complete(expected_response_bytes)
             if not state.timed_out and not state.nacked and not state.corrupted:
                 rtt = self.env.now - state.sent_at
-                congestion.on_ack(rtt)
+                congestion.on_ack(rtt // rtt_scale if rtt_scale > 1 else rtt)
                 self._wake_senders()
                 del self._pending[request_id]
                 if tracer is not None:
@@ -332,7 +468,9 @@ class Transport:
             if tracer is not None:
                 tracer.end(attempt_span, outcome=last_reason)
             if not state.timed_out:
-                congestion.on_ack(self.env.now - state.sent_at)
+                late_rtt = self.env.now - state.sent_at
+                congestion.on_ack(late_rtt // rtt_scale
+                                  if rtt_scale > 1 else late_rtt)
             else:
                 congestion.on_timeout()
             self._wake_senders()

@@ -19,6 +19,7 @@ CLI entry point.
 from repro.verify.harness import (
     ClusterVerifier,
     VerifyRunResult,
+    run_batched_ycsb,
     run_kv_linearizability,
     run_sync_linearizability,
     run_verified_chaos,
@@ -62,6 +63,7 @@ __all__ = [
     "check_history",
     "check_transport",
     "quick_check_board",
+    "run_batched_ycsb",
     "run_kv_linearizability",
     "run_sync_linearizability",
     "run_verified_chaos",

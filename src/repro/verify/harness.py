@@ -484,6 +484,120 @@ def run_kv_linearizability(seed: int = 0, num_clients: int = 2,
                            tracer=cluster.tracer, notes=notes)
 
 
+#: PID range for the batched-YCSB harness (pinned: PIDs feed the PT hash).
+_BATCH_PID_BASE = 9901
+
+
+def run_batched_ycsb(seed: int = 0, num_clients: int = 2,
+                     ops_per_client: int = 80, keys: int = 64,
+                     value_size: int = 64, batch_max_ops: int = 8,
+                     window_ns: int = 400, trace: bool = True,
+                     deadline_ns: int = 100 * MS) -> VerifyRunResult:
+    """YCSB-A over raw rread/rwrite with per-thread batching enabled.
+
+    The repro.batch acceptance workload: every client opts into the
+    adaptive batcher, so the 50/50 get/set mix rides multi-op frames,
+    and all three checking layers must stay clean over the batched
+    histories — the oracle audits every batched read against shadow
+    memory, quick/board invariants run per request, and a shared atomic
+    word (bumped between batches) feeds the linearizability checker.
+    Clients use byte-granular ordering so independent keys in one 4 MB
+    page actually coalesce instead of serializing on false conflicts.
+    """
+    from repro.cluster import ClioCluster
+    from repro.sim.rng import RandomStream
+    from repro.workloads.ycsb import YCSB_WORKLOADS, YCSBWorkload
+    from repro.transport.clib_transport import RequestFailed
+    from repro.clib.client import RemoteAccessError
+
+    cluster = ClioCluster(params=_verify_params(), seed=seed,
+                          num_cns=num_clients, mn_capacity=128 * MB)
+    verifier = cluster.enable_verification()
+    if trace:
+        cluster.enable_tracing()
+    env = cluster.env
+    rng = RandomStream(seed, "verify/batched-ycsb")
+
+    threads = [
+        cluster.cn(i).process("mn0", pid=_BATCH_PID_BASE + i)
+        .thread(ordering_granularity="byte")
+        for i in range(num_clients)
+    ]
+    sync_threads = [cluster.cn(i).process("mn0", pid=_SYNC_PID).thread()
+                    for i in range(num_clients)]
+
+    setup = {}
+
+    def setup_proc():
+        # Per-client data regions plus the shared word for the linearizer.
+        regions = []
+        for thread in threads:
+            va = yield from thread.ralloc(keys * value_size)
+            regions.append(va)
+        setup["regions"] = regions
+        setup["word"] = yield from sync_threads[0].ralloc(4096)
+
+    cluster.run(until=env.process(setup_proc()))
+    regions, word_va = setup["regions"], setup["word"]
+    done_events = [env.event() for _ in range(num_clients)]
+    batch_stats = {"frames": 0, "subops": 0}
+
+    def client(index: int):
+        thread = threads[index]
+        region = regions[index]
+        workload = YCSBWorkload(YCSB_WORKLOADS["A"],
+                                rng.fork(f"client{index}"),
+                                num_keys=keys, value_size=value_size)
+        batcher = thread.enable_batching(max_ops=batch_max_ops,
+                                         window_ns=window_ns)
+        inflight = []
+        try:
+            for serial, op in enumerate(workload.operations(ops_per_client)):
+                key_index = int(op[1][4:])
+                va = region + key_index * value_size
+                if op[0] == "set":
+                    handle = yield from thread.rwrite_async(va, op[2])
+                else:
+                    handle = yield from thread.rread_async(va, value_size)
+                inflight.append(handle)
+                if len(inflight) >= 2 * batch_max_ops:
+                    completions = yield from thread.rpoll(inflight)
+                    inflight = []
+                    for completion in completions:
+                        completion.result   # no faults here: all must land
+                if serial % 8 == 7:
+                    # Contended sync between batches: linearizer food.
+                    try:
+                        yield from sync_threads[index].rfaa(word_va, 1)
+                    except (RequestFailed, RemoteAccessError):
+                        pass
+            thread._flush_batches()
+            completions = yield from thread.rpoll(inflight)
+            for completion in completions:
+                completion.result
+        finally:
+            batch_stats["frames"] += batcher.frames_issued
+            batch_stats["subops"] += batcher.subops_batched
+            done_events[index].succeed()
+
+    for index in range(num_clients):
+        env.process(client(index))
+    all_done = env.all_of(done_events)
+    cluster.run(until=deadline_ns)
+    notes = [] if all_done.triggered else ["workload hit the deadline"]
+    notes.append(f"batched {batch_stats['subops']} sub-ops into "
+                 f"{batch_stats['frames']} frames")
+
+    history = verifier.atomic_histories.get(("mn0", _SYNC_PID, word_va), [])
+    lin = check_history(history, AtomicWordModel)
+    verifier.sweep()
+    return VerifyRunResult(name="batched-ycsb-a", lin=lin,
+                           history_len=len(history),
+                           violations=list(verifier.violations),
+                           report=verifier.report(),
+                           tracer=cluster.tracer, notes=notes)
+
+
 def run_verified_chaos(scenario: str = "board-crash",
                        seed: int = 1234, **kwargs):
     """One chaos scenario with the full verifier attached."""

@@ -183,13 +183,17 @@ def test_async_read_result_via_handle():
         va = yield from thread.ralloc(64)
         yield from thread.rwrite(va, b"deferred")
         handle = yield from thread.rread_async(va, 8)
-        (data,) = yield from thread.rpoll([handle])
-        result["data"] = data
+        (completion,) = yield from thread.rpoll([handle])
+        result["data"] = completion.result
+        result["kind"] = completion.kind
+        result["ok"] = completion.ok
         result["handle_result"] = handle.result
 
     run_app(cluster, app())
     assert result["data"] == b"deferred"
     assert result["handle_result"] == b"deferred"
+    assert result["kind"] == "read"
+    assert result["ok"] is True
 
 
 def test_touching_incomplete_handle_raises():

@@ -151,7 +151,9 @@ def test_ralloc_async_returns_va_via_handle():
 
     def app():
         handle = yield from thread.ralloc_async(1 * MB)
-        (va,) = yield from thread.rpoll([handle])
+        (completion,) = yield from thread.rpoll([handle])
+        assert completion.kind == "alloc" and completion.ok
+        va = completion.result
         result["va"] = va
         yield from thread.rwrite(va, b"async-allocated")
         result["data"] = yield from thread.rread(va, 15)
@@ -170,9 +172,9 @@ def test_two_async_rallocs_overlap():
         start = cluster.env.now
         h1 = yield from thread.ralloc_async(1 * MB)
         h2 = yield from thread.ralloc_async(1 * MB)
-        vas = yield from thread.rpoll([h1, h2])
+        completions = yield from thread.rpoll([h1, h2])
         result["elapsed"] = cluster.env.now - start
-        result["vas"] = vas
+        result["vas"] = [c.result for c in completions]
 
     run_app(cluster, app())
     assert len(set(result["vas"])) == 2
@@ -208,8 +210,9 @@ def test_rfree_async_blocks_conflicting_access():
             result["read"] = "succeeded"
         except RemoteAccessError as exc:
             result["read"] = exc.status
-        (freed,) = yield from thread.rpoll([handle])
-        result["freed"] = freed
+        (completion,) = yield from thread.rpoll([handle])
+        assert completion.kind == "free"
+        result["freed"] = completion.result
 
     run_app(cluster, app())
     assert result["read"] is Status.INVALID_VA

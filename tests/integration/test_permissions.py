@@ -107,14 +107,22 @@ def test_async_write_permission_error_surfaces_at_rpoll():
     def app():
         ro = yield from thread.ralloc(PAGE, permission=Permission.READ)
         handle = yield from thread.rwrite_async(ro, b"sneaky")
+        # rpoll no longer raises per-op failures: the rejection arrives
+        # as a Completion with status/error, and .result re-raises it.
+        (completion,) = yield from thread.rpoll([handle])
+        outcomes["completion"] = completion
         try:
-            yield from thread.rpoll([handle])
+            completion.result
             outcomes["poll"] = "succeeded"
         except RemoteAccessError as exc:
             outcomes["poll"] = exc.status
 
     run_app(cluster, app())
     assert outcomes["poll"] is Status.PERMISSION
+    completion = outcomes["completion"]
+    assert completion.ok is False
+    assert completion.status == "permission"
+    assert isinstance(completion.error, RemoteAccessError)
 
 
 def test_permissions_are_per_allocation_not_per_process():

@@ -148,7 +148,8 @@ def test_component_stats_unchanged_by_registry():
     transport_stats = cluster.cn(0).transport.stats()
     assert list(transport_stats) == [
         "requests_issued", "requests_completed", "requests_failed",
-        "total_retries", "stale_responses"]
+        "total_retries", "stale_responses", "batches_issued",
+        "batch_subops_issued", "batch_subops_completed"]
     assert transport_stats["requests_issued"] == 3
     assert transport_stats["requests_completed"] == 3
     link_stats = cluster.topology.uplink("cn0").stats()

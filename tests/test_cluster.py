@@ -108,3 +108,34 @@ def test_health_monitor_opt_in_and_reported():
     report = cluster.report()
     assert report["health"]["dead_boards"] == ["mn1"]
     assert report["boards"]["mn1"]["alive"] is False
+
+
+def test_opt_in_subsystems_share_the_enable_disable_surface():
+    """Every opt-in subsystem: enable_*() returns the handle, idempotent;
+    the deprecated start_health_monitor alias stays wired to it."""
+    cluster = ClioCluster(num_mns=1, mn_capacity=64 * MB)
+    health = cluster.enable_health_monitor(interval_ns=10_000)
+    assert cluster.enable_health_monitor() is health
+    assert cluster.start_health_monitor() is health   # deprecated alias
+    tracer = cluster.enable_tracing()
+    assert cluster.enable_tracing() is tracer
+    verifier = cluster.enable_verification()
+    assert cluster.enable_verification() is verifier
+    cluster.disable_tracing()
+    assert cluster.tracer is None
+    cluster.disable_verification()
+    assert cluster.verifier is None
+
+
+def test_disable_health_monitor_stops_sweeps_and_restarts():
+    cluster = ClioCluster(num_mns=1, mn_capacity=64 * MB)
+    health = cluster.enable_health_monitor(interval_ns=10_000)
+    cluster.run(until=100_000)
+    beats = health.heartbeats
+    assert beats > 0
+    cluster.disable_health_monitor()
+    cluster.run(until=300_000)
+    assert health.heartbeats == beats   # no sweeps while disabled
+    assert cluster.enable_health_monitor() is health   # re-arms the sweep
+    cluster.run(until=400_000)
+    assert health.heartbeats > beats
