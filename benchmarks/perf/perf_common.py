@@ -94,3 +94,34 @@ def record(section: str, name: str, metrics: dict) -> None:
     with open(BENCH_FILE, "w") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def validate_engine_section(data: dict) -> list[str]:
+    """Schema-check the ``engine`` section of a BENCH_perf.json payload.
+
+    Returns a list of problems (empty when the section is well-formed).
+    Every engine cell must carry positive wall-clock and event-rate
+    fields; the ``rack_echo_*`` cells additionally pin the cross-mode
+    contract — all engine modes dispatch the same number of events.
+    """
+    problems: list[str] = []
+    engine = data.get("engine")
+    if not engine:
+        return ["no 'engine' section"]
+    for name, cell in engine.items():
+        for key in ("wall_s", "events", "events_per_sec"):
+            if not isinstance(cell.get(key), (int, float)) or cell[key] <= 0:
+                problems.append(f"{name}: bad {key!r}: {cell.get(key)!r}")
+    rack = {name: cell for name, cell in engine.items()
+            if name.startswith("rack_echo_")}
+    if rack:
+        events = {cell["events"] for cell in rack.values()}
+        if len(events) != 1:
+            problems.append(f"rack_echo modes dispatched different event "
+                            f"counts: { {n: c['events'] for n, c in rack.items()} }")
+        parallel = engine.get("rack_echo_parallel")
+        if parallel is not None:
+            for key in ("windows", "projected_speedup", "cpu_cores"):
+                if key not in parallel:
+                    problems.append(f"rack_echo_parallel missing {key!r}")
+    return problems

@@ -296,7 +296,7 @@ def cmd_chaos(args) -> int:
         raise SystemExit(f"unknown scenario {args.scenario!r}; "
                          f"choose from {sorted(SCENARIOS)}")
     report = run_chaos(args.scenario, seed=args.seed,
-                       ops_per_worker=args.ops)
+                       ops_per_worker=args.ops, partitioned=args.pdes)
     problems = report.check_invariants()
     failures = sorted({op.status for op in report.ops if op.status != "ok"})
     rows = [[report.scenario, "yes" if report.finished else "NO",
@@ -314,12 +314,17 @@ def cmd_chaos(args) -> int:
             [[round(tput["pre_ops_per_sec"]), round(tput["post_ops_per_sec"]),
               f"{tput['recovery_ratio']:.1%}"]]))
     if args.check_determinism:
+        # Rerun on the *other* engine too: the single-process partitioned
+        # scheduler must match the flat engine bit for bit.
         repeat = run_chaos(args.scenario, seed=args.seed,
-                           ops_per_worker=args.ops)
+                           ops_per_worker=args.ops,
+                           partitioned=not args.pdes)
         if repeat.fingerprint() != report.fingerprint():
-            problems.append("same-seed rerun produced a different fingerprint")
+            problems.append("partitioned/flat engines disagree on the "
+                            "same-seed fingerprint")
         else:
-            print("determinism: rerun fingerprint bit-identical")
+            print("determinism: flat and partitioned fingerprints "
+                  "bit-identical")
     if problems:
         for problem in problems:
             print(f"INVARIANT VIOLATED: {problem}")
@@ -370,17 +375,21 @@ def cmd_verify(args) -> int:
 
     sync_result = run_sync_linearizability(
         seed=args.seed, num_clients=args.clients,
-        ops_per_client=args.ops, crash=not args.no_crash)
+        ops_per_client=args.ops, crash=not args.no_crash,
+        partitioned=args.pdes)
     audit(sync_result)
     kv_result = run_kv_linearizability(
-        seed=args.seed, ops_per_client=args.ops, crash=not args.no_crash)
+        seed=args.seed, ops_per_client=args.ops, crash=not args.no_crash,
+        partitioned=args.pdes)
     audit(kv_result)
     batched_result = run_batched_ycsb(
-        seed=args.seed, num_clients=args.clients, ops_per_client=args.ops)
+        seed=args.seed, num_clients=args.clients, ops_per_client=args.ops,
+        partitioned=args.pdes)
     audit(batched_result)
 
     chaos = run_verified_chaos(args.scenario, seed=args.seed or 1234,
-                               ops_per_worker=args.ops * 10)
+                               ops_per_worker=args.ops * 10,
+                               partitioned=args.pdes)
     chaos_problems = chaos.check_invariants()
     verification = chaos.verification or {}
     rows.append([f"chaos:{args.scenario}", len(chaos.ops),
@@ -491,8 +500,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--ops", type=int, default=1200,
                        help="operations per worker")
     chaos.add_argument("--check-determinism", action="store_true",
-                       help="rerun with the same seed and compare "
-                            "fingerprints bit-for-bit")
+                       help="rerun on the other engine (flat vs "
+                            "partitioned) and compare fingerprints "
+                            "bit-for-bit")
+    chaos.add_argument("--pdes", action="store_true",
+                       help="run on the single-process partitioned "
+                            "engine (one event wheel per board/CN)")
     chaos.set_defaults(func=cmd_chaos)
 
     verify = sub.add_parser(
@@ -506,6 +519,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="chaos scenario to run under the oracle")
     verify.add_argument("--no-crash", action="store_true",
                         help="skip the mid-run board crash/restart")
+    verify.add_argument("--pdes", action="store_true",
+                        help="run every pass on the single-process "
+                             "partitioned engine")
     verify.set_defaults(func=cmd_verify)
 
     metrics = sub.add_parser(

@@ -16,42 +16,64 @@ from repro.clib.client import ComputeNode
 from repro.core.cboard import CBoard
 from repro.net.switch import Topology
 from repro.params import ClioParams
-from repro.sim import Environment
+from repro.sim import Environment, PartitionedEnvironment
 from repro.sim.rng import RandomStream
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.spans import Tracer
 
 
 class ClioCluster:
-    """A star cluster: ``num_cns`` compute nodes and ``num_mns`` CBoards."""
+    """A star cluster: ``num_cns`` compute nodes and ``num_mns`` CBoards.
+
+    With ``partitioned=True`` the cluster is built on the partitioned
+    engine: every CBoard and CN owns its own event wheel (logical
+    process), the switch tier owns another, and link propagation delays
+    become the conservative lookahead edges between them.  The
+    single-process partitioned scheduler is bit-identical to the flat
+    engine on the same seed — same timestamps, same tie-breaks, same RNG
+    draw order — so fingerprints and goldens carry over unchanged.
+    """
 
     def __init__(self, params: Optional[ClioParams] = None, seed: int = 0,
                  num_cns: int = 1, num_mns: int = 1,
                  mn_capacity: Optional[int] = None,
-                 page_size: Optional[int] = None):
+                 page_size: Optional[int] = None,
+                 partitioned: bool = False):
         if num_cns < 1 or num_mns < 1:
             raise ValueError("need at least one CN and one MN")
         self.params = params or ClioParams.prototype()
-        self.env = Environment()
+        self.partitioned = partitioned
+        if partitioned:
+            self.env: Environment = PartitionedEnvironment()
+            switch_env = self.env.partition("switch")
+        else:
+            self.env = Environment()
+            switch_env = self.env
         self.rng = RandomStream(seed, "cluster")
         # One shared metrics namespace for the whole cluster; components
         # register themselves under their own prefixes at construction.
         self.metrics = MetricsRegistry()
-        self.topology = Topology(self.env, self.params.network,
+        self.topology = Topology(switch_env, self.params.network,
                                  rng=self.rng.fork("net"),
                                  registry=self.metrics)
         self.mns: list[CBoard] = []
         for index in range(num_mns):
-            board = CBoard(self.env, self.params, name=f"mn{index}",
+            board_env = (self.env.partition(f"mn{index}") if partitioned
+                         else self.env)
+            board = CBoard(board_env, self.params, name=f"mn{index}",
                            dram_capacity=mn_capacity, page_size=page_size,
                            registry=self.metrics)
             board.attach(self.topology)
             self.mns.append(board)
         self.cns: list[ComputeNode] = [
-            ComputeNode(self.env, f"cn{index}", self.topology, self.params,
+            ComputeNode(self.env.partition(f"cn{index}") if partitioned
+                        else self.env,
+                        f"cn{index}", self.topology, self.params,
                         default_page_size=page_size, registry=self.metrics)
             for index in range(num_cns)
         ]
+        if partitioned:
+            self._register_partition_metrics()
         # Heartbeat health tracking is opt-in: its periodic sweep adds
         # events, so no-fault runs stay bit-identical unless asked for.
         self.health = None
@@ -60,6 +82,25 @@ class ClioCluster:
         self.tracer = None
         # Runtime correctness checking is opt-in the same way.
         self.verifier = None
+
+    def _register_partition_metrics(self) -> None:
+        """Expose per-partition engine counters as fn-backed metrics."""
+        scope = self.metrics.scope("engine")
+        scope.counter("drain_runs", fn=lambda: self.env.drain_runs)
+        scope.counter("events_dispatched",
+                      fn=lambda: self.env.events_dispatched)
+        for part in self.env.partitions:
+            prefix = f"partition.{part.name}"
+            scope.counter(f"{prefix}.events",
+                          fn=lambda p=part: p.events_dispatched)
+            scope.counter(f"{prefix}.cross_in",
+                          fn=lambda p=part: p.cross_events_in)
+
+    def partition_report(self) -> Optional[dict]:
+        """Engine-level partition stats, or ``None`` on a flat cluster."""
+        if not self.partitioned:
+            return None
+        return self.env.partition_stats()
 
     # -- health monitoring ----------------------------------------------------------
     #

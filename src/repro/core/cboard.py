@@ -266,7 +266,8 @@ class CBoard:
         """Connect the board's Ethernet port to the ToR switch."""
         self.topology = topology
         topology.add_node(self.name, self.receive,
-                          port_rate_bps=self.params.cboard.port_rate_bps)
+                          port_rate_bps=self.params.cboard.port_rate_bps,
+                          node_env=self.env)
 
     # -- network receive (the transportless MN stack) ------------------------------
 

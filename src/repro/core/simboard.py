@@ -78,7 +78,8 @@ class SimBoard:
     def attach(self, topology) -> None:
         self.topology = topology
         topology.add_node(self.name, self.receive,
-                          port_rate_bps=self.params.cboard.port_rate_bps)
+                          port_rate_bps=self.params.cboard.port_rate_bps,
+                          node_env=self.env)
 
     # -- address space helpers ----------------------------------------------------------
 

@@ -213,7 +213,8 @@ def run_chaos(scenario: str = "board-crash", seed: int = 1234,
               deadline_ns: int = 200 * MS,
               params: Optional[ClioParams] = None,
               schedule: Optional[FaultSchedule] = None,
-              verify: bool = False) -> ChaosReport:
+              verify: bool = False,
+              partitioned: bool = False) -> ChaosReport:
     """Run one chaos scenario end to end and return its report.
 
     ``schedule`` overrides the canned one (scenario then only names the
@@ -225,6 +226,11 @@ def run_chaos(scenario: str = "board-crash", seed: int = 1234,
     invariant sweeps) rides along; checking is passive, so the report's
     fingerprint is bit-identical either way, and its findings land in
     ``report.verification`` (audited by ``check_invariants``).
+
+    ``partitioned=True`` runs the same scenario on the partitioned
+    engine (one event wheel per board/CN plus the switch tier); the
+    single-process partitioned scheduler is bit-identical to the flat
+    engine, so the report fingerprint must not change.
     """
     if scenario not in SCENARIOS and schedule is None:
         raise ValueError(f"unknown scenario {scenario!r}; "
@@ -234,7 +240,8 @@ def run_chaos(scenario: str = "board-crash", seed: int = 1234,
         schedule, crash_window = SCENARIOS[scenario](seed)
 
     cluster = ClioCluster(params=params or _chaos_params(), seed=seed,
-                          num_cns=num_cns, mn_capacity=256 * MB)
+                          num_cns=num_cns, mn_capacity=256 * MB,
+                          partitioned=partitioned)
     verifier = cluster.enable_verification() if verify else None
     injector = FaultInjector(cluster, schedule)
     env = cluster.env

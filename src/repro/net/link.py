@@ -37,7 +37,8 @@ class Link:
                  rng: Optional[RandomStream] = None,
                  loss_rate: float = 0.0, corruption_rate: float = 0.0,
                  jitter_ns: int = 0,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 deliver_env: Optional[Environment] = None):
         if rate_bps <= 0:
             raise ValueError(f"rate must be positive, got {rate_bps}")
         if propagation_ns < 0:
@@ -50,6 +51,11 @@ class Link:
         if jitter_ns < 0:
             raise ValueError(f"jitter must be non-negative, got {jitter_ns}")
         self.env = env
+        # Under the partitioned engine the serializer state lives with the
+        # sender while the delivery callback fires on the *receiver's*
+        # event wheel — the link is the lookahead edge between the two
+        # logical processes.  In a flat environment both are the same.
+        self.deliver_env = deliver_env if deliver_env is not None else env
         self.name = name
         self.rate_bps = rate_bps
         self.propagation_ns = propagation_ns
@@ -131,7 +137,7 @@ class Link:
         delay = done - now + self.propagation_ns
         if self.jitter_ns:
             delay += self.rng.uniform_int(0, self.jitter_ns)
-        env.schedule_callback(delay, partial(self.deliver, packet))
+        self.deliver_env.schedule_callback(delay, partial(self.deliver, packet))
 
     @property
     def queue_depth(self) -> int:

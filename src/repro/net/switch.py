@@ -86,26 +86,58 @@ class Topology:
         self._receivers: dict[str, Deliver] = {}
 
     def add_node(self, name: str, receive: Deliver,
-                 port_rate_bps: Optional[int] = None) -> None:
-        """Attach a node; ``port_rate_bps`` defaults to the CN NIC rate."""
+                 port_rate_bps: Optional[int] = None,
+                 node_env: Optional[Environment] = None) -> None:
+        """Attach a node; ``port_rate_bps`` defaults to the CN NIC rate.
+
+        ``node_env`` is the node's own environment.  Under the partitioned
+        engine it is the node's :class:`~repro.sim.Partition`: the uplink's
+        serializer then lives with the node while its delivery fires on the
+        switch tier's wheel (and vice versa for the downlink), and the link
+        propagation delay is declared as the conservative lookahead edge
+        between the two logical processes.  In a flat environment this
+        changes nothing.
+        """
         if name in self._uplinks:
             raise ValueError(f"node {name!r} already exists")
         rate = port_rate_bps or self.params.cn_nic_rate_bps
+        if node_env is None:
+            node_env = self.env
         self._receivers[name] = receive
         self._uplinks[name] = Link(
-            self.env, f"{name}->tor", rate, self.params.propagation_ns,
+            node_env, f"{name}->tor", rate, self.params.propagation_ns,
             deliver=self.switch.ingress, rng=self.rng.fork(f"up/{name}"),
             loss_rate=self.params.loss_rate,
             corruption_rate=self.params.corruption_rate,
-            jitter_ns=self.params.jitter_ns, registry=self.registry)
+            jitter_ns=self.params.jitter_ns, registry=self.registry,
+            deliver_env=self.env)
         downlink = Link(
             self.env, f"tor->{name}", rate, self.params.propagation_ns,
             deliver=lambda packet, _name=name: self._receivers[_name](packet),
             rng=self.rng.fork(f"down/{name}"),
             loss_rate=self.params.loss_rate,
             corruption_rate=self.params.corruption_rate,
-            jitter_ns=self.params.jitter_ns, registry=self.registry)
+            jitter_ns=self.params.jitter_ns, registry=self.registry,
+            deliver_env=node_env)
         self.switch.attach(name, downlink)
+        self._declare_lookahead(node_env)
+
+    def _declare_lookahead(self, node_env: Environment) -> None:
+        """Register link propagation as the node<->switch lookahead edge.
+
+        A no-op unless both ends are partitions of the same
+        :class:`~repro.sim.PartitionedEnvironment`.  The edge is the
+        propagation delay plus the minimum one-byte serialization time —
+        nothing a sender does *now* can reach the other side sooner.
+        """
+        if node_env is self.env:
+            return
+        parent = getattr(self.env, "parent", None)
+        if parent is None or getattr(node_env, "parent", None) is not parent:
+            return
+        lookahead = self.params.propagation_ns + 1
+        parent.declare_lookahead(node_env, self.env, lookahead)
+        parent.declare_lookahead(self.env, node_env, lookahead)
 
     def send(self, packet: Packet) -> None:
         """Inject a packet at its source node's uplink."""

@@ -19,6 +19,8 @@ from repro.sim.core import (
     SimulationError,
     Timeout,
 )
+from repro.sim.parallel import ParallelExecutor
+from repro.sim.partition import Channel, Partition, PartitionedEnvironment
 from repro.sim.resources import Container, Resource, Store
 from repro.sim.rng import RandomStream
 
@@ -26,10 +28,14 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Callback",
+    "Channel",
     "Container",
     "Environment",
     "Event",
     "Interrupt",
+    "ParallelExecutor",
+    "Partition",
+    "PartitionedEnvironment",
     "Process",
     "RandomStream",
     "Resource",

@@ -412,6 +412,17 @@ class Environment:
 
         if isinstance(until, Event):
             sentinel = until
+            if sentinel.callbacks is None:
+                # Already processed (or cancelled): resolve immediately and
+                # deterministically instead of touching the queue at all.
+                # A processed event returns its value (re-raising if it
+                # failed); a cancelled one — withdrawn without ever being
+                # triggered — can never fire, so waiting on it is an error.
+                if sentinel._ok is None:
+                    raise SimulationError(
+                        f"run(until=...) got a cancelled event: {sentinel!r} "
+                        "was withdrawn and will never fire")
+                return sentinel.value
             while not sentinel.processed:
                 if not self._queue:
                     raise SimulationError(

@@ -1,0 +1,280 @@
+"""Opt-in parallel executor: partitions advance inside lookahead windows.
+
+Conservative synchronous PDES over a :class:`PartitionedEnvironment`:
+the global window width is the minimum declared lookahead ``L``, and every
+window ``[t, t + L)`` is safe to run in parallel — any cross-partition
+message generated inside the window fires at least ``L`` later, so it
+cannot affect the window itself.  Workers exchange messages and horizon
+announcements ("null messages", in Chandy–Misra terms) only at window
+barriers.
+
+Mechanics: the model is built in the parent process, then workers are
+*forked*, each owning a fixed set of partitions — fork inheritance is what
+lets generators, closures, and heaps cross into the workers without being
+picklable.  Only two things cross process boundaries afterwards:
+
+* parent -> worker: ``(horizon, inbox...)`` — the window command;
+* worker -> parent: ``(next_event_time, outbox, dispatched)``.
+
+Cross-partition traffic must therefore flow through
+:class:`~repro.sim.partition.Channel` objects with picklable payloads;
+anything scheduled on the control wheel, or any direct cross-partition
+object sharing, is unsupported in this mode (the single-process scheduler
+has no such restriction).
+
+``workers=0`` selects *critical-path emulation*: the exact same windowed
+schedule runs in-process, timing each partition's window separately.  The
+projected wall time — ``sum over windows of max(per-partition time)`` — is
+the standard PDES critical-path bound, reported alongside measured numbers
+so speedups stay meaningful on single-core machines.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.sim.core import SimulationError
+from repro.sim.partition import PartitionedEnvironment
+
+_INFINITY = float("inf")
+
+
+class ParallelExecutor:
+    """Run a fully partitioned model to a deadline, windows in parallel.
+
+    ``workers`` is the number of forked OS processes (default: one per
+    partition, capped at CPU count); ``workers=0`` runs the same windowed
+    schedule in-process and reports the critical-path projection instead.
+    """
+
+    def __init__(self, env: PartitionedEnvironment,
+                 workers: Optional[int] = None):
+        if not isinstance(env, PartitionedEnvironment):
+            raise TypeError("ParallelExecutor needs a PartitionedEnvironment")
+        if not env._partitions:
+            raise SimulationError("no partitions to execute")
+        if env._queue:
+            raise SimulationError(
+                "control wheel must be empty for parallel execution: "
+                "assign every process to a partition")
+        lookahead = env.min_lookahead()
+        if lookahead is None:
+            raise SimulationError(
+                "no lookahead edges declared: open channels (or declare "
+                "edges) before running in parallel")
+        self.env = env
+        self.lookahead_ns = lookahead
+        if workers is None:
+            import os
+            cores = os.cpu_count() or 1
+            workers = min(len(env._partitions), max(1, cores))
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = min(workers, len(env._partitions))
+        # Barrier statistics (the telemetry surface).
+        self.windows = 0
+        self.null_messages = 0
+        self.channel_messages = 0
+        self.events = 0
+        self.window_events: list[int] = []
+        self.wall_s = 0.0
+        self.projected_wall_s = 0.0
+
+    # -- shared window bookkeeping --------------------------------------------
+
+    def _route(self, outbox, inboxes) -> None:
+        """Sort one window's messages into per-partition inboxes.
+
+        The sort key ``(fire_time, channel_id, payload order)`` is
+        independent of worker count and gather order, so parallel runs are
+        self-deterministic: same seed, same workers or not, same delivery
+        order at every receiver.
+        """
+        self.channel_messages += len(outbox)
+        for message in outbox:
+            channel = self.env._channels[message[1]]
+            inboxes[channel.dst.index - 1].append(message)
+
+    def stats(self) -> dict:
+        events = self.window_events
+        return {
+            "mode": "emulated" if self.workers == 0 else "forked",
+            "workers": self.workers or len(self.env._partitions),
+            "lookahead_ns": self.lookahead_ns,
+            "windows": self.windows,
+            "null_messages": self.null_messages,
+            "channel_messages": self.channel_messages,
+            "events": self.events,
+            "events_per_window": {
+                "min": min(events) if events else 0,
+                "mean": round(sum(events) / len(events), 1) if events else 0,
+                "max": max(events) if events else 0,
+            },
+            "wall_s": round(self.wall_s, 4),
+            "projected_wall_s": round(self.projected_wall_s, 4),
+        }
+
+    # -- critical-path emulation ----------------------------------------------
+
+    def _run_emulated(self, until_ns: int) -> dict:
+        env = self.env
+        parts = env._partitions
+        lookahead = self.lookahead_ns
+        inboxes: list[list] = [[] for _ in parts]
+        perf = time.perf_counter
+        start_wall = perf()
+        while True:
+            now = min((p._queue[0][0] for p in parts if p._queue),
+                      default=_INFINITY)
+            for inbox in inboxes:
+                if inbox:
+                    now = min(now, min(m[0] for m in inbox))
+            if now >= until_ns:
+                break
+            horizon = min(now + lookahead, until_ns)
+            outbox: list = []
+            window_events = 0
+            critical = 0.0
+            for part, inbox in zip(parts, inboxes):
+                # Rewind the shared clock to the window start before
+                # injecting this partition's inbox: a sibling partition's
+                # window may have advanced it past these fire times.
+                env._now = now
+                _deliver(env, part, inbox)
+                inbox.clear()
+                lap = perf()
+                window_events += part.run_window(horizon, outbox)
+                lap = perf() - lap
+                if lap > critical:
+                    critical = lap
+            self._route(outbox, inboxes)
+            self.windows += 1
+            self.null_messages += len(parts)
+            self.window_events.append(window_events)
+            self.events += window_events
+            self.projected_wall_s += critical
+        env._now = until_ns
+        self.wall_s = perf() - start_wall
+        return self.stats()
+
+    # -- forked execution -----------------------------------------------------
+
+    def _run_forked(self, until_ns: int) -> dict:
+        import multiprocessing
+
+        env = self.env
+        parts = env._partitions
+        context = multiprocessing.get_context("fork")
+        assignment = [list(range(w, len(parts), self.workers))
+                      for w in range(self.workers)]
+        connections = []
+        processes = []
+        perf = time.perf_counter
+        start_wall = perf()
+        try:
+            for indices in assignment:
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main, args=(child_conn, env, indices),
+                    daemon=True)
+                process.start()
+                child_conn.close()
+                connections.append(parent_conn)
+                processes.append(process)
+
+            # Initial next-event times come from the parent's pre-fork
+            # copy of the wheels — identical to what each worker inherits.
+            next_times = [
+                min((parts[i]._queue[0][0] for i in indices
+                     if parts[i]._queue), default=_INFINITY)
+                for indices in assignment
+            ]
+            inboxes: list[list] = [[] for _ in parts]
+            lookahead = self.lookahead_ns
+            while True:
+                now = min(next_times)
+                for inbox in inboxes:
+                    if inbox:
+                        now = min(now, min(m[0] for m in inbox))
+                if now >= until_ns:
+                    break
+                horizon = min(now + lookahead, until_ns)
+                for conn, indices in zip(connections, assignment):
+                    batch = []
+                    for i in indices:
+                        batch.append(inboxes[i])
+                        inboxes[i] = []
+                    conn.send(("window", now, horizon, batch))
+                    self.null_messages += 1
+                window_events = 0
+                for w, conn in enumerate(connections):
+                    next_time, outbox, dispatched = conn.recv()
+                    next_times[w] = next_time
+                    window_events += dispatched
+                    self._route(outbox, inboxes)
+                self.windows += 1
+                self.window_events.append(window_events)
+                self.events += window_events
+            for conn in connections:
+                conn.send(("quit",))
+            for conn in connections:
+                conn.recv()     # worker acknowledged; wheels drained there
+            env._now = until_ns
+        finally:
+            for conn in connections:
+                conn.close()
+            for process in processes:
+                process.join(timeout=5)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5)
+        self.wall_s = perf() - start_wall
+        return self.stats()
+
+    def run(self, until_ns: int) -> dict:
+        """Advance every partition to ``until_ns``; returns barrier stats."""
+        if until_ns < self.env._now:
+            raise ValueError(
+                f"until={until_ns} is in the past (now={self.env._now})")
+        if self.workers == 0:
+            return self._run_emulated(until_ns)
+        return self._run_forked(until_ns)
+
+
+def _deliver(env, partition, inbox) -> None:
+    """Inject one window's inbound messages onto a partition's wheel.
+
+    The sort key ``(fire_time, channel_id)`` plus the stable gather order
+    makes delivery order independent of worker count.
+    """
+    inbox.sort(key=lambda m: (m[0], m[1]))
+    channels = env._channels
+    for when, cid, payload in inbox:
+        handler = channels[cid].handler
+        partition.schedule_at(when, lambda h=handler, p=payload: h(p))
+
+
+def _worker_main(connection, env, indices) -> None:
+    """Forked worker: drive the assigned partitions window by window."""
+    parts = [env._partitions[i] for i in indices]
+    try:
+        while True:
+            message = connection.recv()
+            if message[0] != "window":
+                connection.send("bye")
+                break
+            _, start, horizon, batch = message
+            outbox: list = []
+            dispatched = 0
+            for part, inbox in zip(parts, batch):
+                env._now = start
+                _deliver(env, part, inbox)
+                dispatched += part.run_window(horizon, outbox)
+            next_time = min((p._queue[0][0] for p in parts if p._queue),
+                            default=_INFINITY)
+            connection.send((next_time, outbox, dispatched))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        connection.close()

@@ -25,12 +25,23 @@ class Request(Event):
         resource._trigger()
 
     def cancel(self) -> None:
-        """Withdraw an unfired request from the wait queue."""
+        """Withdraw an unfired request from the wait queue.
+
+        A cancelled request can never fire.  When nothing is waiting on it
+        the event moves to the terminal *cancelled* state (``callbacks``
+        cleared while untriggered), which ``Environment.run(until=...)``
+        rejects immediately instead of draining the queue hunting for a
+        trigger that will never come.  A request some process is already
+        yielding on keeps its callback list — cancelling out from under a
+        waiter is a caller bug this method will not paper over.
+        """
         if not self.triggered:
             try:
                 self.resource._queue.remove(self)
             except ValueError:
                 pass
+            if not self.callbacks:
+                self.callbacks = None
 
 
 class Resource:

@@ -136,7 +136,8 @@ class Transport:
         self.batch_subops_issued = 0
         self.batch_subops_completed = 0
         topology.add_node(node_name, self.receive,
-                          port_rate_bps=params.network.cn_nic_rate_bps)
+                          port_rate_bps=params.network.cn_nic_rate_bps,
+                          node_env=env)
         # Telemetry: counters stay plain attributes; the registry holds
         # function-backed views under `transport.<node>.*`; span tracing
         # is off (None) unless the cluster enables it.

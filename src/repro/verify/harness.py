@@ -283,7 +283,8 @@ def run_sync_linearizability(seed: int = 0, num_clients: int = 3,
                              ops_per_client: int = 30, crash: bool = True,
                              mutate: Optional[Callable] = None,
                              trace: bool = True,
-                             deadline_ns: int = 50 * MS) -> VerifyRunResult:
+                             deadline_ns: int = 50 * MS,
+                             partitioned: bool = False) -> VerifyRunResult:
     """Hammer one atomic word from ``num_clients`` CNs; check the history.
 
     With ``crash=True`` the board crashes mid-run for 200 us — long
@@ -303,7 +304,8 @@ def run_sync_linearizability(seed: int = 0, num_clients: int = 3,
     from repro.clib.client import RemoteAccessError
 
     cluster = ClioCluster(params=_verify_params(), seed=seed,
-                          num_cns=num_clients, mn_capacity=64 * MB)
+                          num_cns=num_clients, mn_capacity=64 * MB,
+                          partitioned=partitioned)
     verifier = cluster.enable_verification()
     if trace:
         cluster.enable_tracing()
@@ -379,7 +381,8 @@ def run_sync_linearizability(seed: int = 0, num_clients: int = 3,
 def run_kv_linearizability(seed: int = 0, num_clients: int = 2,
                            ops_per_client: int = 30, crash: bool = True,
                            keys: int = 6, trace: bool = True,
-                           deadline_ns: int = 100 * MS) -> VerifyRunResult:
+                           deadline_ns: int = 100 * MS,
+                           partitioned: bool = False) -> VerifyRunResult:
     """Clio-KV get/put under a YCSB-A-style 50/50 mix; check the history.
 
     Values are fixed-width so every post-load put is an in-place update:
@@ -400,7 +403,8 @@ def run_kv_linearizability(seed: int = 0, num_clients: int = 2,
     from repro.clib.client import RemoteAccessError
 
     cluster = ClioCluster(params=_verify_params(), seed=seed,
-                          num_cns=num_clients, mn_capacity=128 * MB)
+                          num_cns=num_clients, mn_capacity=128 * MB,
+                          partitioned=partitioned)
     verifier = cluster.enable_verification()
     if trace:
         cluster.enable_tracing()
@@ -492,7 +496,8 @@ def run_batched_ycsb(seed: int = 0, num_clients: int = 2,
                      ops_per_client: int = 80, keys: int = 64,
                      value_size: int = 64, batch_max_ops: int = 8,
                      window_ns: int = 400, trace: bool = True,
-                     deadline_ns: int = 100 * MS) -> VerifyRunResult:
+                     deadline_ns: int = 100 * MS,
+                     partitioned: bool = False) -> VerifyRunResult:
     """YCSB-A over raw rread/rwrite with per-thread batching enabled.
 
     The repro.batch acceptance workload: every client opts into the
@@ -511,7 +516,8 @@ def run_batched_ycsb(seed: int = 0, num_clients: int = 2,
     from repro.clib.client import RemoteAccessError
 
     cluster = ClioCluster(params=_verify_params(), seed=seed,
-                          num_cns=num_clients, mn_capacity=128 * MB)
+                          num_cns=num_clients, mn_capacity=128 * MB,
+                          partitioned=partitioned)
     verifier = cluster.enable_verification()
     if trace:
         cluster.enable_tracing()

@@ -25,8 +25,9 @@ MB = 1 << 20
 GOLDEN_NO_FAULT = (600478, (598288, 600478), 482, (241, 241), (0, 0))
 
 
-def no_fault_fingerprint():
-    cluster = ClioCluster(seed=1234, num_cns=2, mn_capacity=256 * MB)
+def no_fault_fingerprint(partitioned=False):
+    cluster = ClioCluster(seed=1234, num_cns=2, mn_capacity=256 * MB,
+                          partitioned=partitioned)
     done = []
 
     def worker(cn_index, pid):

@@ -8,7 +8,7 @@ equal to the current time, the already-processed-event fast loop in
 
 import pytest
 
-from repro.sim import Environment, Interrupt, SimulationError
+from repro.sim import Environment, Interrupt, Resource, SimulationError
 from repro.sim.core import Timeout
 
 
@@ -123,6 +123,78 @@ def test_run_until_event_queue_drained_raises():
     never = env.event()
     with pytest.raises(SimulationError):
         env.run(until=never)
+
+
+# -- run(until=Event) on already-resolved events --------------------------------
+
+
+def test_run_until_processed_event_returns_without_draining():
+    """Waiting on an event that already fired resolves immediately —
+    the rest of the queue must stay untouched."""
+    env = Environment()
+    target = env.timeout(5, value="done")
+    late = []
+    env.schedule_callback(1000, lambda: late.append(env.now))
+    assert env.run(until=target) == "done"
+    assert env.now == 5
+    # Second wait on the same (now processed) event: fast path, and the
+    # t=1000 callback is still pending afterwards.
+    assert env.run(until=target) == "done"
+    assert not late
+    assert len(env._queue) == 1
+    assert env.now == 5
+
+
+def test_run_until_failed_processed_event_reraises():
+    env = Environment()
+    boom = env.event()
+    boom.fail(RuntimeError("boom"))
+    boom._defused = True           # keep step() from re-raising it
+    env.run()
+    assert boom.processed
+    env.schedule_callback(1000, lambda: None)
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run(until=boom)
+    # The failure resolved from the event itself, not from a drain.
+    assert len(env._queue) == 1
+    assert env.now == 0
+
+
+def test_run_until_cancelled_request_raises_immediately():
+    """A cancelled (withdrawn, never-fired) request can never trigger;
+    waiting on it must raise instead of draining the queue forever."""
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    holder = resource.request()    # takes the only slot
+    env.run()
+    assert holder.processed
+    loser = resource.request()     # queued behind the holder
+    loser.cancel()
+    env.schedule_callback(10_000, lambda: None)
+    with pytest.raises(SimulationError, match="cancelled"):
+        env.run(until=loser)
+    assert env.now == 0            # nothing was dispatched hunting for it
+
+
+def test_cancel_keeps_callbacks_for_live_waiter():
+    """Cancelling a request a process is yielding on must not strand the
+    waiter with a cleared callback list."""
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    outcome = []
+
+    def waiter(request):
+        got = yield request
+        outcome.append(got)
+
+    holder = resource.request()
+    env.run()
+    queued = resource.request()
+    env.process(waiter(queued))
+    env.run()                      # waiter is now parked on the request
+    queued.cancel()
+    assert queued.callbacks is not None   # waiter still attached
+    resource.release(holder)       # frees the slot; cancelled request skipped
 
 
 # -- already-processed-event chaining in Process._resume -----------------------
@@ -281,3 +353,121 @@ def test_direct_timeout_construction_still_validates():
     env = Environment()
     with pytest.raises(ValueError):
         Timeout(env, -1)
+
+
+def test_interrupted_waiters_timeout_recycles_safely():
+    """The timeout a waiter abandoned on interrupt fires unobserved later;
+    if it enters the pool, reuse must deliver fresh values, never the
+    stale one."""
+    env = Environment()
+    values = []
+
+    def sleeper():
+        try:
+            yield env.timeout(1000, value="stale")
+        except Interrupt:
+            values.append((yield env.timeout(50, value="fresh")))
+
+    def interrupter(target):
+        yield env.timeout(100)
+        target.interrupt()
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()                      # abandoned t=1000 timeout fired at 1000
+    assert values == ["fresh"]
+    seen = []
+
+    def reuse():
+        for index in range(20):
+            seen.append((yield env.timeout(1, value=index)))
+
+    env.process(reuse())
+    env.run()
+    assert seen == list(range(20))
+
+
+def test_anyof_losing_timeout_is_not_recycled():
+    """The losing arm of an any_of stays referenced by the condition, so
+    the pool must leave it alone — its value survives the race."""
+    env = Environment()
+    fast = env.timeout(1, value="fast")
+    slow = env.timeout(1000, value="slow")
+    winners = []
+
+    def racer():
+        winners.append((yield env.any_of([fast, slow])))
+
+    env.process(racer())
+    env.run()                      # both fire; slow loses the race
+    assert winners[0] == {fast: "fast"} or fast in winners[0]
+    assert slow.value == "slow"    # loser untouched by pooling
+    # Churn the pool; the held loser must keep its identity and value.
+    drains = []
+
+    def churn():
+        for index in range(20):
+            drains.append((yield env.timeout(1, value=index)))
+
+    env.process(churn())
+    env.run()
+    assert drains == list(range(20))
+    assert slow.value == "slow"
+    assert slow not in env._timeout_pool
+
+
+def test_cancel_race_timeout_reuse_keeps_values_isolated():
+    """Interrupt + immediate re-wait at the same timestamp: the recycled
+    instance handed to the next caller must be clean."""
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(500, value="doomed")
+        except Interrupt:
+            log.append(("interrupted", env.now))
+
+    def aggressor(target):
+        yield env.timeout(500)     # same timestamp the victim wakes at
+        try:
+            target.interrupt()
+        except SimulationError:
+            pass                   # victim won the tie and terminated
+
+    target = env.process(victim())
+    env.process(aggressor(target))
+    env.run()
+    # Whichever way the tie broke, the engine must not double-deliver.
+    assert len(log) <= 1
+    fresh = env.timeout(1, value="clean")
+    assert fresh.value == "clean"
+    env.run()
+
+
+# -- equal-timestamp callback ordering -----------------------------------------
+
+
+def test_callbacks_at_equal_timestamps_fire_in_insertion_order():
+    env = Environment()
+    order = []
+    for index in range(8):
+        env.schedule_callback(10, lambda index=index: order.append(index))
+    env.run()
+    assert order == list(range(8))
+
+
+def test_callbacks_scheduled_during_dispatch_keep_global_order():
+    """A callback scheduled *at the current timestamp* from inside another
+    callback still fires this sweep, after everything already queued."""
+    env = Environment()
+    order = []
+
+    def first():
+        order.append("first")
+        env.schedule_callback(0, lambda: order.append("nested"))
+
+    env.schedule_callback(10, first)
+    env.schedule_callback(10, lambda: order.append("second"))
+    env.run()
+    assert order == ["first", "second", "nested"]

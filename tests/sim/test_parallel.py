@@ -1,0 +1,148 @@
+"""The parallel executor: window barriers, message routing, determinism.
+
+Three executions of the same channel-coupled model must agree exactly:
+the single-process partitioned scheduler (the reference), critical-path
+emulation (``workers=0``), and forked workers.  The executor's claim is
+not "roughly the same results" — it is the identical set of dispatched
+events, because every cross-partition message travels a declared
+lookahead edge and windows never outrun the tightest one.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.sim import ParallelExecutor, PartitionedEnvironment, SimulationError
+
+HAS_FORK = (os.name == "posix"
+            and "fork" in multiprocessing.get_all_start_methods())
+
+NODES = 4
+INFLIGHT = 6
+ROUNDS = 12
+HOP_NS = 200
+DEADLINE_NS = (ROUNDS + 2) * 2 * HOP_NS
+
+
+def build_ring(counters=None):
+    """A ring of echoing nodes: i sends to (i+1) % NODES, replies bounce
+    back, each hop over a channel with HOP_NS lookahead."""
+    env = PartitionedEnvironment()
+    parts = [env.partition(f"n{index}") for index in range(NODES)]
+    counts = counters if counters is not None else [0] * NODES
+    chans = {}
+
+    def make_handler(i):
+        def handle(msg):
+            src, slot, remaining = msg
+            counts[i] += 1
+            if remaining > 0:
+                chans[(i, src)].send((i, slot, remaining - 1))
+        return handle
+
+    handlers = [make_handler(index) for index in range(NODES)]
+    for i in range(NODES):
+        for j in ((i + 1) % NODES, (i - 1) % NODES):
+            if (i, j) not in chans:
+                chans[(i, j)] = env.open_channel(parts[i], parts[j],
+                                                 handlers[j], HOP_NS)
+    for i in range(NODES):
+        for slot in range(INFLIGHT):
+            chans[(i, (i + 1) % NODES)].send((i, slot, ROUNDS))
+    return env, counts
+
+
+def test_emulated_matches_single_process_reference():
+    ref_env, ref_counts = build_ring()
+    ref_env.run(until=DEADLINE_NS)
+
+    env, counts = build_ring()
+    executor = ParallelExecutor(env, workers=0)
+    stats = executor.run(DEADLINE_NS)
+
+    assert counts == ref_counts
+    assert stats["events"] == sum(
+        p.events_dispatched for p in env.partitions)
+    assert env.now == ref_env.now == DEADLINE_NS
+    assert stats["mode"] == "emulated"
+    assert stats["windows"] > 0
+    assert stats["projected_wall_s"] <= stats["wall_s"]
+
+
+def test_emulated_runs_are_deterministic():
+    outcomes = []
+    for _ in range(2):
+        env, counts = build_ring()
+        executor = ParallelExecutor(env, workers=0)
+        stats = executor.run(DEADLINE_NS)
+        outcomes.append((counts, stats["events"], stats["windows"],
+                         stats["channel_messages"]))
+    assert outcomes[0] == outcomes[1]
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+def test_forked_matches_emulated():
+    env, _ = build_ring()
+    emulated = ParallelExecutor(env, workers=0)
+    expected = emulated.run(DEADLINE_NS)
+
+    env, _ = build_ring()
+    executor = ParallelExecutor(env, workers=2)
+    stats = executor.run(DEADLINE_NS)
+    assert stats["mode"] == "forked"
+    assert stats["events"] == expected["events"]
+    assert stats["windows"] == expected["windows"]
+    assert stats["channel_messages"] == expected["channel_messages"]
+    assert env.now == DEADLINE_NS
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+def test_forked_worker_count_does_not_change_results():
+    outcomes = []
+    for workers in (1, 2, NODES):
+        env, _ = build_ring()
+        executor = ParallelExecutor(env, workers=workers)
+        stats = executor.run(DEADLINE_NS)
+        outcomes.append((stats["events"], stats["windows"],
+                         stats["channel_messages"]))
+    assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+# -- guard rails ---------------------------------------------------------------
+
+
+def test_executor_requires_partitioned_environment():
+    from repro.sim import Environment
+
+    with pytest.raises(TypeError):
+        ParallelExecutor(Environment())
+
+
+def test_executor_requires_partitions_and_edges():
+    env = PartitionedEnvironment()
+    with pytest.raises(SimulationError, match="no partitions"):
+        ParallelExecutor(env)
+    env.partition("p0")
+    with pytest.raises(SimulationError, match="lookahead"):
+        ParallelExecutor(env)
+
+
+def test_executor_rejects_busy_control_wheel():
+    env = PartitionedEnvironment()
+    a, b = env.partition("a"), env.partition("b")
+    env.open_channel(a, b, lambda payload: None, lookahead_ns=10)
+    env.schedule_callback(5, lambda: None)      # control wheel event
+    with pytest.raises(SimulationError, match="control wheel"):
+        ParallelExecutor(env)
+
+
+def test_executor_rejects_past_deadline():
+    env = PartitionedEnvironment()
+    a, b = env.partition("a"), env.partition("b")
+    env.open_channel(a, b, lambda payload: None, lookahead_ns=10)
+    a.timeout(100)
+    env.run(until=50)
+    executor = ParallelExecutor(env, workers=0)
+    with pytest.raises(ValueError):
+        executor.run(25)

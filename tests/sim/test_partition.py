@@ -1,0 +1,289 @@
+"""The partitioned engine's determinism contract and partition mechanics.
+
+The load-bearing property: a model split across partitions, run by the
+single-process partitioned scheduler, dispatches *exactly* the event
+sequence the flat engine would — same timestamps, same tie-breaks, same
+sequence-counter trajectory.  Everything downstream (golden fingerprints,
+chaos determinism, RNG draw order) rests on it.
+"""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    Interrupt,
+    PartitionedEnvironment,
+    SimulationError,
+)
+from repro.sim.core import URGENT
+
+
+# -- flat vs partitioned equivalence -------------------------------------------
+
+
+def _mixed_workload(env, envs, order):
+    """A workload spread across ``envs`` (all the same env when flat).
+
+    Mixes timeouts, same-timestamp ties, interrupts (URGENT priority), and
+    callbacks so every scheduling path crosses partition lines.
+    """
+
+    def worker(sub, tag):
+        for step in range(15):
+            yield sub.timeout((tag * 7 + step) % 11)
+            order.append(("tick", tag, step, env.now))
+
+    def sleeper(sub, tag):
+        try:
+            yield sub.timeout(10_000)
+        except Interrupt as interrupt:
+            order.append(("interrupted", tag, interrupt.cause, env.now))
+
+    sleepers = []
+    for tag, sub in enumerate(envs):
+        sub.process(worker(sub, tag))
+        sleepers.append(sub.process(sleeper(sub, tag)))
+        sub.schedule_callback(13 + tag,
+                              lambda tag=tag: order.append(("cb", tag)))
+
+    def interrupter(sub):
+        yield sub.timeout(29)
+        for index, target in enumerate(sleepers):
+            target.interrupt(cause=index)
+
+    envs[0].process(interrupter(envs[0]))
+
+
+def test_partitioned_run_is_bit_identical_to_flat():
+    flat_env = Environment()
+    flat_order = []
+    _mixed_workload(flat_env, [flat_env] * 4, flat_order)
+    flat_env.run()
+
+    part_env = PartitionedEnvironment()
+    parts = [part_env.partition(f"p{index}") for index in range(4)]
+    part_order = []
+    _mixed_workload(part_env, parts, part_order)
+    part_env.run()
+
+    assert part_order == flat_order
+    assert part_env._seq == flat_env._seq
+    assert part_env.now == flat_env.now
+
+
+def test_partitioned_deadline_run_matches_flat():
+    flat_env = Environment()
+    flat_order = []
+    _mixed_workload(flat_env, [flat_env] * 3, flat_order)
+    flat_env.run(until=25)
+
+    part_env = PartitionedEnvironment()
+    parts = [part_env.partition(f"p{index}") for index in range(3)]
+    part_order = []
+    _mixed_workload(part_env, parts, part_order)
+    part_env.run(until=25)
+
+    assert part_order == flat_order
+    assert part_env.now == flat_env.now == 25
+
+
+def test_partitioned_run_until_event_matches_flat():
+    def build(env, subs):
+        order = []
+
+        def chatty(sub, tag):
+            for step in range(10):
+                yield sub.timeout(tag + 2)
+                order.append((tag, step, env.now))
+
+        procs = [sub.process(chatty(sub, tag))
+                 for tag, sub in enumerate(subs)]
+        return order, procs[1]
+
+    flat_env = Environment()
+    flat_order, flat_sentinel = build(flat_env, [flat_env] * 3)
+    flat_env.run(until=flat_sentinel)
+
+    part_env = PartitionedEnvironment()
+    parts = [part_env.partition(f"p{index}") for index in range(3)]
+    part_order, part_sentinel = build(part_env, parts)
+    part_env.run(until=part_sentinel)
+
+    assert part_order == flat_order
+    assert part_env.now == flat_env.now
+
+
+def test_urgent_cross_partition_schedule_respects_global_order():
+    """An URGENT event landing in a foreign wheel at the current timestamp
+    must fire before any NORMAL event at that timestamp — exactly the flat
+    tie-break — even if the scheduler was mid-drain elsewhere."""
+
+    def build(env, sub_a, sub_b):
+        order = []
+
+        def waiter():
+            try:
+                yield sub_b.timeout(10_000)
+            except Interrupt:
+                order.append(("interrupted", env.now))
+
+        target = sub_b.process(waiter())
+
+        def striker():
+            yield sub_a.timeout(50)
+            order.append(("strike", env.now))
+            target.interrupt()      # URGENT, scheduled at t=50 into B
+
+        sub_a.process(striker())
+        sub_b.schedule_callback(50, lambda: order.append(("cb_b", env.now)))
+        return order
+
+    flat_env = Environment()
+    flat_order = build(flat_env, flat_env, flat_env)
+    flat_env.run()
+
+    part_env = PartitionedEnvironment()
+    a, b = part_env.partition("a"), part_env.partition("b")
+    part_order = build(part_env, a, b)
+    part_env.run()
+
+    assert part_order == flat_order
+    assert ("interrupted", 50) in part_order
+
+
+# -- partition registry and stats ----------------------------------------------
+
+
+def test_partition_registry_is_idempotent():
+    env = PartitionedEnvironment()
+    first = env.partition("mn0")
+    assert env.partition("mn0") is first
+    assert [p.name for p in env.partitions] == ["mn0"]
+    with pytest.raises(ValueError):
+        env.partition("main")       # the control partition's name
+
+
+def test_partitions_cannot_be_driven_directly():
+    env = PartitionedEnvironment()
+    part = env.partition("p0")
+    part.timeout(5)
+    with pytest.raises(SimulationError):
+        part.step()
+    with pytest.raises(SimulationError):
+        part.run()
+
+
+def test_partition_stats_track_dispatch_and_cross_traffic():
+    env = PartitionedEnvironment()
+    a, b = env.partition("a"), env.partition("b")
+
+    def pinger():
+        for _ in range(10):
+            yield a.timeout(7)
+            b.schedule_callback(3, lambda: None)   # cross-partition
+
+    a.process(pinger())
+    env.run()
+    stats = env.partition_stats()
+    # Initialize + 10 timeouts + the process-completion event itself.
+    assert stats["partitions"]["a"]["events_dispatched"] == 12
+    assert stats["partitions"]["b"]["events_dispatched"] == 10
+    assert stats["partitions"]["b"]["cross_events_in"] == 10
+    assert stats["drain_runs"] >= 1
+    assert env.events_dispatched == 0               # control wheel unused
+
+
+def test_shared_clock_and_quiesced():
+    env = PartitionedEnvironment()
+    a, b = env.partition("a"), env.partition("b")
+    a.timeout(5)
+    assert not a.quiesced() and b.quiesced()
+    env.run()
+    assert a.quiesced()
+    assert a.now == b.now == env.now == 5
+
+
+# -- lookahead edges and channels ----------------------------------------------
+
+
+def test_declare_lookahead_keeps_minimum():
+    env = PartitionedEnvironment()
+    a, b = env.partition("a"), env.partition("b")
+    env.declare_lookahead(a, b, 500)
+    env.declare_lookahead(a, b, 200)
+    env.declare_lookahead(a, b, 900)
+    assert env.lookahead_edges() == {("a", "b"): 200}
+    assert env.min_lookahead() == 200
+    with pytest.raises(ValueError):
+        env.declare_lookahead(a, b, 0)
+
+
+def test_channel_send_schedules_on_destination_wheel():
+    env = PartitionedEnvironment()
+    a, b = env.partition("a"), env.partition("b")
+    got = []
+    channel = env.open_channel(a, b, lambda payload: got.append(
+        (payload, env.now)), lookahead_ns=100)
+    channel.send("hello")
+    channel.send("late", delay=250)
+    env.run()
+    assert got == [("hello", 100), ("late", 250)]
+    assert channel.messages == 2
+    assert env.partition_stats()["channel_messages"] == 2
+
+
+def test_channel_rejects_delay_below_lookahead():
+    env = PartitionedEnvironment()
+    a, b = env.partition("a"), env.partition("b")
+    channel = env.open_channel(a, b, lambda payload: None, lookahead_ns=100)
+    with pytest.raises(ValueError):
+        channel.send("too-soon", delay=99)
+
+
+def test_channel_endpoints_must_be_partitions_of_this_env():
+    env = PartitionedEnvironment()
+    other = PartitionedEnvironment()
+    a = env.partition("a")
+    foreign = other.partition("b")
+    with pytest.raises(TypeError):
+        env.open_channel(a, env, lambda payload: None, lookahead_ns=10)
+    with pytest.raises(ValueError):
+        env.open_channel(a, foreign, lambda payload: None, lookahead_ns=10)
+
+
+# -- run(until=...) edge behavior mirrors the flat engine ----------------------
+
+
+def test_partitioned_run_until_cancelled_event_raises():
+    from repro.sim import Resource
+
+    env = PartitionedEnvironment()
+    part = env.partition("p0")
+    resource = Resource(part, capacity=1)
+    holder = resource.request()
+    env.run()
+    assert holder.processed
+    loser = resource.request()
+    loser.cancel()
+    with pytest.raises(SimulationError, match="cancelled"):
+        env.run(until=loser)
+
+
+def test_partitioned_run_until_processed_event_is_immediate():
+    env = PartitionedEnvironment()
+    part = env.partition("p0")
+    target = part.timeout(5, value="done")
+    part.schedule_callback(1000, lambda: None)
+    assert env.run(until=target) == "done"
+    assert env.run(until=target) == "done"   # fast path, no drain
+    assert part.pending() == 1
+    assert env.now == 5
+
+
+def test_partitioned_run_until_drained_queue_raises():
+    env = PartitionedEnvironment()
+    part = env.partition("p0")
+    never = part.event()
+    part.timeout(3)
+    with pytest.raises(SimulationError, match="drained"):
+        env.run(until=never)
