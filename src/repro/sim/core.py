@@ -97,8 +97,10 @@ class Event:
         return self
 
     def __repr__(self) -> str:
-        state = "processed" if self.processed else (
-            "triggered" if self.triggered else "pending")
+        if self.callbacks is None:
+            state = "processed" if self._ok is not None else "cancelled"
+        else:
+            state = "triggered" if self.triggered else "pending"
         return f"<{type(self).__name__} {state} at t={self.env.now}>"
 
 
@@ -208,6 +210,13 @@ class Process(Event):
             try:
                 if event._ok:
                     next_event = generator.send(event._value)
+                elif event._ok is None:
+                    # Cancelled event (withdrawn untriggered, e.g. a
+                    # cancelled Request): it carries neither value nor
+                    # exception and can never fire.
+                    next_event = generator.throw(SimulationError(
+                        f"process is waiting on a cancelled event: "
+                        f"{event!r}"))
                 else:
                     event._defused = True
                     next_event = generator.throw(event._exception)
@@ -274,6 +283,12 @@ class Condition(Event):
 
     def _check(self, event: Event) -> None:
         if self._ok is not None:
+            return
+        if event._ok is None:
+            # Cancelled constituent (withdrawn untriggered): it can never
+            # fire, so the condition can never complete through it.
+            self.fail(SimulationError(
+                f"condition is waiting on a cancelled event: {event!r}"))
             return
         if not event._ok:
             event._defused = True

@@ -80,6 +80,7 @@ class ParallelExecutor:
         self.window_events: list[int] = []
         self.wall_s = 0.0
         self.projected_wall_s = 0.0
+        self._forked_once = False
 
     # -- shared window bookkeeping --------------------------------------------
 
@@ -155,6 +156,14 @@ class ParallelExecutor:
             self.events += window_events
             self.projected_wall_s += critical
         env._now = until_ns
+        # Messages still in flight at the deadline (fire times >= until_ns,
+        # or they would have extended the loop) go back onto the destination
+        # wheels so a later run() — or the single-process scheduler — still
+        # delivers them instead of silently dropping them.
+        for part, inbox in zip(parts, inboxes):
+            if inbox:
+                _deliver(env, part, inbox)
+                inbox.clear()
         self.wall_s = perf() - start_wall
         return self.stats()
 
@@ -163,6 +172,13 @@ class ParallelExecutor:
     def _run_forked(self, until_ns: int) -> dict:
         import multiprocessing
 
+        if self._forked_once:
+            raise SimulationError(
+                "forked ParallelExecutor.run() is single-shot: after a run "
+                "the parent's wheels are stale pre-fork copies, so a second "
+                "window schedule would replay from wrong state (use "
+                "workers=0 emulation for multi-phase runs)")
+        self._forked_once = True
         env = self.env
         parts = env._partitions
         context = multiprocessing.get_context("fork")
@@ -233,7 +249,13 @@ class ParallelExecutor:
         return self.stats()
 
     def run(self, until_ns: int) -> dict:
-        """Advance every partition to ``until_ns``; returns barrier stats."""
+        """Advance every partition to ``until_ns``; returns barrier stats.
+
+        Emulated mode (``workers=0``) may be run again to a later deadline:
+        in-flight channel messages are parked on the destination wheels at
+        the deadline.  Forked mode is single-shot — the parent's wheels are
+        stale pre-fork copies afterwards — and raises on a second call.
+        """
         if until_ns < self.env._now:
             raise ValueError(
                 f"until={until_ns} is in the past (now={self.env._now})")

@@ -33,7 +33,9 @@ the wheel with the smallest head key, caches the runner-up head as a
 bound.  Scheduling into a foreign wheel below the bound (possible for
 URGENT interrupts at the current timestamp) raises a violation flag that
 forces an immediate re-pick, so the invariant survives arbitrary callback
-behavior.
+behavior.  When the picked wheel is the only non-empty one there is no
+runner-up bound, so *any* foreign schedule raises the flag — the re-pick
+is cheap and the next drain run bounds itself against the new head.
 """
 
 from __future__ import annotations
@@ -97,7 +99,14 @@ class Partition(Environment):
         if draining is not None and draining is not self:
             self.cross_events_in += 1
             bound = parent._drain_bound
-            if bound is not None and entry < bound:
+            if bound is None:
+                # The draining wheel was the only non-empty one, so the
+                # drain loop has no runner-up to compare against: any
+                # foreign schedule (this one) might precede its remaining
+                # events.  Force a re-pick; the next drain run sees this
+                # wheel's head as its bound.
+                parent._bound_violated = True
+            elif entry < bound:
                 parent._bound_violated = True
 
     def schedule_at(self, when: int, fn: Callable[[], None]) -> None:
@@ -326,7 +335,10 @@ class PartitionedEnvironment(Environment):
         draining = self._draining
         if draining is not None and draining is not self:
             bound = self._drain_bound
-            if bound is not None and entry < bound:
+            if bound is None:
+                # No runner-up bound (see Partition._schedule): re-pick.
+                self._bound_violated = True
+            elif entry < bound:
                 self._bound_violated = True
 
     def peek(self) -> float:
@@ -413,9 +425,11 @@ class PartitionedEnvironment(Environment):
                         break
                     if deadline is not None and entry[0] > deadline:
                         break
-                    heappop(queue)
-                    self._now = entry[0]
-                    event = entry[3]
+                    when, _prio, _seq, event = heappop(queue)
+                    # Drop the heap tuple: a surviving reference would hold
+                    # the event at refcount 3 and defeat the pool check.
+                    del entry
+                    self._now = when
                     callbacks, event.callbacks = event.callbacks, None
                     for callback in callbacks:
                         callback(event)

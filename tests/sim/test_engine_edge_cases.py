@@ -197,6 +197,47 @@ def test_cancel_keeps_callbacks_for_live_waiter():
     resource.release(holder)       # frees the slot; cancelled request skipped
 
 
+def _cancelled_request(env):
+    """A request in the terminal cancelled state (withdrawn, never fired)."""
+    resource = Resource(env, capacity=1)
+    resource.request()             # takes the only slot
+    env.run()
+    loser = resource.request()
+    loser.cancel()
+    assert loser.callbacks is None and not loser.triggered
+    return loser
+
+
+def test_process_yielding_cancelled_request_gets_simulation_error():
+    """Yielding a cancelled request must raise a clear SimulationError
+    into the process (catchable like any other failure), not a TypeError
+    from throwing None."""
+    env = Environment()
+    loser = _cancelled_request(env)
+    caught = []
+
+    def waiter():
+        try:
+            yield loser
+        except SimulationError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter())
+    env.run()
+    assert len(caught) == 1
+    assert "cancelled" in caught[0]
+
+
+def test_condition_over_cancelled_event_fails_with_simulation_error():
+    """A condition built over a cancelled event can never complete; it
+    must fail with a SimulationError, not crash in fail(None)."""
+    env = Environment()
+    loser = _cancelled_request(env)
+    condition = env.all_of([loser, env.timeout(5)])
+    with pytest.raises(SimulationError, match="cancelled"):
+        env.run(until=condition)
+
+
 # -- already-processed-event chaining in Process._resume -----------------------
 
 

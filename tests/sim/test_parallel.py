@@ -109,6 +109,34 @@ def test_forked_worker_count_does_not_change_results():
     assert outcomes[0] == outcomes[1] == outcomes[2]
 
 
+def test_emulated_two_phase_run_preserves_inflight_messages():
+    """A deadline landing mid-flight must not drop channel messages: a
+    second run() to a later deadline delivers exactly what a single run
+    would have."""
+    single_env, single_counts = build_ring()
+    ParallelExecutor(single_env, workers=0).run(DEADLINE_NS)
+
+    env, counts = build_ring()
+    executor = ParallelExecutor(env, workers=0)
+    # HOP_NS // 2 past a hop boundary: messages sent in the last window
+    # are still in the executor's inboxes when the deadline hits.
+    executor.run(3 * HOP_NS + HOP_NS // 2)
+    executor.run(DEADLINE_NS)
+
+    assert counts == single_counts
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+def test_forked_run_is_single_shot():
+    """After a forked run the parent's wheels are stale pre-fork copies;
+    a second run() must refuse instead of replaying from wrong state."""
+    env, _ = build_ring()
+    executor = ParallelExecutor(env, workers=1)
+    executor.run(DEADLINE_NS)
+    with pytest.raises(SimulationError, match="single-shot"):
+        executor.run(DEADLINE_NS * 2)
+
+
 # -- guard rails ---------------------------------------------------------------
 
 

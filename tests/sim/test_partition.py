@@ -151,6 +151,94 @@ def test_urgent_cross_partition_schedule_respects_global_order():
     assert ("interrupted", 50) in part_order
 
 
+def test_urgent_interrupt_into_sole_nonempty_wheel_matches_flat():
+    """Cross-partition schedules must break the drain even with no
+    runner-up bound: here the target process waits on an *untriggered*
+    event, so its wheel is empty, the draining wheel is the only non-empty
+    one, and ``_drain_bound`` is None when the interrupt lands."""
+
+    def build(env, sub_a, sub_b):
+        order = []
+
+        def sleeper():
+            try:
+                yield sub_b.event()    # untriggered: B's wheel stays empty
+            except Interrupt:
+                order.append(("interrupted", env.now))
+
+        target = sub_b.process(sleeper())
+
+        def striker():
+            order.append(("strike", env.now))
+            target.interrupt()         # URGENT at t=5, into an empty wheel
+
+        sub_a.schedule_callback(5, striker)
+        sub_a.schedule_callback(5, lambda: order.append(("cb_a", env.now)))
+        return order
+
+    flat_env = Environment()
+    flat_order = build(flat_env, flat_env, flat_env)
+    flat_env.run(until=100)
+
+    part_env = PartitionedEnvironment()
+    a, b = part_env.partition("a"), part_env.partition("b")
+    part_order = build(part_env, a, b)
+    part_env.run(until=100)
+
+    assert part_order == flat_order
+    assert part_order.index(("interrupted", 5)) < part_order.index(
+        ("cb_a", 5))
+
+
+def test_future_cross_schedule_during_unbounded_drain_matches_flat():
+    """While the sole non-empty wheel drains (no runner-up bound), a
+    NORMAL cross-partition schedule at a *future* time must still fire
+    before later events on the draining wheel."""
+
+    def build(env, sub_a, sub_b):
+        order = []
+
+        def seed():
+            order.append(("seed", env.now))
+            sub_b.schedule_callback(
+                50, lambda: order.append(("b", env.now)))
+
+        sub_a.schedule_callback(0, seed)
+        sub_a.schedule_callback(100, lambda: order.append(("a", env.now)))
+        return order
+
+    flat_env = Environment()
+    flat_order = build(flat_env, flat_env, flat_env)
+    flat_env.run()
+
+    part_env = PartitionedEnvironment()
+    a, b = part_env.partition("a"), part_env.partition("b")
+    part_order = build(part_env, a, b)
+    part_env.run()
+
+    assert part_order == flat_order == [("seed", 0), ("b", 50), ("a", 100)]
+
+
+def test_timeout_pool_recycles_on_partitioned_drain_path():
+    """The drain loop must drop its heap-tuple reference before the pool
+    refcount check, or no Timeout is ever recycled under partitioning."""
+
+    def ticker(sub):
+        for _ in range(50):
+            yield sub.timeout(3)
+
+    flat_env = Environment()
+    flat_env.process(ticker(flat_env))
+    flat_env.run()
+
+    part_env = PartitionedEnvironment()
+    part = part_env.partition("p0")
+    part.process(ticker(part))
+    part_env.run()
+
+    assert len(part._timeout_pool) == len(flat_env._timeout_pool) > 0
+
+
 # -- partition registry and stats ----------------------------------------------
 
 
