@@ -125,3 +125,34 @@ def validate_engine_section(data: dict) -> list[str]:
                 if key not in parallel:
                     problems.append(f"rack_echo_parallel missing {key!r}")
     return problems
+
+
+def validate_cache_section(data: dict) -> list[str]:
+    """Schema-check the ``cache`` section of a BENCH_perf.json payload.
+
+    Every cell must carry the sweep coordinates plus positive off/on
+    simulated throughputs, a positive speedup, and a hit rate in [0, 1];
+    at least one cell must clear the acceptance bar (>= 2x simulated
+    ops/sec at >= 90% hit rate — the reason the subsystem exists).
+    """
+    problems: list[str] = []
+    cache = data.get("cache")
+    if not cache:
+        return ["no 'cache' section"]
+    for name, cell in cache.items():
+        for key in ("sim_ops_per_sec_off", "sim_ops_per_sec_on",
+                    "speedup", "ops"):
+            if not isinstance(cell.get(key), (int, float)) or cell[key] <= 0:
+                problems.append(f"{name}: bad {key!r}: {cell.get(key)!r}")
+        hit_rate = cell.get("hit_rate")
+        if not isinstance(hit_rate, (int, float)) or not 0 <= hit_rate <= 1:
+            problems.append(f"{name}: bad 'hit_rate': {hit_rate!r}")
+        if cell.get("policy") not in ("through", "back"):
+            problems.append(f"{name}: bad 'policy': {cell.get('policy')!r}")
+    if not any(isinstance(c.get("speedup"), (int, float))
+               and isinstance(c.get("hit_rate"), (int, float))
+               and c["speedup"] >= 2.0 and c["hit_rate"] >= 0.9
+               for c in cache.values()):
+        problems.append("no cache cell clears the acceptance bar "
+                        "(speedup >= 2.0 at hit_rate >= 0.9)")
+    return problems

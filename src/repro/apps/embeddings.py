@@ -23,6 +23,7 @@ from typing import Optional
 from repro.clib.client import ClioThread
 from repro.core.extend import ExtendPath, OffloadContext
 from repro.sim.rng import RandomStream
+from repro.workloads.zipf import zipfian_keys
 
 FLOAT = 4
 #: FPGA cycles per gathered row (address math + response packing).
@@ -139,5 +140,5 @@ class RemoteEmbeddingTable:
     def batch_of(self, batch_size: int, rng: RandomStream,
                  zipf_theta: float = 0.9) -> list[int]:
         """A realistic skewed batch of row ids (hot embeddings dominate)."""
-        return [rng.zipf_index(self.rows, zipf_theta)
-                for _ in range(batch_size)]
+        keys = zipfian_keys(rng, self.rows, zipf_theta)
+        return [next(keys) for _ in range(batch_size)]

@@ -1,0 +1,20 @@
+"""repro.cache — CN-side coherent hot-page cache (MIND-style).
+
+An opt-in CLib-local DRAM cache of hot remote pages, line-granularity,
+kept coherent by a directory co-located with the ToR switch (the
+GlobalController's vantage point): single-writer / multi-reader with
+recall ("drop your copy, flushing first if dirty") and downgrade
+("flush and fall back to shared") messages delivered over the simulated
+fabric with real latency, loss, and retransmission.
+
+Everything here is inert until :meth:`repro.cluster.ClioCluster.enable_caching`
+is called: a cache-off run schedules zero extra events and stays
+bit-identical to the pre-cache goldens.
+
+See docs/caching.md for the protocol walkthrough.
+"""
+
+from repro.cache.directory import CacheDirectory, CacheReq, InvalMsg
+from repro.cache.pagecache import PageCache
+
+__all__ = ["CacheDirectory", "CacheReq", "InvalMsg", "PageCache"]

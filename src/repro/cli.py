@@ -295,8 +295,13 @@ def cmd_chaos(args) -> int:
     if args.scenario not in SCENARIOS:
         raise SystemExit(f"unknown scenario {args.scenario!r}; "
                          f"choose from {sorted(SCENARIOS)}")
+    cached = "back" if args.cache else None
+    kwargs = dict(ops_per_worker=args.ops, cached=cached, verify=args.cache)
+    if args.cache:
+        # A small shared region keeps the workers on each other's lines.
+        kwargs["region_bytes"] = 64 * 1024
     report = run_chaos(args.scenario, seed=args.seed,
-                       ops_per_worker=args.ops, partitioned=args.pdes)
+                       partitioned=args.pdes, **kwargs)
     problems = report.check_invariants()
     failures = sorted({op.status for op in report.ops if op.status != "ok"})
     rows = [[report.scenario, "yes" if report.finished else "NO",
@@ -313,12 +318,25 @@ def cmd_chaos(args) -> int:
             ["pre ops/s", "post ops/s", "recovery"],
             [[round(tput["pre_ops_per_sec"]), round(tput["post_ops_per_sec"]),
               f"{tput['recovery_ratio']:.1%}"]]))
+    if report.cache_counters is not None:
+        directory = report.cache_counters["dir"]
+        hits = sum(c["hits"] for n, c in report.cache_counters.items()
+                   if n != "dir")
+        misses = sum(c["misses"] for n, c in report.cache_counters.items()
+                     if n != "dir")
+        print(render_table(
+            "cache coherence under faults",
+            ["hits", "misses", "recalls", "downgrades", "inval retries",
+             "flush retries"],
+            [[hits, misses, directory["recalls"], directory["downgrades"],
+              directory["inval_retries"],
+              sum(c["flush_retries"] for n, c in
+                  report.cache_counters.items() if n != "dir")]]))
     if args.check_determinism:
         # Rerun on the *other* engine too: the single-process partitioned
         # scheduler must match the flat engine bit for bit.
         repeat = run_chaos(args.scenario, seed=args.seed,
-                           ops_per_worker=args.ops,
-                           partitioned=not args.pdes)
+                           partitioned=not args.pdes, **kwargs)
         if repeat.fingerprint() != report.fingerprint():
             problems.append("partitioned/flat engines disagree on the "
                             "same-seed fingerprint")
@@ -346,6 +364,7 @@ def cmd_verify(args) -> int:
     """
     from repro.verify import (
         run_batched_ycsb,
+        run_cached_ycsb,
         run_kv_linearizability,
         run_sync_linearizability,
         run_verified_chaos,
@@ -386,6 +405,18 @@ def cmd_verify(args) -> int:
         seed=args.seed, num_clients=args.clients, ops_per_client=args.ops,
         partitioned=args.pdes)
     audit(batched_result)
+    if args.cache:
+        # The coherence acceptance passes: plain write-through, then the
+        # two hard histories — crash and migration while lines are
+        # cached and dirty (docs/caching.md).
+        audit(run_cached_ycsb(seed=args.seed, ops_per_client=args.ops,
+                              policy="through", partitioned=args.pdes))
+        audit(run_cached_ycsb(seed=args.seed, ops_per_client=args.ops,
+                              policy="back", crash=not args.no_crash,
+                              partitioned=args.pdes))
+        audit(run_cached_ycsb(seed=args.seed, ops_per_client=args.ops,
+                              policy="back", migrate=True,
+                              partitioned=args.pdes))
 
     chaos = run_verified_chaos(args.scenario, seed=args.seed or 1234,
                                ops_per_worker=args.ops * 10,
@@ -506,6 +537,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--pdes", action="store_true",
                        help="run on the single-process partitioned "
                             "engine (one event wheel per board/CN)")
+    chaos.add_argument("--cache", action="store_true",
+                       help="run with the CN hot-page cache on "
+                            "(write-back, one shared region) so faults "
+                            "land on cached dirty lines")
     chaos.set_defaults(func=cmd_chaos)
 
     verify = sub.add_parser(
@@ -522,6 +557,9 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--pdes", action="store_true",
                         help="run every pass on the single-process "
                              "partitioned engine")
+    verify.add_argument("--cache", action="store_true",
+                        help="add the cached-YCSB passes: write-through, "
+                             "write-back + crash, write-back + migration")
     verify.set_defaults(func=cmd_verify)
 
     metrics = sub.add_parser(

@@ -51,6 +51,10 @@ class ComputeNode:
         # Runtime correctness checking (repro.verify); None = disabled,
         # and every hook below sits behind a single `is not None` check.
         self.verifier = None
+        # Hot-page cache (repro.cache); None = disabled.  Data ops check
+        # `cache is not None and cache.enabled` and otherwise take the
+        # exact pre-cache path.
+        self.cache = None
 
     def process(self, mn: str, page_size: Optional[int] = None,
                 pid: Optional[int] = None) -> "ClioProcess":
@@ -176,6 +180,10 @@ class ClioThread:
         if verifier is not None:
             verifier.alloc_done(self, outcome.body.value.va,
                                 outcome.body.value.size)
+        cache = self.process.node.cache
+        if cache is not None:
+            cache.note_alloc(self.process.mn, self.process.pid,
+                             outcome.body.value.va, outcome.body.value.size)
         return outcome.body.value.va
 
     def rfree(self, va: int):
@@ -188,15 +196,38 @@ class ClioThread:
         self.ops_issued += 1
         self._flush_batches()
         yield from self._tracker.drain()
-        outcome = yield from self._transport.request(
-            self.process.mn, PacketType.FREE, pid=self.process.pid, va=va)
-        self._check(outcome, f"rfree({va:#x})")
-        freed_pages = outcome.body.value.freed_pages
-        verifier = self.process.node.verifier
-        if verifier is not None:
-            verifier.free_done(
-                self, va, freed_pages * self.process.page_spec.page_size)
-        return freed_pages
+        cache = self.process.node.cache
+        guard = None
+        if cache is not None and cache.enabled:
+            # Recall every cached line of the allocation *before* the MN
+            # frees it, holding the directory locks across the free so no
+            # new fill can resurrect a dead line.  When the allocation
+            # size wasn't observed (region handed over out of band), the
+            # recall happens after the free using the freed page count.
+            known = cache.allocation_size(self.process.mn, self.process.pid,
+                                          va)
+            if known:
+                guard = yield from cache.write_guard(self, va, known)
+        try:
+            outcome = yield from self._transport.request(
+                self.process.mn, PacketType.FREE, pid=self.process.pid, va=va)
+            self._check(outcome, f"rfree({va:#x})")
+            freed_pages = outcome.body.value.freed_pages
+            if cache is not None and cache.enabled:
+                cache.forget_alloc(self.process.mn, self.process.pid, va)
+                if guard is None and freed_pages:
+                    late = yield from cache.write_guard(
+                        self, va,
+                        freed_pages * self.process.page_spec.page_size)
+                    cache.guard_end(late)
+            verifier = self.process.node.verifier
+            if verifier is not None:
+                verifier.free_done(
+                    self, va, freed_pages * self.process.page_spec.page_size)
+            return freed_pages
+        finally:
+            if guard is not None:
+                cache.guard_end(guard)
 
     # -- asynchronous metadata (section 3.1 offers both versions) ---------------------
 
@@ -218,6 +249,11 @@ class ClioThread:
             if verifier is not None:
                 verifier.alloc_done(self, outcome.body.value.va,
                                     outcome.body.value.size)
+            cache = self.process.node.cache
+            if cache is not None:
+                cache.note_alloc(self.process.mn, self.process.pid,
+                                 outcome.body.value.va,
+                                 outcome.body.value.size)
             return outcome.body.value.va
 
         process = self.env.process(runner())
@@ -266,6 +302,12 @@ class ClioThread:
         """Process-generator: blocking read; returns the bytes."""
         self.ops_issued += 1
         yield from self._tracker.wait_for_conflicts(va, size, is_write=False)
+        cache = self.process.node.cache
+        if cache is not None and cache.enabled:
+            # The cache owns the oracle tokens for cached ops (hit windows
+            # open at serve time; miss windows after directory admission).
+            data = yield from cache.read(self, va, size)
+            return data
         verifier = self.process.node.verifier
         token = (verifier.read_begin(self, va, size)
                  if verifier is not None else None)
@@ -287,6 +329,10 @@ class ClioThread:
             raise ValueError("rwrite needs a non-empty payload")
         self.ops_issued += 1
         yield from self._tracker.wait_for_conflicts(va, len(data), is_write=True)
+        cache = self.process.node.cache
+        if cache is not None and cache.enabled:
+            yield from cache.write(self, va, bytes(data))
+            return
         verifier = self.process.node.verifier
         token = (verifier.write_begin(self, va, data)
                  if verifier is not None else None)
@@ -335,6 +381,20 @@ class ClioThread:
             if not done.triggered:
                 done.succeed()
 
+    def _cached_async(self, cache, kind: str, va: int, size: int,
+                      data: Optional[bytes], done):
+        """Run one async data op through the cache, releasing the
+        dependency tracker on completion (tokens live in the cache)."""
+        try:
+            if kind == "read":
+                result = yield from cache.read(self, va, size)
+            else:
+                result = yield from cache.write(self, va, data)
+            return result
+        finally:
+            if not done.triggered:
+                done.succeed()
+
     def rread_async(self, va: int, size: int):
         """Process-generator: issue a non-blocking read, return a handle.
 
@@ -344,6 +404,11 @@ class ClioThread:
         self.ops_issued += 1
         yield from self._tracker.wait_for_conflicts(va, size, is_write=False)
         done = self._tracker.register(va, size, is_write=False)
+        cache = self.process.node.cache
+        if cache is not None and cache.enabled:
+            process = self.env.process(
+                self._cached_async(cache, "read", va, size, None, done))
+            return AsyncHandle(self.env, process, "read")
         verifier = self.process.node.verifier
         vtoken = (verifier.read_begin(self, va, size)
                   if verifier is not None else None)
@@ -364,6 +429,12 @@ class ClioThread:
         size = len(data)
         yield from self._tracker.wait_for_conflicts(va, size, is_write=True)
         done = self._tracker.register(va, size, is_write=True)
+        cache = self.process.node.cache
+        if cache is not None and cache.enabled:
+            process = self.env.process(
+                self._cached_async(cache, "write", va, size, bytes(data),
+                                   done))
+            return AsyncHandle(self.env, process, "write")
         verifier = self.process.node.verifier
         vtoken = (verifier.write_begin(self, va, data)
                   if verifier is not None else None)
@@ -389,6 +460,15 @@ class ClioThread:
         """
         if not ops:
             raise ValueError("rreadv needs at least one (va, size) op")
+        cache = self.process.node.cache
+        if cache is not None and cache.enabled:
+            # Caching and multi-op frames are mutually exclusive: a frame
+            # would bypass the line store.  Each op takes the cached path.
+            handles = []
+            for va, size in ops:
+                handle = yield from self.rread_async(va, size)
+                handles.append(handle)
+            return handles
         from repro.clib.batch import issue_vector
         handles = yield from issue_vector(
             self, "read", [(va, size, None) for va, size in ops])
@@ -402,6 +482,13 @@ class ClioThread:
         for _va, data in ops:
             if not data:
                 raise ValueError("rwritev needs non-empty payloads")
+        cache = self.process.node.cache
+        if cache is not None and cache.enabled:
+            handles = []
+            for va, data in ops:
+                handle = yield from self.rwrite_async(va, data)
+                handles.append(handle)
+            return handles
         from repro.clib.batch import issue_vector
         handles = yield from issue_vector(
             self, "write",
@@ -443,30 +530,41 @@ class ClioThread:
 
     def _atomic(self, va: int, op: AtomicOp) -> "AtomicResult":
         self.ops_issued += 1
-        verifier = self.process.node.verifier
-        token = (verifier.atomic_begin(self, va, op)
-                 if verifier is not None else None)
+        cache = self.process.node.cache
+        guard = None
+        if cache is not None and cache.enabled:
+            # Atomics execute at the MN; recall every cached copy of the
+            # word's line — including our own — for the duration, so no
+            # CN serves a pre-atomic value from its cache afterwards.
+            guard = yield from cache.write_guard(self, va, 8)
         try:
-            outcome = yield from self._transport.request(
-                self.process.mn, PacketType.ATOMIC, pid=self.process.pid,
-                va=va, payload=op)
-        except BaseException:
-            # Retries exhausted: the op may or may not have executed
-            # (indeterminate in the recorded history).
+            verifier = self.process.node.verifier
+            token = (verifier.atomic_begin(self, va, op)
+                     if verifier is not None else None)
+            try:
+                outcome = yield from self._transport.request(
+                    self.process.mn, PacketType.ATOMIC, pid=self.process.pid,
+                    va=va, payload=op)
+            except BaseException:
+                # Retries exhausted: the op may or may not have executed
+                # (indeterminate in the recorded history).
+                if token is not None:
+                    verifier.atomic_failed(token, maybe_applied=True)
+                raise
+            try:
+                self._check(outcome, f"atomic {op.kind}({va:#x})")
+            except RemoteAccessError:
+                # The MN answered with a rejection: the op never executed.
+                if token is not None:
+                    verifier.atomic_failed(token, maybe_applied=False)
+                raise
             if token is not None:
-                verifier.atomic_failed(token, maybe_applied=True)
-            raise
-        try:
-            self._check(outcome, f"atomic {op.kind}({va:#x})")
-        except RemoteAccessError:
-            # The MN answered with a rejection: the op never executed.
-            if token is not None:
-                verifier.atomic_failed(token, maybe_applied=False)
-            raise
-        if token is not None:
-            verifier.atomic_acked(token, outcome.body.atomic,
-                                  outcome.retries)
-        return outcome.body.atomic
+                verifier.atomic_acked(token, outcome.body.atomic,
+                                      outcome.retries)
+            return outcome.body.atomic
+        finally:
+            if guard is not None:
+                cache.guard_end(guard)
 
     def rlock(self, lock_va: int, backoff_ns: int = 200,
               max_backoff_ns: int = 8000):

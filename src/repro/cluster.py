@@ -82,6 +82,10 @@ class ClioCluster:
         self.tracer = None
         # Runtime correctness checking is opt-in the same way.
         self.verifier = None
+        # Hot-page caching (repro.cache) is opt-in the same way: off, the
+        # directory node doesn't exist and no op is intercepted.
+        self.cache_dir = None
+        self._switch_env = switch_env
 
     def _register_partition_metrics(self) -> None:
         """Expose per-partition engine counters as fn-backed metrics."""
@@ -162,9 +166,13 @@ class ClioCluster:
             board.set_tracer(tracer)
         for node in self.cns:
             node.transport.tracer = tracer
+            if node.cache is not None:
+                node.cache.tracer = tracer
         self.topology.set_tracer(tracer)
         if self.health is not None:
             self.health.tracer = tracer
+        if self.cache_dir is not None:
+            self.cache_dir.tracer = tracer
 
     # -- verification -------------------------------------------------------------
 
@@ -188,6 +196,66 @@ class ClioCluster:
         if self.verifier is not None:
             self.verifier.detach()
             self.verifier = None
+
+    # -- hot-page caching (repro.cache) -------------------------------------------
+
+    def enable_caching(self, policy: Optional[str] = None,
+                       line_bytes: Optional[int] = None,
+                       capacity_lines: Optional[int] = None,
+                       eviction: Optional[str] = None):
+        """Opt the cluster into CN-side coherent hot-page caching.
+
+        Builds the cache directory (a ``cachedir`` node on the switch
+        tier) and one :class:`~repro.cache.PageCache` per CN, then routes
+        every CLib data op through the cache.  Keyword overrides default
+        to :class:`~repro.params.CacheParams` in ``self.params``.
+        Idempotent: a second call returns the existing directory.
+        """
+        if self.cache_dir is not None:
+            for node in self.cns:
+                if node.cache is not None:
+                    node.cache.enabled = True
+            return self.cache_dir
+        from dataclasses import replace
+
+        from repro.cache import CacheDirectory, PageCache
+        overrides = {name: value for name, value in (
+            ("policy", policy), ("line_bytes", line_bytes),
+            ("capacity_lines", capacity_lines), ("eviction", eviction))
+            if value is not None}
+        cacheparams = replace(self.params.cache, **overrides)
+        for board in self.mns:
+            if board.page_spec.page_size % cacheparams.line_bytes:
+                raise ValueError(
+                    f"cache line_bytes ({cacheparams.line_bytes}) must "
+                    f"divide {board.name}'s page size "
+                    f"({board.page_spec.page_size})")
+        self.cache_dir = CacheDirectory(self._switch_env, self.topology,
+                                        self.params, cacheparams=cacheparams,
+                                        registry=self.metrics)
+        self.cache_dir.tracer = self.tracer
+        for node in self.cns:
+            node.cache = PageCache(node, cacheparams, registry=self.metrics)
+            node.cache.tracer = self.tracer
+        return self.cache_dir
+
+    def disable_caching(self, drain: bool = True) -> list:
+        """Turn op interception off on every CN.
+
+        With ``drain=True`` (default) each cache also flushes its dirty
+        lines and departs the directory in the background; the returned
+        simulation processes complete when that settles (``run`` past
+        them before trusting uncached reads under the write-back policy).
+        Caches keep answering coherence messages either way.
+        """
+        processes = []
+        for node in self.cns:
+            if node.cache is None:
+                continue
+            node.cache.enabled = False
+            if drain:
+                processes.append(self.env.process(node.cache.shutdown()))
+        return processes
 
     def board(self, name: str) -> CBoard:
         """Memory node by name (fault schedules address boards by name)."""

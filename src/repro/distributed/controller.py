@@ -89,6 +89,9 @@ class GlobalController:
         # Runtime correctness checking (repro.verify); when set, the
         # shadow oracle follows regions across migrations.
         self.verifier = None
+        # Cache coherence (repro.cache); when set, migration and free
+        # recall every cached copy of the region before touching it.
+        self.cache_directory = None
 
     # -- placement ---------------------------------------------------------------------
 
@@ -150,10 +153,20 @@ class GlobalController:
             raise KeyError(f"unknown region {region_id}")
         if not self._alive(lease.mn):
             raise LeaseLost(region_id, lease.mn)
-        del self._leases[region_id]
-        state = self._boards[lease.mn]
-        state.regions.discard(region_id)
-        yield from state.board.slow_path.handle_free(lease.pid, lease.va)
+        frozen = None
+        if self.cache_directory is not None:
+            # Recall (and flush) every cached copy, and hold the region's
+            # line locks across the free so no fill resurrects dead lines.
+            frozen = yield from self.cache_directory.freeze_region(
+                lease.pid, lease.mn, lease.va, lease.size)
+        try:
+            del self._leases[region_id]
+            state = self._boards[lease.mn]
+            state.regions.discard(region_id)
+            yield from state.board.slow_path.handle_free(lease.pid, lease.va)
+        finally:
+            if frozen is not None:
+                self.cache_directory.release_region(frozen)
 
     def lookup(self, region_id: int) -> RegionLease:
         """Current lease (CNs call this to refresh after a migration).
@@ -232,6 +245,7 @@ class GlobalController:
         """
         drain = self.env.event()
         self._migrating[lease.region_id] = drain
+        frozen = None
         try:
             yield self.env.timeout(CONTROLLER_NS)
             source_state = self._boards[lease.mn]
@@ -241,6 +255,14 @@ class GlobalController:
             if not response.ok:
                 self.failed_migrations += 1
                 return False
+            if self.cache_directory is not None:
+                # Recall every cached copy first: dirty lines flush to the
+                # *source* board (the keys still name it), so the copy
+                # loop below reads current bytes.  The region's line locks
+                # stay held until the lease points at the target, blocking
+                # cached traffic for the duration.
+                frozen = yield from self.cache_directory.freeze_region(
+                    lease.pid, lease.mn, lease.va, lease.size)
             # Copy in page-sized chunks (only pages that were ever touched
             # carry data; untouched pages read as zero on both sides).
             from repro.core.addr import AccessType
@@ -269,6 +291,8 @@ class GlobalController:
                 self.verifier.on_region_migrated(lease, old_mn, old_va)
             return True
         finally:
+            if frozen is not None:
+                self.cache_directory.release_region(frozen)
             del self._migrating[lease.region_id]
             if not drain.triggered:
                 drain.succeed()

@@ -65,6 +65,11 @@ class ChaosReport:
     #: Deliberately NOT part of fingerprint(): verification is passive, and
     #: the fingerprint must stay bit-identical with it on or off.
     verification: Optional[dict] = None
+    #: Per-CN cache + directory counters when the run was cached; None
+    #: otherwise.  Not in fingerprint(): the cached and uncached data
+    #: paths differ by design, and the op records already pin cached-run
+    #: determinism.
+    cache_counters: Optional[dict] = None
 
     # -- derived ---------------------------------------------------------------
 
@@ -214,6 +219,7 @@ def run_chaos(scenario: str = "board-crash", seed: int = 1234,
               params: Optional[ClioParams] = None,
               schedule: Optional[FaultSchedule] = None,
               verify: bool = False,
+              cached: Optional[str] = None,
               partitioned: bool = False) -> ChaosReport:
     """Run one chaos scenario end to end and return its report.
 
@@ -231,6 +237,15 @@ def run_chaos(scenario: str = "board-crash", seed: int = 1234,
     engine (one event wheel per board/CN plus the switch tier); the
     single-process partitioned scheduler is bit-identical to the flat
     engine, so the report fingerprint must not change.
+
+    ``cached="through"`` / ``cached="back"`` opts every CN into the
+    hot-page cache — and, so coherence traffic actually crosses CNs,
+    flips the workload from per-worker regions to ONE shared region
+    (worker 0 allocates, everyone hammers it under the same PID).  The
+    faults then land while lines are cached (and dirty, under
+    write-back): recalls race crashes, invalidations ride flapping
+    links.  Per-CN and directory counters land in
+    ``report.cache_counters``.
     """
     if scenario not in SCENARIOS and schedule is None:
         raise ValueError(f"unknown scenario {scenario!r}; "
@@ -243,18 +258,32 @@ def run_chaos(scenario: str = "board-crash", seed: int = 1234,
                           num_cns=num_cns, mn_capacity=256 * MB,
                           partitioned=partitioned)
     verifier = cluster.enable_verification() if verify else None
+    if cached is not None:
+        cluster.enable_caching(policy=cached, capacity_lines=64)
     injector = FaultInjector(cluster, schedule)
     env = cluster.env
     records: list[OpRecord] = []
     done_events = [env.event() for _ in range(num_cns)]
     rng = RandomStream(seed, "faults/chaos")
+    # Cached runs share one region (see docstring); worker 0 allocates
+    # and signals the rest through `region_ready`.
+    region_ready = env.event()
+    shared_region = {}
 
     def worker(index: int):
-        thread = (cluster.cn(index)
-                  .process("mn0", pid=_CHAOS_PID_BASE + index).thread())
+        pid = (_CHAOS_PID_BASE if cached is not None
+               else _CHAOS_PID_BASE + index)
+        thread = cluster.cn(index).process("mn0", pid=pid).thread()
         wrng = rng.fork(f"worker{index}")
         try:
-            va = yield from thread.ralloc(region_bytes)
+            if cached is not None and index > 0:
+                yield region_ready
+                va = shared_region["va"]
+            else:
+                va = yield from thread.ralloc(region_bytes)
+                if cached is not None:
+                    shared_region["va"] = va
+                    region_ready.succeed()
             payload = bytes((index + 1,)) * io_bytes
             span = region_bytes - io_bytes
             for op_index in range(ops_per_worker):
@@ -306,4 +335,25 @@ def run_chaos(scenario: str = "board-crash", seed: int = 1234,
     if verifier is not None:
         verifier.sweep()
         report.verification = verifier.report()
+    if cached is not None:
+        counters = {
+            node.name: {
+                "hits": node.cache.hits, "misses": node.cache.misses,
+                "evictions": node.cache.evictions,
+                "invalidations": node.cache.invalidations,
+                "writebacks": node.cache.writebacks,
+                "flush_retries": node.cache.flush_retries,
+            } for node in cluster.cns
+        }
+        directory = cluster.cache_dir
+        counters["dir"] = {
+            "requests_served": directory.requests_served,
+            "fills": directory.fills,
+            "write_txns": directory.write_txns,
+            "recalls": directory.recalls,
+            "downgrades": directory.downgrades,
+            "invals_sent": directory.invals_sent,
+            "inval_retries": directory.inval_retries,
+        }
+        report.cache_counters = counters
     return report

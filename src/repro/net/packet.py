@@ -24,6 +24,8 @@ class PacketType(enum.Enum):
     ALLOC = "alloc"          # slow path
     FREE = "free"            # slow path
     OFFLOAD = "offload"      # extend path
+    CACHE_REQ = "cache_req"  # CN -> cache directory (fill/wbegin/wend/sync)
+    CACHE_INVAL = "cache_inval"  # cache directory -> CN (recall/downgrade)
     RESPONSE = "response"
     NACK = "nack"            # corruption detected at MN
 

@@ -211,6 +211,54 @@ class CLibParams:
 
 
 # ---------------------------------------------------------------------------
+# CN-side hot-page cache parameters (repro.cache)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """CN-local DRAM hot-page cache (repro.cache) — opt-in, inert by default.
+
+    Nothing reads these unless ``ClioCluster.enable_caching()`` is called;
+    a cache-off run schedules zero extra events and stays bit-identical to
+    the pre-cache goldens.
+    """
+
+    line_bytes: int = 4 * KB               # cache-line granularity
+    capacity_lines: int = 1024             # per-CN line capacity
+    eviction: str = "lru"                  # "lru" | "clock"
+    policy: str = "through"                # "through" | "back"
+    hit_ns: int = 300                      # local DRAM access on a hit
+    dir_process_ns: int = 500              # directory per-request processing
+    flush_retry_ns: int = 20 * US          # backoff between flush attempts
+
+    def __post_init__(self) -> None:
+        if self.line_bytes < 8:
+            raise ValueError(
+                f"line_bytes must be >= 8 (atomic word), got {self.line_bytes}")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(
+                f"line_bytes must be a power of two, got {self.line_bytes}")
+        if self.capacity_lines < 2:
+            raise ValueError(
+                f"capacity_lines must be >= 2, got {self.capacity_lines}")
+        if self.eviction not in ("lru", "clock"):
+            raise ValueError(
+                f"eviction must be 'lru' or 'clock', got {self.eviction!r}")
+        if self.policy not in ("through", "back"):
+            raise ValueError(
+                f"policy must be 'through' or 'back', got {self.policy!r}")
+        if self.hit_ns <= 0:
+            raise ValueError(f"hit_ns must be positive, got {self.hit_ns}")
+        if self.dir_process_ns <= 0:
+            raise ValueError(
+                f"dir_process_ns must be positive, got {self.dir_process_ns}")
+        if self.flush_retry_ns <= 0:
+            raise ValueError(
+                f"flush_retry_ns must be positive, got {self.flush_retry_ns}")
+
+
+# ---------------------------------------------------------------------------
 # RDMA baseline parameters
 # ---------------------------------------------------------------------------
 
@@ -328,6 +376,7 @@ class ClioParams:
     cboard: CBoardParams = field(default_factory=CBoardParams)
     network: NetworkParams = field(default_factory=NetworkParams)
     clib: CLibParams = field(default_factory=CLibParams)
+    cache: CacheParams = field(default_factory=CacheParams)
     rdma: RDMAParams = field(default_factory=RDMAParams)
     legoos: LegoOSParams = field(default_factory=LegoOSParams)
     clover: CloverParams = field(default_factory=CloverParams)

@@ -135,6 +135,10 @@ class Transport:
         self.batches_issued = 0
         self.batch_subops_issued = 0
         self.batch_subops_completed = 0
+        # Hot-page cache hook (repro.cache): when a PageCache is attached
+        # it consumes directory-initiated CACHE_INVAL messages; None (the
+        # default) keeps the receive path byte-identical to cache-off runs.
+        self.cache_listener = None
         topology.add_node(node_name, self.receive,
                           port_rate_bps=params.network.cn_nic_rate_bps,
                           node_env=env)
@@ -189,6 +193,14 @@ class Transport:
 
     def receive(self, packet: Packet) -> None:
         header = packet.header
+        if header.packet_type is PacketType.CACHE_INVAL:
+            # Directory-initiated message, not a response to anything we
+            # sent.  A corrupt copy is dropped like a loss — the directory
+            # retransmits until the CN acks.
+            listener = self.cache_listener
+            if listener is not None and not packet.corrupt:
+                listener(packet)
+            return
         state = self._pending.get(header.request_id)
         if state is None:
             self.stale_responses += 1   # response to an already-retried ID
@@ -282,8 +294,11 @@ class Transport:
                                   sent_at=self.env.now))
 
     #: Request types handled off the fast path: they get the long timeout.
+    #: CACHE_REQ is here because a directory request can legitimately wait
+    #: behind a held write transaction (recalls to other CNs in flight).
     SLOW_TYPES = frozenset({PacketType.ALLOC, PacketType.FREE,
-                            PacketType.OFFLOAD, PacketType.FENCE})
+                            PacketType.OFFLOAD, PacketType.FENCE,
+                            PacketType.CACHE_REQ})
 
     def request(self, mn: str, packet_type: PacketType, pid: int = 0,
                 va: int = 0, size: int = 0, data: Optional[bytes] = None,

@@ -20,6 +20,7 @@ from repro.verify.harness import (
     ClusterVerifier,
     VerifyRunResult,
     run_batched_ycsb,
+    run_cached_ycsb,
     run_kv_linearizability,
     run_sync_linearizability,
     run_verified_chaos,
@@ -64,6 +65,7 @@ __all__ = [
     "check_transport",
     "quick_check_board",
     "run_batched_ycsb",
+    "run_cached_ycsb",
     "run_kv_linearizability",
     "run_sync_linearizability",
     "run_verified_chaos",

@@ -604,6 +604,176 @@ def run_batched_ycsb(seed: int = 0, num_clients: int = 2,
                            tracer=cluster.tracer, notes=notes)
 
 
+#: Shared-region PID for the cached-YCSB harness: every client opens the
+#: SAME pid so their key ranges overlap and coherence traffic actually
+#: crosses CNs (fills steal ownership, writes recall sharers).
+_CACHE_PID = 9601
+
+
+def run_cached_ycsb(seed: int = 0, num_clients: int = 2,
+                    ops_per_client: int = 80, keys: int = 64,
+                    value_size: int = 64, policy: str = "through",
+                    line_bytes: int = 512, capacity_lines: int = 8,
+                    crash: bool = False, migrate: bool = False,
+                    trace: bool = True, deadline_ns: int = 100 * MS,
+                    partitioned: bool = False) -> VerifyRunResult:
+    """YCSB-A over ONE shared cached region; all three checkers run.
+
+    The repro.cache acceptance workload: every client maps the same PID
+    and the same key range, so the zipf-hot keys ping-pong between CN
+    caches — fills, recalls, downgrades, evictions (capacity is set well
+    below the working set) all fire while the shadow oracle audits every
+    byte and a shared atomic word feeds the linearizability checker.
+
+    ``crash=True`` crashes the board mid-run while lines are cached (and
+    dirty, under ``policy="back"``): in-flight uncached ops fail typed,
+    local hits keep serving from CN DRAM, and flushes retry until the
+    board restarts.  ``migrate=True`` runs a two-MN cluster under a
+    :class:`~repro.distributed.controller.GlobalController` and migrates
+    the region at ~1.5 ms; the directory freeze must recall every cached
+    line (flushing dirty data to the *source*) before the copy, and
+    clients refresh the lease when the old board rejects them.
+    """
+    from repro.cluster import ClioCluster
+    from repro.sim.rng import RandomStream
+    from repro.workloads.ycsb import YCSB_WORKLOADS, YCSBWorkload
+    from repro.transport.clib_transport import RequestFailed
+    from repro.clib.client import RemoteAccessError
+
+    cluster = ClioCluster(params=_verify_params(), seed=seed,
+                          num_cns=num_clients, num_mns=2 if migrate else 1,
+                          mn_capacity=128 * MB, partitioned=partitioned)
+    verifier = cluster.enable_verification()
+    cluster.enable_caching(policy=policy, line_bytes=line_bytes,
+                           capacity_lines=capacity_lines)
+    if trace:
+        cluster.enable_tracing()
+    env = cluster.env
+    rng = RandomStream(seed, "verify/cached-ycsb")
+
+    controller = None
+    lease = None
+    if migrate:
+        from repro.distributed.controller import GlobalController
+        controller = GlobalController(env, cluster.mns)
+        controller.verifier = verifier
+        controller.cache_directory = cluster.cache_dir
+        # One data thread per (CN, board): clients re-resolve the lease
+        # before every op and pick the thread bound to its current home.
+        threads = [{board.name:
+                    cluster.cn(i).process(board.name, pid=_CACHE_PID)
+                    .thread() for board in cluster.mns}
+                   for i in range(num_clients)]
+    else:
+        threads = [{"mn0": cluster.cn(i).process("mn0", pid=_CACHE_PID)
+                    .thread()} for i in range(num_clients)]
+    sync_threads = [cluster.cn(i).process("mn0", pid=_SYNC_PID).thread()
+                    for i in range(num_clients)]
+
+    setup = {}
+
+    def setup_proc():
+        if migrate:
+            got = yield from controller.allocate(_CACHE_PID,
+                                                 keys * value_size)
+            # The controller allocates board-side (no CLib thread, so no
+            # alloc_done hook fires); clear the shadow region by hand.
+            verifier.oracle.region_cleared(got.mn, _CACHE_PID, got.va,
+                                           got.size)
+            setup["lease"] = got
+        else:
+            setup["va"] = yield from threads[0]["mn0"].ralloc(
+                keys * value_size)
+        setup["word"] = yield from sync_threads[0].ralloc(4096)
+
+    cluster.run(until=env.process(setup_proc()))
+    if migrate:
+        lease = setup["lease"]
+    word_va = setup["word"]
+    done_events = [env.event() for _ in range(num_clients)]
+    tolerated = {"count": 0}
+
+    def client(index: int):
+        workload = YCSBWorkload(YCSB_WORKLOADS["A"],
+                                rng.fork(f"client{index}"),
+                                num_keys=keys, value_size=value_size)
+        try:
+            for serial, op in enumerate(workload.operations(ops_per_client)):
+                key_index = int(op[1][4:])
+                if migrate:
+                    thread = threads[index][lease.mn]
+                    va = lease.va + key_index * value_size
+                else:
+                    thread = threads[index]["mn0"]
+                    va = setup["va"] + key_index * value_size
+                try:
+                    if op[0] == "set":
+                        yield from thread.rwrite(va, op[2])
+                    else:
+                        yield from thread.rread(va, value_size)
+                except (RequestFailed, RemoteAccessError):
+                    tolerated["count"] += 1
+                if serial % 8 == 7:
+                    # Contended word between cached ops: linearizer food
+                    # (and it exercises the atomic write-guard path).
+                    try:
+                        yield from sync_threads[index].rfaa(word_va, 1)
+                    except (RequestFailed, RemoteAccessError):
+                        tolerated["count"] += 1
+                yield env.timeout(100 + 37 * index)
+        finally:
+            done_events[index].succeed()
+
+    for index in range(num_clients):
+        env.process(client(index))
+    if crash:
+        from repro.faults.injector import FaultInjector
+        from repro.faults.schedule import FaultSchedule
+        injector = FaultInjector(cluster, FaultSchedule().crash_board(
+            150 * US, "mn0", restart_after_ns=500 * US))
+        injector.arm()
+    if migrate:
+        def mover():
+            yield env.timeout(1_500 * US)
+            target = "mn1" if lease.mn == "mn0" else "mn0"
+            yield from controller._migrate(lease, target)
+        env.process(mover())
+
+    all_done = env.all_of(done_events)
+    cluster.run(until=deadline_ns)
+    notes = [] if all_done.triggered else ["workload hit the deadline"]
+    hits = sum(node.cache.hits for node in cluster.cns)
+    misses = sum(node.cache.misses for node in cluster.cns)
+    writebacks = sum(node.cache.writebacks for node in cluster.cns)
+    invals = sum(node.cache.invalidations for node in cluster.cns)
+    notes.append(f"cache[{policy}]: {hits} hits / {misses} misses, "
+                 f"{invals} invalidations, {writebacks} writebacks")
+    if tolerated["count"]:
+        notes.append(f"{tolerated['count']} ops failed typed (tolerated)")
+    if crash:
+        notes.append("board-crash window 150us..650us spanned the run")
+    if migrate and controller.migrations:
+        notes.append(f"region migrated to {lease.mn} at ~1.5ms mid-run")
+
+    # Drain: flush every dirty line and depart the directory, so the
+    # final sweep sees a cluster with no cached state outstanding.
+    drains = cluster.disable_caching(drain=True)
+    if drains:
+        env.run(until=deadline_ns + 1 * MS)
+        if not all(process.triggered for process in drains):
+            notes.append("cache drain did not settle before the deadline")
+
+    history = verifier.atomic_histories.get(("mn0", _SYNC_PID, word_va), [])
+    lin = check_history(history, AtomicWordModel)
+    verifier.sweep()
+    name = "cached-ycsb-a[%s%s%s]" % (policy, "+crash" if crash else "",
+                                      "+migrate" if migrate else "")
+    return VerifyRunResult(name=name, lin=lin, history_len=len(history),
+                           violations=list(verifier.violations),
+                           report=verifier.report(),
+                           tracer=cluster.tracer, notes=notes)
+
+
 def run_verified_chaos(scenario: str = "board-crash",
                        seed: int = 1234, **kwargs):
     """One chaos scenario with the full verifier attached."""

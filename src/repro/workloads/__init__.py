@@ -2,6 +2,7 @@
 
 from repro.workloads.microbench import AccessPattern, MicrobenchDriver
 from repro.workloads.ycsb import YCSB_WORKLOADS, YCSBConfig, YCSBWorkload
+from repro.workloads.zipf import zipfian_keys
 
 __all__ = [
     "AccessPattern",
@@ -9,4 +10,5 @@ __all__ = [
     "YCSB_WORKLOADS",
     "YCSBConfig",
     "YCSBWorkload",
+    "zipfian_keys",
 ]

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.sim.rng import RandomStream, ZipfTable
+from repro.workloads.zipf import zipfian_keys
 
 
 @dataclass(frozen=True)
@@ -67,8 +68,10 @@ class YCSBWorkload:
         """Yield ('get', key) / ('set', key, value) per the configured mix."""
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
+        keys = zipfian_keys(self.rng, self.num_keys, self.zipf.theta,
+                            table=self.zipf)
         for serial in range(count):
-            index = self.zipf.draw(self.rng.uniform())
+            index = next(keys)
             if self.rng.chance(self.config.set_fraction):
                 yield ("set", self.key(index), self.value(index, serial))
             else:

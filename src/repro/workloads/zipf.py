@@ -1,0 +1,36 @@
+"""Shared zipfian key sampling.
+
+Every skewed workload in the repo — YCSB, the embedding batches, the
+cache benchmark — draws keys from the same helper so the distribution
+(and its determinism guarantees) live in exactly one place.  The draw
+protocol is pinned: one ``rng.uniform()`` per key, binary-searched
+through a :class:`~repro.sim.rng.ZipfTable` CDF.  Changing it would
+shift every pinned golden downstream, so don't.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sim.rng import RandomStream, ZipfTable
+
+
+def zipfian_keys(rng: RandomStream, num_keys: int, theta: float = 0.99,
+                 table: ZipfTable | None = None) -> Iterator[int]:
+    """Endless stream of 0-based Zipf(theta)-distributed key indices.
+
+    Exactly one ``rng.uniform()`` draw per yielded key, so interleaving
+    other draws from the same stream between ``next()`` calls is safe
+    and reproducible.  Pass a prebuilt ``table`` to share the O(n) CDF
+    across threads; it must match ``num_keys``/``theta``.
+    """
+    if num_keys <= 0:
+        raise ValueError(f"num_keys must be positive, got {num_keys}")
+    if table is None:
+        table = ZipfTable(num_keys, theta)
+    elif table.n != num_keys or table.theta != theta:
+        raise ValueError(
+            f"table is Zipf(n={table.n}, theta={table.theta}), "
+            f"expected (n={num_keys}, theta={theta})")
+    while True:
+        yield table.draw(rng.uniform())
