@@ -127,6 +127,41 @@ def validate_engine_section(data: dict) -> list[str]:
     return problems
 
 
+def validate_rack_section(data: dict) -> list[str]:
+    """Schema-check the ``rack`` section of a BENCH_perf.json payload.
+
+    Every cell is one rack YCSB run: the sweep coordinates (boards,
+    tors, clients, ops), positive throughput numbers, and the tail
+    split around the membership event.  Cells that ran a membership
+    scenario must additionally clear the rebalance-quality bar: the
+    post-event p99 within 1.5x of the pre-event p99.
+    """
+    problems: list[str] = []
+    rack = data.get("rack")
+    if not rack:
+        return ["no 'rack' section"]
+    for name, cell in rack.items():
+        for key in ("boards", "tors", "clients", "ops",
+                    "sim_ops_per_sec", "events_per_sec", "wall_s",
+                    "pre_p99_us", "post_p99_us"):
+            if not isinstance(cell.get(key), (int, float)) or cell[key] <= 0:
+                problems.append(f"{name}: bad {key!r}: {cell.get(key)!r}")
+        if not isinstance(cell.get("migrations"), int) \
+                or cell["migrations"] < 0:
+            problems.append(f"{name}: bad 'migrations': "
+                            f"{cell.get('migrations')!r}")
+        scenario = cell.get("scenario")
+        if scenario is not None:
+            ratio = cell.get("recovery_ratio")
+            if not isinstance(ratio, (int, float)) or ratio <= 0:
+                problems.append(f"{name}: bad 'recovery_ratio': {ratio!r}")
+            elif ratio > 1.5:
+                problems.append(
+                    f"{name}: post-event p99 is {ratio}x the pre-event "
+                    "p99 (bar: 1.5x)")
+    return problems
+
+
 def validate_cache_section(data: dict) -> list[str]:
     """Schema-check the ``cache`` section of a BENCH_perf.json payload.
 

@@ -418,6 +418,17 @@ def cmd_verify(args) -> int:
                               policy="back", migrate=True,
                               partitioned=args.pdes))
 
+    if getattr(args, "rack", False):
+        # The rack acceptance rows: a graceful drain and a crash landing
+        # mid-migration, both under the zipfian YCSB with the oracle and
+        # the sync-word linearizability check attached.
+        from repro.verify import run_rack_ycsb
+        for scenario in ("drain", "crash-mid-migration"):
+            audit(run_rack_ycsb(
+                seed=args.seed, boards=args.rack_boards,
+                clients=args.rack_clients, ops_per_client=args.ops,
+                scenario=scenario, partitioned=args.pdes))
+
     chaos = run_verified_chaos(args.scenario, seed=args.seed or 1234,
                                ops_per_worker=args.ops * 10,
                                partitioned=args.pdes)
@@ -439,6 +450,66 @@ def cmd_verify(args) -> int:
         return 1
     print("verification: oracle clean, invariants hold, "
           "histories linearizable")
+    return 0
+
+
+def cmd_rack(args) -> int:
+    """Run the sharded rack tier under a zipfian YCSB with a membership
+    event mid-traffic, and report throughput plus tail recovery.
+
+    Exit 1 if the oracle, invariants, or the linearizability check flag
+    anything, or if the post-event p99 fails to recover to within 1.5x
+    of the pre-event p99 (the rebalance-quality bar).
+    """
+    from repro.verify import RACK_SCENARIOS, run_rack_ycsb
+
+    scenario = None if args.scenario in ("none", "") else args.scenario
+    if scenario is not None and scenario not in RACK_SCENARIOS:
+        raise SystemExit(f"unknown rack scenario {args.scenario!r}; "
+                         f"choose from {sorted(RACK_SCENARIOS)} or 'none'")
+    result = run_rack_ycsb(
+        seed=args.seed, boards=args.boards, tors=args.tors,
+        clients=args.clients, ops_per_client=args.ops,
+        scenario=scenario, partitioned=args.pdes)
+    extras = result.extras
+    pre_p99 = extras["pre_p99_ns"]
+    post_p99 = extras["post_p99_ns"]
+    recovery = (post_p99 / pre_p99) if pre_p99 else 0.0
+    elapsed_s = extras["event_done_ns"] / 1e9 if extras["event_done_ns"] \
+        else result.report.get("now_ns", 0) / 1e9
+    ops_per_s = extras["ops_ok"] / elapsed_s if elapsed_s else 0.0
+    print(render_table(
+        f"rack: {args.boards} boards / {args.tors} ToRs, "
+        f"{args.clients} clients, scenario {scenario or 'none'} "
+        f"(seed {args.seed})",
+        ["ops ok", "ops attempted", "sim Mops/s", "p99 pre (ns)",
+         "p99 post (ns)", "recovery", "migrations", "evictions", "epoch"],
+        [[extras["ops_ok"], extras["ops_attempted"],
+          f"{ops_per_s / 1e6:.2f}", pre_p99, post_p99,
+          f"{recovery:.2f}x" if pre_p99 else "n/a",
+          extras["migrations"], extras["evictions"], extras["epoch"]]]))
+    problems = result.problems()
+    if scenario is not None and pre_p99 and post_p99 and recovery > 1.5:
+        problems.append(
+            f"post-event p99 {post_p99}ns is {recovery:.2f}x the "
+            f"pre-event p99 {pre_p99}ns (bar: 1.5x)")
+    if args.check_determinism:
+        repeat = run_rack_ycsb(
+            seed=args.seed, boards=args.boards, tors=args.tors,
+            clients=args.clients, ops_per_client=args.ops,
+            scenario=scenario, partitioned=not args.pdes)
+        if repeat.extras["fingerprint"] != extras["fingerprint"]:
+            problems.append("partitioned/flat engines disagree on the "
+                            "same-seed rack fingerprint")
+        else:
+            print("determinism: flat and partitioned rack fingerprints "
+                  "bit-identical")
+    if problems:
+        for problem in problems:
+            print(f"VIOLATION: {problem}")
+        return 1
+    print("rack: oracle clean, history linearizable"
+          + (", tail recovered" if scenario is not None else ""))
     return 0
 
 
@@ -560,7 +631,38 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--cache", action="store_true",
                         help="add the cached-YCSB passes: write-through, "
                              "write-back + crash, write-back + migration")
+    verify.add_argument("--rack", action="store_true",
+                        help="add the rack passes: zipfian YCSB over the "
+                             "sharded tier with a drain and a "
+                             "crash-mid-migration")
+    verify.add_argument("--rack-boards", type=int, default=8,
+                        help="boards in the rack passes (default: 8)")
+    verify.add_argument("--rack-clients", type=int, default=64,
+                        help="zipfian clients in the rack passes "
+                             "(default: 64)")
     verify.set_defaults(func=cmd_verify)
+
+    rack = sub.add_parser(
+        "rack", help="sharded rack tier: zipfian YCSB with live "
+                     "migration and elastic membership")
+    rack.add_argument("--boards", type=int, default=16,
+                      help="CBoards in service (default: 16)")
+    rack.add_argument("--tors", type=int, default=2,
+                      help="top-of-rack switches (default: 2)")
+    rack.add_argument("--clients", type=int, default=256,
+                      help="zipfian client threads (default: 256)")
+    rack.add_argument("--ops", type=int, default=4,
+                      help="operations per client (default: 4)")
+    rack.add_argument("--scenario", default="drain",
+                      help="membership event mid-traffic: drain, add, "
+                           "crash-mid-migration, evict, or none")
+    rack.add_argument("--pdes", action="store_true",
+                      help="run on the partitioned engine (one event "
+                           "wheel per ToR plus the spine)")
+    rack.add_argument("--check-determinism", action="store_true",
+                      help="rerun on the other engine and compare the "
+                           "op-log fingerprints bit-for-bit")
+    rack.set_defaults(func=cmd_rack)
 
     metrics = sub.add_parser(
         "metrics", help="instrumented run with dashboard + trace export")

@@ -38,24 +38,52 @@ class ClioCluster:
                  num_cns: int = 1, num_mns: int = 1,
                  mn_capacity: Optional[int] = None,
                  page_size: Optional[int] = None,
-                 partitioned: bool = False):
+                 partitioned: bool = False,
+                 rack=None):
         if num_cns < 1 or num_mns < 1:
             raise ValueError("need at least one CN and one MN")
         self.params = params or ClioParams.prototype()
         self.partitioned = partitioned
+        rack_config = None
+        if rack is not None:
+            from repro.rack import RackConfig
+            rack_config = (RackConfig(boards=rack) if isinstance(rack, int)
+                           else rack)
+            # The rack config owns the board count: in-service boards
+            # plus the pre-cabled spares membership can add later.
+            num_mns = rack_config.boards + rack_config.spares
+        self.rack_config = rack_config
         if partitioned:
             self.env: Environment = PartitionedEnvironment()
-            switch_env = self.env.partition("switch")
+            if rack_config is not None:
+                tor_envs = [self.env.partition(f"tor{i}")
+                            for i in range(rack_config.tors)]
+                spine_env = self.env.partition("spine")
+                switch_env = tor_envs[0]
+            else:
+                switch_env = self.env.partition("switch")
         else:
             self.env = Environment()
             switch_env = self.env
+            if rack_config is not None:
+                tor_envs = [self.env] * rack_config.tors
+                spine_env = self.env
         self.rng = RandomStream(seed, "cluster")
         # One shared metrics namespace for the whole cluster; components
         # register themselves under their own prefixes at construction.
         self.metrics = MetricsRegistry()
-        self.topology = Topology(switch_env, self.params.network,
-                                 rng=self.rng.fork("net"),
-                                 registry=self.metrics)
+        if rack_config is not None:
+            from repro.net.rack import RackTopology
+            self.topology = RackTopology(
+                self.env, self.params.network, tors=rack_config.tors,
+                rng=self.rng.fork("net"), registry=self.metrics,
+                tor_envs=tor_envs, spine_env=spine_env,
+                spine_rate_bps=rack_config.spine_rate_bps,
+                spine_forward_ns=rack_config.spine_forward_ns)
+        else:
+            self.topology = Topology(switch_env, self.params.network,
+                                     rng=self.rng.fork("net"),
+                                     registry=self.metrics)
         self.mns: list[CBoard] = []
         for index in range(num_mns):
             board_env = (self.env.partition(f"mn{index}") if partitioned
@@ -74,6 +102,12 @@ class ClioCluster:
         ]
         if partitioned:
             self._register_partition_metrics()
+        # The rack tier (ring + controller + membership) hangs off the
+        # boards just built; spares stay out of service until added.
+        self.rack = None
+        if rack_config is not None:
+            from repro.rack import RackTier
+            self.rack = RackTier(self, rack_config)
         # Heartbeat health tracking is opt-in: its periodic sweep adds
         # events, so no-fault runs stay bit-identical unless asked for.
         self.health = None

@@ -4,12 +4,26 @@ Placement follows the LegoOS two-level split: the controller only decides
 *which MN* backs each coarse region (and moves regions when an MN runs
 hot); everything fine-grained — translation, faults, permissions — stays
 on the individual CBoards, unchanged.
+
+Two placement paths coexist:
+
+* **Legacy** (no shard ring): least-utilized live board.  The ordering is
+  maintained incrementally — a lazy min-heap of ``(utilization, index)``
+  entries revalidated against cached page-table counts — so an allocation
+  costs O(changed · log n) instead of the former O(n log n) full re-sort,
+  which matters at 64 boards.
+* **Sharded** (``shard=`` a :class:`~repro.rack.shard.ShardRing`): the
+  region id hashes onto the ring and the preference walk (home, then
+  successors) picks the first live board with capacity.  Any placement
+  away from the home lands in the ring's override directory, which is how
+  the rack membership layer later finds strays to rebalance.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from heapq import heappush, heappop
 from typing import Any, Optional
 
 from repro.core.cboard import CBoard
@@ -17,6 +31,12 @@ from repro.sim import Environment
 
 #: Controller bookkeeping cost per request (it is off the data path).
 CONTROLLER_NS = 2_000
+
+#: Settle window after write-fencing a migrating region: writes that had
+#: already passed the permission check drain into source DRAM before the
+#: copy starts, so every acknowledged byte makes it across.  Bounds the
+#: fast path's worst-case residency (ingest + stages + fault + DRAM).
+FENCE_SETTLE_NS = 10_000
 
 
 @dataclass
@@ -34,7 +54,9 @@ class RegionLease:
 @dataclass
 class _BoardState:
     board: CBoard
+    index: int                         # registration order (tie-break)
     regions: set = field(default_factory=set)
+    cached_entries: int = -1           # page-table count behind the heap
 
 
 class PlacementError(Exception):
@@ -67,12 +89,15 @@ class GlobalController:
     boards believed dead, and :meth:`lookup`/:meth:`free` on a region
     backed by one raise :class:`LeaseLost` — the typed signal a CN uses
     to tell "retry later" apart from "the region never existed".
+
+    With a ``shard`` ring attached, placement delegates to the ring's
+    preference walk (see module docstring) and the controller keeps the
+    ring's override directory in sync on every placement, migration, and
+    free.
     """
 
-    _region_ids = itertools.count(1)
-
     def __init__(self, env: Environment, boards: list[CBoard],
-                 pressure_threshold: float = 0.85, health=None):
+                 pressure_threshold: float = 0.85, health=None, shard=None):
         if not boards:
             raise ValueError("need at least one board")
         if not 0.0 < pressure_threshold <= 1.0:
@@ -81,17 +106,74 @@ class GlobalController:
         self.env = env
         self.pressure_threshold = pressure_threshold
         self.health = health
-        self._boards = {board.name: _BoardState(board) for board in boards}
+        self.shard = shard
+        # Region ids are per-controller (not process-global): rack
+        # fingerprints hash them onto the shard ring, so same-seed runs
+        # must draw the same ids no matter what ran earlier in the
+        # process.
+        self._region_ids = itertools.count(1)
+        self._boards: dict[str, _BoardState] = {}
+        self._util_heap: list[tuple[float, int, str]] = []
         self._leases: dict[int, RegionLease] = {}
+        for board in boards:
+            self.add_board(board)
         self._migrating: dict[int, Any] = {}   # region_id -> drain event
+        self._freeing: set[int] = set()        # frees past their wait loop
+        self.draining: set[str] = set()        # boards excluded from placement
         self.migrations = 0
         self.failed_migrations = 0
+        self.aborted_migrations = 0            # source died mid-copy
+        self.evictions = 0                     # regions re-homed off dead boards
         # Runtime correctness checking (repro.verify); when set, the
         # shadow oracle follows regions across migrations.
         self.verifier = None
         # Cache coherence (repro.cache); when set, migration and free
         # recall every cached copy of the region before touching it.
         self.cache_directory = None
+
+    # -- board registry ----------------------------------------------------------------
+
+    def add_board(self, board: CBoard) -> None:
+        """Register a board (construction, or elastic join later).
+
+        With a shard ring attached the board's virtual points go onto the
+        ring too, so new allocations can land on it immediately.
+        """
+        if board.name in self._boards:
+            raise ValueError(f"board {board.name!r} already registered")
+        state = _BoardState(board, index=len(self._boards))
+        self._boards[board.name] = state
+        self._note_utilization(board.name)
+        if self.shard is not None and board.name not in self.shard:
+            self.shard.add_board(board.name)
+            self._refresh_shard_directory()
+
+    def remove_board(self, name: str) -> None:
+        """Deregister an (empty) board — the elastic-drain endpoint."""
+        state = self._boards.get(name)
+        if state is None:
+            raise KeyError(f"unknown board {name!r}")
+        if state.regions:
+            raise ValueError(
+                f"board {name!r} still backs {len(state.regions)} regions")
+        del self._boards[name]
+        if self.shard is not None and name in self.shard:
+            self.shard.remove_board(name)
+            self._refresh_shard_directory()
+        # Stale heap entries for the departed board are skipped lazily.
+
+    def _refresh_shard_directory(self) -> None:
+        """Recompute the ring's override directory after an arc move."""
+        self.shard.refresh_overrides(
+            {region_id: lease.mn
+             for region_id, lease in self._leases.items()})
+
+    def boards(self) -> list[str]:
+        return list(self._boards)
+
+    def regions_on(self, name: str) -> list[int]:
+        """Region ids currently backed by ``name`` (sorted, stable)."""
+        return sorted(self._boards[name].regions)
 
     # -- placement ---------------------------------------------------------------------
 
@@ -106,24 +188,91 @@ class GlobalController:
         board = self._boards[name].board
         return board.page_table.entry_count / board.page_table.physical_pages
 
-    def _pick_board(self, size: int) -> Optional[str]:
-        """Least-utilized live board that can still host ``size`` bytes."""
-        candidates = sorted(self._boards, key=self._utilization)
-        for name in candidates:
+    def _note_utilization(self, name: str) -> None:
+        """Refresh one board's heap entry if its page table changed."""
+        state = self._boards[name]
+        entries = state.board.page_table.entry_count
+        if entries != state.cached_entries:
+            state.cached_entries = entries
+            heappush(self._util_heap,
+                     (entries / state.board.page_table.physical_pages,
+                      state.index, name))
+
+    def _refresh_utilizations(self) -> None:
+        """Cheap O(n) staleness sweep: integer compares, no sorting.
+
+        Boards change behind the controller's back (direct slow-path
+        allocations, crashes that rebuild page tables), so pick time
+        reconciles the cached counts; only *changed* boards pay the
+        O(log n) heap push.
+        """
+        for name in self._boards:
+            self._note_utilization(name)
+
+    def _fits(self, name: str, size: int) -> bool:
+        board = self._boards[name].board
+        pages_needed = board.page_spec.page_count(size)
+        free_slots = (board.page_table.physical_pages
+                      - board.page_table.entry_count)
+        return pages_needed <= free_slots
+
+    def _pick_board(self, size: int, exclude: Optional[str] = None,
+                    below_threshold: bool = False) -> Optional[str]:
+        """Least-utilized live board that can still host ``size`` bytes.
+
+        Incrementally maintained: pops the lazy heap in (utilization,
+        registration) order — identical to the former stable full sort —
+        skipping entries whose cached count went stale, and pushes every
+        still-valid entry back for the next pick.
+        """
+        self._refresh_utilizations()
+        heap = self._util_heap
+        valid: list[tuple[float, int, str]] = []
+        chosen = None
+        while heap:
+            entry = heappop(heap)
+            util, _index, name = entry
+            state = self._boards.get(name)
+            if state is None:
+                continue            # board deregistered: drop the entry
+            expected = (state.cached_entries
+                        / state.board.page_table.physical_pages)
+            if util != expected:
+                continue            # superseded by a fresher entry
+            valid.append(entry)
+            if name == exclude or name in self.draining:
+                continue
             if not self._alive(name):
                 continue
-            board = self._boards[name].board
-            pages_needed = board.page_spec.page_count(size)
-            free_slots = (board.page_table.physical_pages
-                          - board.page_table.entry_count)
-            if pages_needed <= free_slots:
+            if below_threshold and util >= self.pressure_threshold:
+                continue
+            if self._fits(name, size):
+                chosen = name
+                break
+        for entry in valid:
+            heappush(heap, entry)
+        return chosen
+
+    def _pick_sharded(self, key: int, size: int,
+                      exclude: Optional[str] = None) -> Optional[str]:
+        """Ring preference walk: home first, then clockwise successors."""
+        for name in self.shard.preference(key):
+            if name == exclude or name not in self._boards:
+                continue
+            if name in self.draining or not self._alive(name):
+                continue
+            if self._fits(name, size):
                 return name
         return None
 
     def allocate(self, pid: int, size: int):
         """Process-generator: place and allocate a region; returns a lease."""
         yield self.env.timeout(CONTROLLER_NS)
-        name = self._pick_board(size)
+        region_id = next(self._region_ids)
+        if self.shard is not None:
+            name = self._pick_sharded(region_id, size)
+        else:
+            name = self._pick_board(size)
         if name is None:
             raise PlacementError(f"no MN can host {size} bytes")
         state = self._boards[name]
@@ -131,40 +280,54 @@ class GlobalController:
         if not response.ok:
             raise PlacementError(
                 f"{name} rejected a {size}-byte region: {response.error}")
-        lease = RegionLease(region_id=next(self._region_ids), mn=name,
+        lease = RegionLease(region_id=region_id, mn=name,
                             va=response.va, size=response.size, pid=pid)
         self._leases[lease.region_id] = lease
         state.regions.add(lease.region_id)
+        self._note_utilization(name)
+        if self.shard is not None:
+            self.shard.record_placement(region_id, name)
         return lease
 
     def free(self, region_id: int):
         """Process-generator: release a region on its current board.
 
         A free that races a migration waits for the move to finish first
-        (the lease's board/VA are in flux until then); a free of a region
-        on a dead board raises :class:`LeaseLost` without dropping the
-        lease, so it can be retried after the board recovers.
+        (the lease's board/VA are in flux until then), then *claims* the
+        region — ``_freeing`` — before it yields again, so no migration
+        can start mid-free and read half-released pages.  A free of a
+        region on a dead board raises :class:`LeaseLost` without
+        dropping the lease, so it can be retried after the board
+        recovers; a free that loses the claim race to another free
+        raises ``KeyError`` like any double free.
         """
         yield self.env.timeout(CONTROLLER_NS)
         while region_id in self._migrating:
             yield self._migrating[region_id]
         lease = self._leases.get(region_id)
-        if lease is None:
+        if lease is None or region_id in self._freeing:
             raise KeyError(f"unknown region {region_id}")
         if not self._alive(lease.mn):
             raise LeaseLost(region_id, lease.mn)
+        # Claim before the first yield below: rebalance/_migrate check the
+        # claim, closing the free-starts-then-migration-reads race.
+        self._freeing.add(region_id)
         frozen = None
-        if self.cache_directory is not None:
-            # Recall (and flush) every cached copy, and hold the region's
-            # line locks across the free so no fill resurrects dead lines.
-            frozen = yield from self.cache_directory.freeze_region(
-                lease.pid, lease.mn, lease.va, lease.size)
         try:
+            if self.cache_directory is not None:
+                # Recall (and flush) every cached copy, and hold the region's
+                # line locks across the free so no fill resurrects dead lines.
+                frozen = yield from self.cache_directory.freeze_region(
+                    lease.pid, lease.mn, lease.va, lease.size)
             del self._leases[region_id]
             state = self._boards[lease.mn]
             state.regions.discard(region_id)
+            if self.shard is not None:
+                self.shard.clear_override(region_id)
             yield from state.board.slow_path.handle_free(lease.pid, lease.va)
+            self._note_utilization(lease.mn)
         finally:
+            self._freeing.discard(region_id)
             if frozen is not None:
                 self.cache_directory.release_region(frozen)
 
@@ -202,13 +365,19 @@ class GlobalController:
             state = self._boards[name]
             # Move the largest region first (fastest pressure relief).
             region_ids = sorted(
-                state.regions,
+                (rid for rid in state.regions
+                 if rid in self._leases
+                 and rid not in self._freeing
+                 and rid not in self._migrating),
                 key=lambda rid: self._leases[rid].size, reverse=True)
             for region_id in region_ids:
                 if self._utilization(name) <= self.pressure_threshold:
                     break
-                lease = self._leases[region_id]
-                target = self._pick_target(exclude=name, size=lease.size)
+                lease = self._leases.get(region_id)
+                if lease is None or region_id in self._freeing:
+                    continue   # freed while earlier migrations ran
+                target = self._pick_target(exclude=name, size=lease.size,
+                                           key=region_id)
                 if target is None:
                     break
                 ok = yield from self._migrate(lease, target)
@@ -218,34 +387,97 @@ class GlobalController:
                 # it and allocating on it — re-pick for the next region.
         return moved
 
-    def _pick_target(self, exclude: str, size: int) -> Optional[str]:
-        candidates = sorted((name for name in self._boards
-                             if name != exclude), key=self._utilization)
-        for name in candidates:
-            if not self._alive(name):
-                continue
-            board = self._boards[name].board
-            pages = board.page_spec.page_count(size)
-            free_slots = (board.page_table.physical_pages
-                          - board.page_table.entry_count)
-            if (pages <= free_slots
-                    and self._utilization(name) < self.pressure_threshold):
-                return name
-        return None
+    def _pick_target(self, exclude: str, size: int,
+                     key: Optional[int] = None) -> Optional[str]:
+        if self.shard is not None and key is not None:
+            return self._pick_sharded(key, size, exclude=exclude)
+        return self._pick_board(size, exclude=exclude, below_threshold=True)
+
+    def migrate_region(self, region_id: int, target: str):
+        """Process-generator: move one region by id; True on success.
+
+        The public entry the membership layer uses for drains and
+        rebalances; unlike :meth:`_migrate` it tolerates a region that
+        vanished (freed) between scheduling and execution.
+        """
+        lease = self._leases.get(region_id)
+        if lease is None or region_id in self._freeing:
+            return False
+        if lease.mn == target:
+            return True
+        result = yield from self._migrate(lease, target)
+        return result
+
+    def evict_region(self, region_id: int):
+        """Process-generator: re-home a region off a dead board, zero-filled.
+
+        The lease-expiry path: the source board is gone, so unlike
+        :meth:`_migrate` nothing is copied — the region restarts empty on
+        a live board (ring successor when sharded).  Returns
+        ``(old_mn, old_va)`` on success — the caller needs them to drop
+        the shadow oracle's stale cells and to reclaim the orphaned
+        allocation if the board ever rejoins — or ``None`` when the
+        region vanished meanwhile or no live board can take it.
+        """
+        lease = self._leases.get(region_id)
+        if (lease is None or region_id in self._freeing
+                or region_id in self._migrating):
+            return None
+        yield self.env.timeout(CONTROLLER_NS)
+        if self._leases.get(region_id) is not lease:
+            return None
+        if self.shard is not None:
+            target = self._pick_sharded(region_id, lease.size,
+                                        exclude=lease.mn)
+        else:
+            target = self._pick_board(lease.size, exclude=lease.mn)
+        if target is None:
+            return None
+        target_state = self._boards[target]
+        response = yield from target_state.board.slow_path.handle_alloc(
+            lease.pid, lease.size)
+        if not response.ok:
+            self.failed_migrations += 1
+            return None
+        self._note_utilization(target)
+        old_mn, old_va = lease.mn, lease.va
+        old_state = self._boards.get(old_mn)
+        if old_state is not None:
+            old_state.regions.discard(region_id)
+        target_state.regions.add(region_id)
+        lease.mn = target
+        lease.va = response.va
+        lease.generation += 1
+        self.evictions += 1
+        if self.shard is not None:
+            self.shard.record_placement(region_id, target)
+        if self.verifier is not None:
+            self.verifier.on_region_evicted(lease, old_mn, old_va)
+        return (old_mn, old_va)
 
     def _migrate(self, lease: RegionLease, target: str):
         """Process-generator: move one region; True on success.
 
         Returns False — leaving the lease untouched on its source —
         when the target cannot take the allocation after all (it may
-        have filled between the capacity check and the alloc).  While
-        the copy runs the region is marked in ``_migrating`` so a
-        concurrent :meth:`free` waits instead of freeing a VA that is
-        about to change.
+        have filled between the capacity check and the alloc), when the
+        region is being freed, or when the source board dies mid-copy
+        (the half-written target allocation is rolled back).  While the
+        copy runs the region is marked in ``_migrating`` so a concurrent
+        :meth:`free` waits instead of freeing a VA that is about to
+        change.
         """
+        region_id = lease.region_id
+        if (region_id in self._freeing or region_id in self._migrating
+                or self._leases.get(region_id) is not lease):
+            return False
+        if target not in self._boards:
+            raise KeyError(f"unknown board {target!r}")
         drain = self.env.event()
-        self._migrating[lease.region_id] = drain
+        self._migrating[region_id] = drain
         frozen = None
+        fenced: list = []
+        completed = False
         try:
             yield self.env.timeout(CONTROLLER_NS)
             source_state = self._boards[lease.mn]
@@ -255,6 +487,7 @@ class GlobalController:
             if not response.ok:
                 self.failed_migrations += 1
                 return False
+            self._note_utilization(target)
             if self.cache_directory is not None:
                 # Recall every cached copy first: dirty lines flush to the
                 # *source* board (the keys still name it), so the copy
@@ -263,6 +496,15 @@ class GlobalController:
                 # cached traffic for the duration.
                 frozen = yield from self.cache_directory.freeze_region(
                     lease.pid, lease.mn, lease.va, lease.size)
+            # Write-fence the source: flip the region's PTEs to read-only
+            # and shoot down their TLB entries, so writes racing the copy
+            # fail typed (clients back off and retry against the new home)
+            # instead of landing behind an already-copied chunk and being
+            # silently lost.  Reads keep serving throughout.  The settle
+            # window lets writes already past the permission check drain
+            # into DRAM before the first chunk is read.
+            fenced = self._fence_writes(source_state.board, lease)
+            yield self.env.timeout(FENCE_SETTLE_NS)
             # Copy in page-sized chunks (only pages that were ever touched
             # carry data; untouched pages read as zero on both sides).
             from repro.core.addr import AccessType
@@ -270,6 +512,15 @@ class GlobalController:
             page = source_state.board.page_spec.page_size
             offset = 0
             while offset < lease.size:
+                if not source_state.board.alive:
+                    # Source died mid-copy: roll the target back and
+                    # leave the lease where it was — the durable page
+                    # table serves it again after the restart.
+                    yield from target_state.board.slow_path.handle_free(
+                        lease.pid, response.va)
+                    self._note_utilization(target)
+                    self.aborted_migrations += 1
+                    return False
                 chunk = min(page, lease.size - offset)
                 result = yield from source_state.board.execute_local(
                     lease.pid, AccessType.READ, lease.va + offset, chunk)
@@ -280,19 +531,53 @@ class GlobalController:
                 offset += chunk
             yield from source_state.board.slow_path.handle_free(
                 lease.pid, lease.va)
-            source_state.regions.discard(lease.region_id)
-            target_state.regions.add(lease.region_id)
+            self._note_utilization(lease.mn)
+            source_state.regions.discard(region_id)
+            target_state.regions.add(region_id)
             old_mn, old_va = lease.mn, lease.va
             lease.mn = target
             lease.va = response.va
             lease.generation += 1
             self.migrations += 1
+            if self.shard is not None:
+                self.shard.record_placement(region_id, target)
             if self.verifier is not None:
                 self.verifier.on_region_migrated(lease, old_mn, old_va)
+            completed = True
             return True
         finally:
+            if fenced and not completed:
+                # Aborted after fencing: the region stays on its source,
+                # so writes must work again (once the board is back).
+                self._unfence_writes(source_state.board, fenced)
             if frozen is not None:
                 self.cache_directory.release_region(frozen)
-            del self._migrating[lease.region_id]
+            del self._migrating[region_id]
             if not drain.triggered:
                 drain.succeed()
+
+    def _fence_writes(self, board: CBoard, lease: RegionLease) -> list:
+        """Make a region read-only on its board; returns undo state.
+
+        Mutates the PTEs in place and invalidates their TLB entries —
+        the MMU-level equivalent of a write-protect shootdown.
+        """
+        from repro.core.addr import Permission
+        fenced = []
+        for vpn in board.page_spec.pages_spanned(lease.va, lease.size):
+            entry = board.page_table.lookup(lease.pid, vpn)
+            if entry is None or Permission.WRITE not in entry.permission:
+                continue
+            fenced.append((entry, entry.permission))
+            entry.permission = Permission.READ
+            board.tlb.invalidate(lease.pid, vpn)
+        return fenced
+
+    @staticmethod
+    def _unfence_writes(board: CBoard, fenced: list) -> None:
+        """Undo a write fence: restore permissions AND shoot down the
+        TLB again — reads during the fence window re-cached the entries
+        with their fenced (read-only) permission."""
+        for entry, permission in fenced:
+            entry.permission = permission
+            board.tlb.invalidate(entry.pid, entry.vpn)

@@ -357,3 +357,37 @@ def run_chaos(scenario: str = "board-crash", seed: int = 1234,
         }
         report.cache_counters = counters
     return report
+
+
+# -- rack-scale chaos -----------------------------------------------------------
+#
+# Rack membership events (drains, joins, crashes mid-migration, lease-expiry
+# evictions) are chaos in the same spirit as the schedules above, but they
+# need the sharded tier — a controller, a ring, and the membership state
+# machine — which the flat chaos harness deliberately does not build.  The
+# verify harness owns that assembly, so rack chaos delegates to it and this
+# module just names the scenarios alongside the classic ones.
+
+from repro.verify.harness import RACK_SCENARIOS  # noqa: E402  (re-export)
+
+
+def run_rack_chaos(scenario: str = "drain", seed: int = 1234,
+                   boards: int = 8, tors: int = 2,
+                   clients: int = 64, ops_per_client: int = 4,
+                   partitioned: bool = False):
+    """Run one rack membership-chaos scenario; returns a
+    :class:`~repro.verify.harness.VerifyRunResult`.
+
+    The workload is the rack zipfian YCSB with the full checking stack
+    attached (shadow oracle, linearizability on the sync word), and the
+    named membership event fired mid-traffic.  Scenarios are
+    ``RACK_SCENARIOS``: ``"drain"``, ``"add"``, ``"crash-mid-migration"``,
+    ``"evict"``.
+    """
+    from repro.verify.harness import run_rack_ycsb
+    if scenario not in RACK_SCENARIOS:
+        raise ValueError(f"unknown rack scenario {scenario!r}; "
+                         f"pick one of {sorted(RACK_SCENARIOS)}")
+    return run_rack_ycsb(seed=seed, boards=boards, tors=tors,
+                         clients=clients, ops_per_client=ops_per_client,
+                         scenario=scenario, partitioned=partitioned)

@@ -10,6 +10,7 @@ inflation, incast visible as switch-queue growth.
 from repro.net.gbn import GBNReceiver, GBNSender, connection_state_bytes
 from repro.net.link import Link
 from repro.net.packet import ClioHeader, Packet, PacketType, fragment_payload
+from repro.net.rack import RackSwitch, RackTopology, SpineSwitch
 from repro.net.switch import Switch, Topology
 
 __all__ = [
@@ -19,6 +20,9 @@ __all__ = [
     "Link",
     "Packet",
     "PacketType",
+    "RackSwitch",
+    "RackTopology",
+    "SpineSwitch",
     "Switch",
     "Topology",
     "connection_state_bytes",

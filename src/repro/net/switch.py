@@ -25,14 +25,15 @@ class Switch:
     """Output-queued ToR switch."""
 
     def __init__(self, env: Environment, forward_ns: int,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 scope: str = "switch.tor"):
         self.env = env
         self.forward_ns = forward_ns
         self._downlinks: dict[str, Link] = {}
         self.packets_forwarded = 0
         self.unroutable = 0
         self.metrics = (registry if registry is not None
-                        else MetricsRegistry()).scope("switch.tor")
+                        else MetricsRegistry()).scope(scope)
         self._stats = StatsView({
             "packets_forwarded": self.metrics.counter(
                 "packets_forwarded", fn=lambda: self.packets_forwarded),

@@ -1,0 +1,102 @@
+"""The rack tier: ring + controller + membership bundled onto a cluster.
+
+``RackTier`` is what ``ClioCluster(rack=...)`` builds: the shard ring,
+a ring-driven :class:`~repro.distributed.controller.GlobalController`
+over the in-service boards, the membership state machine, and the
+``rack.*`` metrics that expose them.  Spare boards are constructed and
+cabled to the fabric up front (creating partitions mid-run is not a
+thing the engine does) but stay out of the ring and the controller until
+membership adds them.
+"""
+
+from __future__ import annotations
+
+from repro.distributed.controller import GlobalController
+from repro.rack.membership import RackConfig, RackMembership
+from repro.rack.shard import ShardRing
+
+
+class RackTier:
+    """Sharded placement + elastic membership over a cluster's boards."""
+
+    def __init__(self, cluster, config: RackConfig):
+        self.cluster = cluster
+        self.config = config
+        if len(cluster.mns) < config.boards + config.spares:
+            raise ValueError(
+                f"cluster has {len(cluster.mns)} boards, rack config needs "
+                f"{config.boards} in service + {config.spares} spares")
+        self.ring = ShardRing(vnodes=config.vnodes)
+        in_service = cluster.mns[:config.boards]
+        self.controller = GlobalController(
+            cluster.env, in_service,
+            pressure_threshold=config.pressure_threshold,
+            shard=self.ring)
+        self.membership = RackMembership(
+            cluster.env, self.controller, self.ring, config)
+        self._register_metrics(cluster.metrics)
+        self._started = False
+
+    def _register_metrics(self, registry) -> None:
+        scope = registry.scope("rack")
+        scope.gauge("boards_in_service", fn=lambda: len(self.ring))
+        scope.gauge("epoch", fn=lambda: self.membership.epoch)
+        scope.gauge("overrides", fn=lambda: self.ring.override_count)
+        scope.gauge("draining",
+                    fn=lambda: len(self.controller.draining))
+        scope.counter("migrations", fn=lambda: self.controller.migrations)
+        scope.counter("failed_migrations",
+                      fn=lambda: self.controller.failed_migrations)
+        scope.counter("aborted_migrations",
+                      fn=lambda: self.controller.aborted_migrations)
+        scope.counter("evictions", fn=lambda: self.membership.evictions)
+        scope.counter("drains", fn=lambda: self.membership.drains)
+        scope.counter("joins", fn=lambda: self.membership.joins)
+        scope.counter("rebalanced", fn=lambda: self.membership.rebalanced)
+        scope.counter("ring_membership_changes",
+                      fn=lambda: self.ring.membership_changes)
+
+    def start(self, interval_ns: int = 100_000,
+              miss_threshold: int = 3) -> None:
+        """Wire health beliefs in and start the membership sweep.
+
+        The rack tier always runs with the health monitor: placement
+        must skip dark boards and the eviction sweep is belief-driven.
+        Idempotent.
+        """
+        if self._started:
+            return
+        health = self.cluster.enable_health_monitor(
+            interval_ns=interval_ns, miss_threshold=miss_threshold)
+        self.controller.health = health
+        self.membership.health = health
+        self.membership.start()
+        self._started = True
+
+    def stop(self) -> None:
+        self.membership.stop()
+        self._started = False
+
+    # -- conveniences -------------------------------------------------------------
+
+    @property
+    def spares(self) -> list:
+        """Boards cabled to the fabric but not (yet) in service."""
+        names = set(self.controller._boards)
+        return [board for board in self.cluster.mns
+                if board.name not in names]
+
+    def spare(self, index: int = 0):
+        spares = self.spares
+        if not spares:
+            raise LookupError("no spare boards left")
+        return spares[index]
+
+    def stats(self) -> dict:
+        return {
+            "ring": self.ring.stats(),
+            "membership": self.membership.stats(),
+            "migrations": self.controller.migrations,
+            "failed_migrations": self.controller.failed_migrations,
+            "aborted_migrations": self.controller.aborted_migrations,
+        }

@@ -17,11 +17,13 @@ CLI entry point.
 """
 
 from repro.verify.harness import (
+    RACK_SCENARIOS,
     ClusterVerifier,
     VerifyRunResult,
     run_batched_ycsb,
     run_cached_ycsb,
     run_kv_linearizability,
+    run_rack_ycsb,
     run_sync_linearizability,
     run_verified_chaos,
     spans_near,
@@ -50,6 +52,7 @@ from repro.verify.oracle import (
 __all__ = [
     "AtomicWordModel",
     "ClusterVerifier",
+    "RACK_SCENARIOS",
     "EpochViolation",
     "HistoryOp",
     "KVModel",
@@ -67,6 +70,7 @@ __all__ = [
     "run_batched_ycsb",
     "run_cached_ycsb",
     "run_kv_linearizability",
+    "run_rack_ycsb",
     "run_sync_linearizability",
     "run_verified_chaos",
     "spans_near",

@@ -169,6 +169,16 @@ class ClusterVerifier:
         self.oracle.region_remapped(lease.pid, old_mn, old_va,
                                     lease.mn, lease.va, lease.size)
 
+    def on_region_evicted(self, lease, old_mn: str, old_va: int) -> None:
+        """A region was re-homed off a dead board *without* a copy.
+
+        Unlike a migration nothing moves: the old data is gone with the
+        board and the new allocation reads as zero, so the shadow drops
+        the stale cells on both sides instead of remapping them.
+        """
+        self.oracle.region_cleared(old_mn, lease.pid, old_va, lease.size)
+        self.oracle.region_cleared(lease.mn, lease.pid, lease.va, lease.size)
+
     # -- sweeps and verdicts -----------------------------------------------------
 
     def sweep(self) -> list[Violation]:
@@ -240,6 +250,9 @@ class VerifyRunResult:
     report: dict = field(default_factory=dict)
     tracer: object = None
     notes: list = field(default_factory=list)
+    #: Workload-specific structured results (fingerprints, latency
+    #: percentiles, ...) — absent for the older harnesses.
+    extras: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -772,6 +785,278 @@ def run_cached_ycsb(seed: int = 0, num_clients: int = 2,
                            violations=list(verifier.violations),
                            report=verifier.report(),
                            tracer=cluster.tracer, notes=notes)
+
+
+#: Shared-region PID for the rack harness: every client on every CN maps
+#: the same PID, so region VAs are valid from any CN toward any board.
+_RACK_PID = 7401
+
+#: Membership scenarios run_rack_ycsb understands (None = steady state).
+RACK_SCENARIOS = ("drain", "add", "crash-mid-migration", "evict")
+
+
+def run_rack_ycsb(seed: int = 0, boards: int = 8, tors: int = 2,
+                  num_cns: int = 4, clients: int = 1024,
+                  ops_per_client: int = 4, regions_per_board: int = 2,
+                  value_size: int = 64, theta: float = 0.99,
+                  scenario: Optional[str] = None,
+                  trace: bool = False, deadline_ns: int = 60 * MS,
+                  partitioned: bool = False) -> VerifyRunResult:
+    """Zipfian YCSB against a sharded rack while membership churns.
+
+    The rack acceptance workload: ``clients`` generator processes spread
+    over ``num_cns`` CNs hammer ``boards * regions_per_board`` regions
+    (zipf-hot, so traffic concentrates) that the rack tier placed via the
+    shard ring, while a scenario event reshapes membership mid-run:
+
+    * ``"drain"`` — a board drains under traffic (batched rate-limited
+      live migrations; its write-fenced regions briefly reject writes);
+    * ``"add"`` — a spare joins and the rebalancer pulls arcs over;
+    * ``"crash-mid-migration"`` — the board crashes while its own drain
+      is copying regions out, the in-flight migrations abort and roll
+      back, and the drain is retried after the board recovers;
+    * ``"evict"`` — the board crashes for good; after its lease expires
+      the membership sweep re-shards its regions zero-filled.
+
+    All three checking layers run throughout: the shadow oracle audits
+    every byte across migrations and evictions, board invariants hold,
+    and a shared atomic word on a board no scenario touches feeds the
+    linearizability checker.  Per-op latencies are recorded so callers
+    can compare tail latency before and after the membership event, and
+    ``extras["fingerprint"]`` digests the full op history — same seed,
+    flat and partitioned engines must produce the same digest.
+    """
+    from hashlib import blake2b
+
+    from repro.cluster import ClioCluster
+    from repro.distributed.controller import LeaseLost
+    from repro.rack import DrainError, RackConfig
+    from repro.sim.rng import RandomStream
+    from repro.workloads.zipf import ZipfTable, zipfian_keys
+    from repro.transport.clib_transport import RequestFailed
+    from repro.clib.client import RemoteAccessError
+
+    if scenario is not None and scenario not in RACK_SCENARIOS:
+        raise ValueError(f"unknown rack scenario {scenario!r} "
+                         f"(choose from {RACK_SCENARIOS})")
+    page = 64 * 1024
+    num_regions = boards * regions_per_board
+    config = RackConfig(boards=boards, tors=tors,
+                        spares=1 if scenario == "add" else 0,
+                        lease_expiry_ns=400 * US)
+    cluster = ClioCluster(params=_verify_params(), seed=seed,
+                          num_cns=num_cns, rack=config, page_size=page,
+                          mn_capacity=2 * num_regions * page + 4 * MB,
+                          partitioned=partitioned)
+    cluster.rack.start()
+    verifier = cluster.enable_verification()
+    cluster.rack.controller.verifier = verifier
+    if trace:
+        cluster.enable_tracing()
+    env = cluster.env
+    rng = RandomStream(seed, "verify/rack")
+    controller = cluster.rack.controller
+    membership = cluster.rack.membership
+
+    # One data thread per (CN, board) — clients re-resolve the lease
+    # before every op and use the thread bound to its current home.
+    # Spares included: regions migrate onto them mid-run.
+    threads = [{board.name:
+                cluster.cn(i).process(board.name, pid=_RACK_PID).thread()
+                for board in cluster.mns}
+               for i in range(num_cns)]
+    sync_threads = [cluster.cn(i).process("mn0", pid=_SYNC_PID).thread()
+                    for i in range(num_cns)]
+
+    setup = {}
+
+    def setup_proc():
+        region_ids = []
+        for _ in range(num_regions):
+            lease = yield from controller.allocate(_RACK_PID, page)
+            # Controller allocations are board-side (no CLib alloc hook
+            # fires); clear the shadow region by hand.
+            verifier.oracle.region_cleared(lease.mn, _RACK_PID, lease.va,
+                                           lease.size)
+            region_ids.append(lease.region_id)
+        setup["region_ids"] = region_ids
+        setup["word"] = yield from sync_threads[0].ralloc(4096)
+
+    cluster.run(until=env.process(setup_proc()))
+    region_ids, word_va = setup["region_ids"], setup["word"]
+    slots = page // value_size
+
+    done_events = [env.event() for _ in range(clients)]
+    ztable = ZipfTable(num_regions, theta)
+    #: (client, serial, kind, ok, start_ns, end_ns) per attempted op.
+    op_log: list[tuple] = []
+    tolerated = {"count": 0}
+
+    # Staggered starts spread arrivals over ~2x the membership-event
+    # time at any client count, so traffic straddles the event instead
+    # of bursting at t=0 and finishing before anything happens.
+    stagger_ns = max(200, 600_000 // clients)
+    # Sync-word cadence: every 16th op at scale, but never less than one
+    # atomic per client, so the linearizability history is never empty.
+    sync_every = min(16, ops_per_client)
+
+    def client(index: int):
+        crng = rng.fork(f"rack{index}")
+        cn_index = index % num_cns
+        keys = zipfian_keys(crng, num_regions, theta, table=ztable)
+        try:
+            yield env.timeout(stagger_ns * index
+                              + crng.uniform_int(0, stagger_ns - 1))
+            for serial in range(ops_per_client):
+                region_id = region_ids[next(keys)]
+                slot = crng.uniform_int(0, slots - 1)
+                kind = "set" if crng.uniform() < 0.5 else "get"
+                payload = ((index << 20) | serial).to_bytes(
+                    value_size, "little") if kind == "set" else None
+                start = env.now
+                ok = False
+                for attempt in range(8):
+                    try:
+                        lease = controller.lookup(region_id)
+                    except LeaseLost:
+                        # Board believed dead: back off, then refresh.
+                        yield env.timeout(30 * US + attempt * 20 * US)
+                        continue
+                    thread = threads[cn_index][lease.mn]
+                    va = lease.va + slot * value_size
+                    try:
+                        if kind == "set":
+                            yield from thread.rwrite(va, payload)
+                        else:
+                            yield from thread.rread(va, value_size)
+                        ok = True
+                        break
+                    except (RequestFailed, RemoteAccessError):
+                        # Stale lease, fenced write, or dark board:
+                        # refresh the lease and retry.
+                        yield env.timeout(10 * US + attempt * 10 * US)
+                op_log.append((index, serial, kind, ok, start, env.now))
+                if not ok:
+                    tolerated["count"] += 1
+                if serial % sync_every == sync_every - 1:
+                    try:
+                        yield from sync_threads[cn_index].rfaa(word_va, 1)
+                    except (RequestFailed, RemoteAccessError):
+                        pass
+                yield env.timeout(crng.uniform_int(200, 2_000))
+        finally:
+            done_events[index].succeed()
+
+    for index in range(clients):
+        env.process(client(index))
+
+    # Scenario driver: every event targets mn1 (never mn0, which hosts
+    # the linearizer word, so its history has a single stable home).
+    event_at = 300 * US                  # relative to the end of setup
+    event_abs = env.now + event_at       # absolute sim time of the event
+    scenario_notes: list[str] = []
+    event_done = {"ns": event_abs}  # when the membership op settled
+
+    def driver():
+        yield env.timeout(event_at)
+        if scenario == "drain":
+            yield from membership.drain_board("mn1")
+            scenario_notes.append(
+                f"drained mn1 at {event_abs}ns "
+                f"({controller.migrations} migrations)")
+        elif scenario == "add":
+            spare = cluster.rack.spare(0)
+            moved = yield from membership.add_board(spare)
+            scenario_notes.append(
+                f"added {spare.name} at {event_abs}ns, rebalanced {moved}")
+        elif scenario == "crash-mid-migration":
+            def doomed_drain():
+                # This drain is *expected* to fail: the board dies under
+                # it, its in-flight copies abort, and regions remain.
+                try:
+                    yield from membership.drain_board("mn1")
+                except DrainError:
+                    pass
+            drain_proc = env.process(doomed_drain())
+            yield env.timeout(30 * US)   # let the first copies start
+            cluster.board("mn1").crash()
+            yield env.timeout(300 * US)
+            cluster.board("mn1").restart()
+            yield drain_proc
+            # Health must re-trust the board before the retry can read it.
+            while not cluster.health.is_alive("mn1"):
+                yield env.timeout(50 * US)
+            if "mn1" in controller._boards and controller.regions_on("mn1"):
+                yield from membership.drain_board("mn1")
+            scenario_notes.append(
+                f"mn1 crashed mid-drain ({controller.aborted_migrations} "
+                f"aborted), drain completed after restart")
+        elif scenario == "evict":
+            cluster.board("mn1").crash()
+            scenario_notes.append(
+                f"mn1 crashed at {event_abs}ns, never restarted "
+                "(lease-expiry eviction)")
+            # Recovery point = the sweep's eviction, not the crash.
+            while membership.evictions == 0:
+                yield env.timeout(50 * US)
+        event_done["ns"] = env.now
+
+    if scenario is not None:
+        env.process(driver())
+
+    all_done = env.all_of(done_events)
+    cluster.run(until=deadline_ns)
+    notes = [] if all_done.triggered else ["workload hit the deadline"]
+    notes.extend(scenario_notes)
+    if tolerated["count"]:
+        notes.append(f"{tolerated['count']} ops failed typed (tolerated)")
+
+    # Latency split around the membership event, for recovery checks.
+    def p99(samples: list[int]) -> int:
+        if not samples:
+            return 0
+        ordered = sorted(samples)
+        return ordered[min(len(ordered) - 1, (len(ordered) * 99) // 100)]
+
+    pre = [end - start for _, _, _, ok, start, end in op_log
+           if ok and end <= event_abs]
+    post = [end - start for _, _, _, ok, start, end in op_log
+            if ok and start >= event_done["ns"]]
+    digest = blake2b(digest_size=16)
+    for record in op_log:
+        digest.update(repr(record).encode())
+    extras = {
+        "fingerprint": digest.hexdigest(),
+        "ops_attempted": len(op_log),
+        "ops_ok": sum(1 for r in op_log if r[3]),
+        "pre_p99_ns": p99(pre),
+        "post_p99_ns": p99(post),
+        "event_at_ns": event_abs,
+        "event_done_ns": event_done["ns"],
+        "migrations": controller.migrations,
+        "aborted_migrations": controller.aborted_migrations,
+        "evictions": membership.evictions,
+        "epoch": membership.epoch,
+        "placement": tuple(sorted(
+            (region_id, lease.mn)
+            for region_id, lease in controller._leases.items())),
+        # Engine-side counters, for the perf suite.
+        "sim_now_ns": env.now,
+        "events": env._seq,
+    }
+    notes.append(f"{extras['ops_ok']}/{extras['ops_attempted']} ops ok, "
+                 f"p99 {extras['pre_p99_ns']}ns pre / "
+                 f"{extras['post_p99_ns']}ns post event")
+
+    history = verifier.atomic_histories.get(("mn0", _SYNC_PID, word_va), [])
+    lin = check_history(history, AtomicWordModel)
+    verifier.sweep()
+    name = "rack-ycsb" + (f"[{scenario}]" if scenario else "")
+    return VerifyRunResult(name=name, lin=lin, history_len=len(history),
+                           violations=list(verifier.violations),
+                           report=verifier.report(),
+                           tracer=cluster.tracer, notes=notes,
+                           extras=extras)
 
 
 def run_verified_chaos(scenario: str = "board-crash",

@@ -311,3 +311,204 @@ def test_controller_without_health_uses_true_board_state():
 
     run_app(cluster, app())
     assert result["lease"].region_id == result["region_id"]
+
+
+# -- free/migration/drain interleavings ---------------------------------------------
+
+
+def test_double_free_racing_first_free_raises_key_error():
+    """Two frees of the same region, the second issued while the first
+    is still in its think time: the first claims the region, the second
+    must fail typed with KeyError — not free twice, not hang."""
+    cluster, controller, space = make_platform()
+    env = cluster.env
+    result = {}
+
+    def app():
+        yield from space.alloc(8 * MB)
+        region_id = space._mappings[0].region_id
+
+        def racer():
+            try:
+                yield from controller.free(region_id)
+                return "freed"
+            except KeyError:
+                return "key_error"
+
+        first = env.process(racer())
+        second = env.process(racer())
+        yield env.all_of([first, second])
+        result["outcomes"] = sorted([first.value, second.value])
+
+    run_app(cluster, app())
+    assert result["outcomes"] == ["freed", "key_error"]
+
+
+def test_free_waits_out_drain_migration_and_lands_on_new_board():
+    """free() issued mid-drain: the region is in flight to another
+    board; the free must wait for the copy and release the *new* home
+    (the drain then completes with nothing left to move)."""
+    from repro.cluster import ClioCluster
+    from repro.rack import RackConfig
+
+    config = RackConfig(boards=3, tors=2)
+    cluster = ClioCluster(num_cns=1, mn_capacity=64 * MB, rack=config)
+    controller = cluster.rack.controller
+    membership = cluster.rack.membership
+    env = cluster.env
+    result = {}
+
+    def app():
+        leases = []
+        for _ in range(6):
+            leases.append((yield from controller.allocate(777, PAGE)))
+        victim = next(b for b in ("mn0", "mn1", "mn2")
+                      if controller.regions_on(b))
+        doomed = next(l for l in leases if l.mn == victim)
+        drain = env.process(membership.drain_board(victim))
+        while doomed.region_id not in controller._migrating:
+            yield env.timeout(500)
+        free = env.process(controller.free(doomed.region_id))
+        yield drain
+        yield free
+        result["victim"] = victim
+        result["region_id"] = doomed.region_id
+
+    cluster.run(until=env.process(app()))
+    assert result["victim"] not in controller._boards
+    with pytest.raises(KeyError):
+        controller.lookup(result["region_id"])
+
+
+# -- the migration write fence -------------------------------------------------------
+
+
+def test_write_fence_blocks_writes_allows_reads_until_unfenced():
+    from repro.clib.client import RemoteAccessError
+
+    cluster, controller, space = make_platform()
+    result = {}
+
+    def app():
+        dva = yield from space.alloc(8 * MB)
+        yield from space.write(dva + 10, b"pre-fence")
+        lease = controller.lookup(space._mappings[0].region_id)
+        board = cluster.board(lease.mn)
+        fenced = controller._fence_writes(board, lease)
+        assert fenced   # at least one writable PTE got flipped
+        with pytest.raises(RemoteAccessError):
+            yield from space.write(dva + 10, b"blocked")
+        # Reads pass through the fence.
+        result["read"] = yield from space.read(dva + 10, 9)
+        controller._unfence_writes(board, fenced)
+        yield from space.write(dva + 10, b"post-slot")
+        result["after"] = yield from space.read(dva + 10, 9)
+
+    run_app(cluster, app())
+    assert result["read"] == b"pre-fence"
+    assert result["after"] == b"post-slot"
+
+
+def test_migration_fences_concurrent_writes_and_loses_no_data():
+    """A writer hammering a region during its live migration: every
+    write either lands (pre-fence, and is copied) or fails typed
+    (fenced); the post-migration state equals the last acked write."""
+    from repro.clib.client import RemoteAccessError
+
+    cluster, controller, space = make_platform(num_mns=2,
+                                               mn_capacity=64 * MB,
+                                               threshold=0.5)
+    env = cluster.env
+    result = {"acked": 0, "fenced": 0}
+
+    def app():
+        dva = yield from space.alloc(20 * MB)
+        source = space.placement()[dva]
+        target = next(b.name for b in cluster.mns if b.name != source)
+        lease = controller.lookup(space._mappings[0].region_id)
+        migration = env.process(controller._migrate(lease, target))
+        last_acked = None
+        serial = 0
+        while migration.is_alive:
+            payload = serial.to_bytes(8, "little")
+            try:
+                yield from space.write(dva + 100, payload)
+                result["acked"] += 1
+                last_acked = payload
+            except RemoteAccessError:
+                result["fenced"] += 1
+            serial += 1
+            yield env.timeout(1_000)
+        yield migration
+        assert migration.value is True
+        result["final"] = yield from space.read(dva + 100, 8)
+        result["expected"] = last_acked
+        result["new_mn"] = controller.lookup(lease.region_id).mn
+        result["target"] = target
+
+    run_app(cluster, app())
+    assert result["new_mn"] == result["target"]
+    assert result["acked"] > 0
+    assert result["fenced"] > 0          # the fence window really closed
+    assert result["final"] == result["expected"]
+
+
+# -- incremental pick ordering -------------------------------------------------------
+
+
+def _linear_scan_pick(controller, size, exclude=None,
+                      below_threshold=False):
+    """The former O(n log n) reference: stable sort by (util, index)."""
+    ordered = sorted(
+        controller._boards.values(),
+        key=lambda s: (controller._utilization(s.board.name), s.index))
+    for state in ordered:
+        name = state.board.name
+        if name == exclude or name in controller.draining:
+            continue
+        if not controller._alive(name):
+            continue
+        if (below_threshold and controller._utilization(name)
+                >= controller.pressure_threshold):
+            continue
+        if controller._fits(name, size):
+            return name
+    return None
+
+
+def test_heap_pick_matches_linear_scan_under_churn():
+    """The lazy heap must pick exactly what the old full sort picked,
+    through allocations, frees, external (behind-the-back) allocations,
+    draining marks, and board churn."""
+    cluster = ClioCluster(num_cns=1, num_mns=4, mn_capacity=64 * MB)
+    controller = GlobalController(cluster.env, cluster.mns)
+    env = cluster.env
+
+    def app():
+        regions = []
+        for step in range(14):
+            size = (4 + (step % 3) * 8) * MB
+            expected = _linear_scan_pick(controller, size)
+            lease = yield from controller.allocate(777, size)
+            assert lease.mn == expected, (step, lease.mn, expected)
+            regions.append(lease.region_id)
+            if step == 5:
+                # External ballast the heap cannot have observed.
+                yield from cluster.board("mn2").slow_path.handle_alloc(
+                    pid=55, size=16 * MB)
+            if step == 9:
+                controller.draining.add("mn0")
+            if step == 11:
+                controller.draining.discard("mn0")
+                yield from controller.free(regions.pop(0))
+            if step == 12:
+                yield from controller.free(regions.pop(0))
+        # Exclusion and threshold variants agree too.
+        for size in (4 * MB, 12 * MB):
+            assert (controller._pick_board(size, exclude="mn1")
+                    == _linear_scan_pick(controller, size, exclude="mn1"))
+            assert (controller._pick_board(size, below_threshold=True)
+                    == _linear_scan_pick(controller, size,
+                                         below_threshold=True))
+
+    cluster.run(until=env.process(app()))

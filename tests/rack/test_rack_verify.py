@@ -1,0 +1,83 @@
+"""End-to-end rack acceptance: zipfian YCSB under membership chaos.
+
+Every run rides the full checking stack — shadow oracle on the data
+path, linearizability on the shared sync word — so a pass here means
+no lost updates, no stale reads, and a linearizable atomic history
+across live migration, drains, crashes mid-migration, and lease-expiry
+evictions.
+"""
+
+import os
+
+import pytest
+
+from repro.faults.scenarios import run_rack_chaos
+from repro.verify import RACK_SCENARIOS, run_rack_ycsb
+
+
+def test_rack_ycsb_clean_run_is_oracle_clean_and_linearizable():
+    result = run_rack_ycsb(seed=2, clients=24, ops_per_client=4)
+    assert result.ok, result.problems()
+    assert result.extras["ops_ok"] == result.extras["ops_attempted"] == 96
+    assert result.lin is not None and result.lin.ok
+    assert result.history_len > 0
+
+
+@pytest.mark.parametrize("scenario", RACK_SCENARIOS)
+def test_rack_ycsb_survives_membership_chaos(scenario):
+    result = run_rack_ycsb(seed=5, clients=24, ops_per_client=4,
+                           scenario=scenario)
+    assert result.ok, (scenario, result.problems())
+    extras = result.extras
+    if scenario in ("drain", "add", "crash-mid-migration"):
+        # These scenarios move data; the copies must actually happen.
+        assert extras["migrations"] + extras["aborted_migrations"] >= 1
+    if scenario == "evict":
+        assert extras["evictions"] >= 1
+    if scenario == "crash-mid-migration":
+        assert extras["aborted_migrations"] >= 1
+    assert extras["epoch"] >= 1
+
+
+@pytest.mark.parametrize("scenario", [None, "drain", "crash-mid-migration"])
+def test_rack_ycsb_bit_identical_flat_vs_partitioned(scenario):
+    flat = run_rack_ycsb(seed=11, clients=24, ops_per_client=4,
+                         scenario=scenario)
+    pdes = run_rack_ycsb(seed=11, clients=24, ops_per_client=4,
+                         scenario=scenario, partitioned=True)
+    assert flat.ok and pdes.ok
+    assert flat.extras["fingerprint"] == pdes.extras["fingerprint"]
+    assert flat.extras["placement"] == pdes.extras["placement"]
+
+
+def test_rack_tail_recovers_after_drain():
+    result = run_rack_ycsb(seed=0, boards=8, clients=128, ops_per_client=4,
+                           scenario="drain")
+    assert result.ok, result.problems()
+    extras = result.extras
+    assert extras["pre_p99_ns"] > 0 and extras["post_p99_ns"] > 0
+    assert extras["post_p99_ns"] <= 1.5 * extras["pre_p99_ns"]
+
+
+def test_rack_chaos_delegate_validates_scenarios():
+    with pytest.raises(ValueError):
+        run_rack_chaos(scenario="board-crash")
+    result = run_rack_chaos(scenario="drain", seed=3, clients=16,
+                            ops_per_client=4)
+    assert result.ok
+
+
+@pytest.mark.skipif(not os.environ.get("REPRO_RACK_64"),
+                    reason="64-board acceptance run; set REPRO_RACK_64=1")
+def test_rack_64_boards_1024_clients_acceptance():
+    """The full-scale bar: 64 boards, 4 ToRs, 1024 zipfian clients, a
+    drain mid-traffic, oracle-clean, linearizable, identical on both
+    engines."""
+    flat = run_rack_ycsb(seed=0, boards=64, tors=4, num_cns=8,
+                         clients=1024, ops_per_client=2, scenario="drain")
+    assert flat.ok, flat.problems()
+    pdes = run_rack_ycsb(seed=0, boards=64, tors=4, num_cns=8,
+                         clients=1024, ops_per_client=2, scenario="drain",
+                         partitioned=True)
+    assert pdes.ok, pdes.problems()
+    assert flat.extras["fingerprint"] == pdes.extras["fingerprint"]
