@@ -191,3 +191,54 @@ def validate_cache_section(data: dict) -> list[str]:
         problems.append("no cache cell clears the acceptance bar "
                         "(speedup >= 2.0 at hit_rate >= 0.9)")
     return problems
+
+
+def validate_alloc_section(data: dict) -> list[str]:
+    """Schema-check the ``alloc`` section of a BENCH_perf.json payload.
+
+    Every churn cell carries the scenario/strategy coordinates, op
+    counts, simulated allocation-latency percentiles, retry counts, a
+    slow-crossing count, and a fragmentation ratio in [0, 1].  The
+    acceptance bars: for some scenario the arena cell's slow-path
+    crossings must be at most half the freelist cell's, some buddy cell
+    must report an external-fragmentation ratio, and the default
+    freelist cell must pin a determinism fingerprint.
+    """
+    problems: list[str] = []
+    alloc = data.get("alloc")
+    if not alloc:
+        return ["no 'alloc' section"]
+    churn = {name: cell for name, cell in alloc.items()
+             if isinstance(cell, dict) and "strategy" in cell}
+    for name, cell in churn.items():
+        for key in ("ops", "alloc_p50_us", "alloc_p99_us"):
+            if not isinstance(cell.get(key), (int, float)) or cell[key] <= 0:
+                problems.append(f"{name}: bad {key!r}: {cell.get(key)!r}")
+        for key in ("retries", "slow_crossings", "failed"):
+            if not isinstance(cell.get(key), int) or cell[key] < 0:
+                problems.append(f"{name}: bad {key!r}: {cell.get(key)!r}")
+        frag = cell.get("fragmentation")
+        if not isinstance(frag, (int, float)) or not 0 <= frag <= 1:
+            problems.append(f"{name}: bad 'fragmentation': {frag!r}")
+    by_pair = {(cell.get("scenario"), cell.get("strategy")): cell
+               for cell in churn.values()}
+    arena_win = any(
+        (scenario, "arena") in by_pair
+        and by_pair[(scenario, "arena")]["slow_crossings"] * 2
+        <= cell["slow_crossings"]
+        for (scenario, strategy), cell in by_pair.items()
+        if strategy == "freelist")
+    if not arena_win:
+        problems.append("no scenario shows arena slow-path crossings at "
+                        "<= half the freelist's (acceptance bar: 2x cut)")
+    if not any(cell.get("strategy") == "buddy"
+               and isinstance(cell.get("fragmentation"), (int, float))
+               for cell in churn.values()):
+        problems.append("no buddy cell reports an external-fragmentation "
+                        "ratio")
+    if not any(cell.get("strategy") == "freelist"
+               and isinstance(cell.get("fingerprint"), str)
+               and len(cell["fingerprint"]) >= 16
+               for cell in churn.values()):
+        problems.append("no freelist cell pins a determinism fingerprint")
+    return problems

@@ -1,0 +1,209 @@
+"""VA gap-search policies behind :class:`VAAllocator` (paper section 4.2).
+
+A policy is a candidate generator: given a process's vma tree and the
+request size, it yields page-aligned candidate VAs in order.  The
+allocator probes each candidate against the hash page table's
+overflow-free constraint and, on failure, *sends* the first conflicting
+VPN back into the generator so retry-aware policies can steer.
+
+* ``first-fit`` — the paper's linear walk from ``VA_BASE`` (default;
+  produces the exact candidate sequence of the original allocator).
+* ``next-fit`` — first-fit from a per-process roving cursor, wrapping
+  once; spreads allocations across the VA space, which spreads VPNs
+  across hash buckets.
+* ``best-fit`` — smallest gap that fits, ties to the lowest address;
+  minimizes VA-space fragmentation under mixed sizes.
+* ``jump`` — first-fit plus two retry-storm mitigations: on a conflict
+  it jumps past the conflicting VPN (not one page), and it memoizes
+  buckets seen full, skipping candidates that land in them without
+  paying a probe (the memo invalidates whenever occupancy drops).
+
+Policies are pure bookkeeping (no events, no RNG): switching only the
+policy leaves everything else in a run bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.page_table import HashPageTable
+    from repro.core.va_allocator import _ProcessSpace
+
+
+class VAPolicy:
+    """Candidate-VA generator for one :class:`VAAllocator`."""
+
+    name = "abstract"
+
+    def candidates(self, space: "_ProcessSpace", pid: int, alloc_size: int,
+                   page_size: int, va_base: int, va_limit: int,
+                   table: "HashPageTable") -> Generator[int, Optional[int], None]:
+        """Yield candidate VAs; ``send(conflict_vpn)`` reports a failure.
+
+        ``conflict_vpn`` is the first VPN of the candidate range whose
+        insertion would overflow (or that is already mapped), or ``None``
+        when the caller advances without that information.
+        """
+        raise NotImplementedError
+
+    def committed(self, pid: int, va: int, alloc_size: int) -> None:
+        """Hook: the allocator committed ``[va, va+alloc_size)``."""
+
+    def freed(self, pid: int, va: int, alloc_size: int) -> None:
+        """Hook: the allocator released ``[va, va+alloc_size)``."""
+
+
+class FirstFitPolicy(VAPolicy):
+    """Linear walk from ``va_base`` — the paper's original search."""
+
+    name = "first-fit"
+
+    def candidates(self, space, pid, alloc_size, page_size, va_base, va_limit,
+                   table):
+        va = space.next_gap(va_base, alloc_size)
+        while va + alloc_size <= va_limit:
+            yield va
+            # "it does another search for available VAs": advance one page
+            # past the failed candidate and find the next free gap.
+            va = space.next_gap(va + page_size, alloc_size)
+
+
+class NextFitPolicy(VAPolicy):
+    """First-fit from a roving per-process cursor, wrapping once."""
+
+    name = "next-fit"
+
+    def __init__(self) -> None:
+        self._cursor: dict[int, int] = {}
+
+    def candidates(self, space, pid, alloc_size, page_size, va_base, va_limit,
+                   table):
+        start = max(self._cursor.get(pid, va_base), va_base)
+        va = space.next_gap(start, alloc_size)
+        while va + alloc_size <= va_limit:
+            yield va
+            va = space.next_gap(va + page_size, alloc_size)
+        if start > va_base:  # wrap and scan the skipped prefix
+            va = space.next_gap(va_base, alloc_size)
+            while va < start and va + alloc_size <= va_limit:
+                yield va
+                va = space.next_gap(va + page_size, alloc_size)
+
+    def committed(self, pid: int, va: int, alloc_size: int) -> None:
+        self._cursor[pid] = va + alloc_size
+
+
+class BestFitPolicy(VAPolicy):
+    """Smallest gap that fits, ties to the lowest address.
+
+    Gaps are snapshotted from the vma tree at call time (the tree only
+    changes on commit, which ends the search), then each gap is walked
+    page by page so hash-overflow retries can still make progress inside
+    the chosen gap before falling over to the next-smallest one.
+    """
+
+    name = "best-fit"
+
+    def candidates(self, space, pid, alloc_size, page_size, va_base, va_limit,
+                   table):
+        gaps: list[tuple[int, int]] = []  # (length, start)
+        prev_end = va_base
+        for allocation in space.allocations:
+            if allocation.va > prev_end:
+                gaps.append((allocation.va - prev_end, prev_end))
+            prev_end = max(prev_end, allocation.end)
+        if va_limit > prev_end:
+            gaps.append((va_limit - prev_end, prev_end))
+        gaps.sort()
+        for length, start in gaps:
+            if length < alloc_size:
+                continue
+            va = start
+            while va + alloc_size <= start + length and va + alloc_size <= va_limit:
+                yield va
+                va += page_size
+
+
+class JumpPolicy(VAPolicy):
+    """Retry-aware first-fit: jump past conflicts, skip known-full buckets.
+
+    Every failed probe costs the ARM a full page-table pass (the
+    ``arm_retry_ns`` the Fig. 13 storms are made of).  This policy keeps
+    a memo of bucket indices it has seen at capacity; candidate ranges
+    touching a still-full memoized bucket are skipped *without* a probe
+    (consulting the memo is ARM-local and effectively free).  On a real
+    conflict it advances past the conflicting VPN instead of one page.
+    The memo drops entries eagerly when a probe shows the bucket has
+    drained, and clears wholesale on any free (occupancy only falls on
+    frees, so that is the only moment a full bucket can open up).
+    """
+
+    name = "jump"
+
+    def __init__(self) -> None:
+        self._full_buckets: set[int] = set()
+
+    def freed(self, pid: int, va: int, alloc_size: int) -> None:
+        self._full_buckets.clear()
+
+    def _memo_blocked(self, pid: int, first_vpn: int, pages: int,
+                      table) -> Optional[int]:
+        """First VPN of the range landing in a still-full memoized bucket."""
+        if not self._full_buckets:
+            return None
+        for vpn in range(first_vpn, first_vpn + pages):
+            bucket = table.bucket_of(pid, vpn)
+            if bucket in self._full_buckets:
+                if table.bucket_occupancy(bucket) >= table.slots_per_bucket:
+                    return vpn
+                self._full_buckets.discard(bucket)  # stale memo entry
+        return None
+
+    def candidates(self, space, pid, alloc_size, page_size, va_base, va_limit,
+                   table):
+        pages = alloc_size // page_size
+        # Probe-free skipping must stay bounded: the VA space is far
+        # larger than the bucket array, so once every bucket is full
+        # each candidate is memo-blocked and the scan would walk clear
+        # to va_limit without ever spending the caller's retry budget.
+        # After num_buckets consecutive skips every bucket has been
+        # consulted — stop skipping and let real probes terminate.
+        skips = 0
+        va = space.next_gap(va_base, alloc_size)
+        while va + alloc_size <= va_limit:
+            first_vpn = va // page_size
+            blocked_vpn = (self._memo_blocked(pid, first_vpn, pages, table)
+                           if skips < table.num_buckets else None)
+            if blocked_vpn is not None:
+                # Known-full bucket: skip without burning a probe.
+                skips += 1
+                va = space.next_gap((blocked_vpn + 1) * page_size, alloc_size)
+                continue
+            conflict_vpn = yield va
+            skips = 0
+            if conflict_vpn is not None:
+                bucket = table.bucket_of(pid, conflict_vpn)
+                if table.bucket_occupancy(bucket) >= table.slots_per_bucket:
+                    self._full_buckets.add(bucket)
+                va = space.next_gap((conflict_vpn + 1) * page_size, alloc_size)
+            else:
+                va = space.next_gap(va + page_size, alloc_size)
+
+
+VA_POLICIES = {
+    "first-fit": FirstFitPolicy,
+    "next-fit": NextFitPolicy,
+    "best-fit": BestFitPolicy,
+    "jump": JumpPolicy,
+}
+
+
+def make_va_policy(name: str) -> VAPolicy:
+    try:
+        cls = VA_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown VA policy {name!r}; choose from {sorted(VA_POLICIES)}"
+        ) from None
+    return cls()

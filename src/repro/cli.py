@@ -215,6 +215,8 @@ def cmd_compare(args) -> int:
 
 
 def cmd_alloc(args) -> int:
+    if args.churn:
+        return _cmd_alloc_churn(args)
     from repro.baselines.rdma import RDMAMemoryNode
     from repro.sim import Environment
 
@@ -249,6 +251,59 @@ def cmd_alloc(args) -> int:
         ["Clio VA us", "retries", "Clio PA us", "RDMA MR reg us"],
         [[timings["va_us"], timings["retries"], timings["pa_us"],
           timings["mr_us"]]]))
+    return 0
+
+
+def _cmd_alloc_churn(args) -> int:
+    """Fragmentation/churn scenario across allocation strategies."""
+    from repro.workloads.churn import CHURN_SCENARIOS, run_churn
+
+    scenario = args.churn
+    if scenario not in CHURN_SCENARIOS:
+        raise SystemExit(f"unknown churn scenario {scenario!r}; choose from "
+                         f"{sorted(CHURN_SCENARIOS)}")
+    strategies = ([args.strategy] if args.strategy
+                  else ["freelist", "slab", "buddy", "arena"])
+    policies = [args.va_policy] if args.va_policy else ["first-fit"]
+    rows = []
+    failures = 0
+    fingerprints = {}
+    for strategy in strategies:
+        for policy in policies:
+            report = run_churn(scenario, pa_strategy=strategy,
+                               va_policy=policy, seed=args.seed,
+                               ops=args.ops, partitioned=args.pdes)
+            summary = report.summary()
+            failures += len(report.violations)
+            fingerprints[(strategy, policy)] = report.fingerprint()
+            rows.append([
+                strategy, policy, summary["ops"], summary["failed"],
+                round(summary["alloc_p50_us"], 1),
+                round(summary["alloc_p99_us"], 1),
+                summary["retries"], summary["retry_max"],
+                summary["slow_crossings"], summary["fragmentation"],
+                len(report.violations), summary["fingerprint"][:12],
+            ])
+    print(render_table(
+        f"churn scenario '{scenario}' (seed {args.seed}"
+        + (", pdes" if args.pdes else "") + ")",
+        ["strategy", "va policy", "ops", "failed", "p50 us", "p99 us",
+         "retries", "retry max", "crossings", "frag", "violations",
+         "fingerprint"], rows))
+    if args.check_determinism:
+        for (strategy, policy), fingerprint in fingerprints.items():
+            rerun = run_churn(scenario, pa_strategy=strategy,
+                              va_policy=policy, seed=args.seed,
+                              ops=args.ops, partitioned=not args.pdes)
+            tag = f"{strategy}/{policy}"
+            if rerun.fingerprint() != fingerprint:
+                print(f"DETERMINISM VIOLATION: {tag} diverges across engines")
+                failures += 1
+            else:
+                print(f"determinism ok: {tag} matches on the other engine")
+    if failures:
+        print(f"{failures} problem(s) detected")
+        return 1
     return 0
 
 
@@ -418,6 +473,17 @@ def cmd_verify(args) -> int:
                               policy="back", migrate=True,
                               partitioned=args.pdes))
 
+    if getattr(args, "alloc", False):
+        # The allocator acceptance rows: the mixed-size churn scenario
+        # through every PA strategy with the oracle and per-metadata-op
+        # invariant sweeps (PA conservation, double-map, strategy audit).
+        from repro.verify import ALLOC_STRATEGIES, run_alloc_churn
+        for strategy in ALLOC_STRATEGIES:
+            audit(run_alloc_churn(scenario="small-large-mix",
+                                  pa_strategy=strategy,
+                                  seed=args.seed, ops=args.ops * 2,
+                                  partitioned=args.pdes))
+
     if getattr(args, "rack", False):
         # The rack acceptance rows: a graceful drain and a crash landing
         # mid-migration, both under the zipfian YCSB with the oracle and
@@ -585,8 +651,27 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--ops", type=int, default=400)
     compare.set_defaults(func=cmd_compare)
 
-    alloc = sub.add_parser("alloc", help="allocation cost comparison")
+    alloc = sub.add_parser(
+        "alloc", help="allocation cost comparison, or --churn for the "
+                      "strategy/fragmentation scenario suite")
     alloc.add_argument("--size", default="64MB")
+    alloc.add_argument("--churn", default=None,
+                       help="run a churn scenario across PA strategies: "
+                            "small-churn, small-large-mix, "
+                            "ephemeral-longlived, or retry-storm")
+    alloc.add_argument("--strategy", default=None,
+                       help="restrict --churn to one PA strategy "
+                            "(freelist, slab, buddy, arena)")
+    alloc.add_argument("--va-policy", default=None,
+                       help="VA search policy for --churn (first-fit, "
+                            "next-fit, best-fit, jump)")
+    alloc.add_argument("--ops", type=int, default=None,
+                       help="override the scenario's allocation count")
+    alloc.add_argument("--pdes", action="store_true",
+                       help="run --churn on the partitioned engine")
+    alloc.add_argument("--check-determinism", action="store_true",
+                       help="rerun each --churn row on the other engine "
+                            "and compare fingerprints bit-for-bit")
     alloc.set_defaults(func=cmd_alloc)
 
     ycsb = sub.add_parser("ycsb", help="Clio-KV under YCSB")
@@ -631,6 +716,10 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--cache", action="store_true",
                         help="add the cached-YCSB passes: write-through, "
                              "write-back + crash, write-back + migration")
+    verify.add_argument("--alloc", action="store_true",
+                        help="add the allocator passes: the mixed-size "
+                             "churn scenario through every PA strategy "
+                             "under the oracle + invariant sweeps")
     verify.add_argument("--rack", action="store_true",
                         help="add the rack passes: zipfian YCSB over the "
                              "sharded tier with a drain and a "

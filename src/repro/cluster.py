@@ -39,10 +39,19 @@ class ClioCluster:
                  mn_capacity: Optional[int] = None,
                  page_size: Optional[int] = None,
                  partitioned: bool = False,
-                 rack=None):
+                 rack=None,
+                 alloc=None):
         if num_cns < 1 or num_mns < 1:
             raise ValueError("need at least one CN and one MN")
         self.params = params or ClioParams.prototype()
+        if alloc is not None:
+            # Strategy shorthand: a PA-strategy name or a full AllocParams.
+            from dataclasses import replace as _replace
+
+            from repro.params import AllocParams
+            if isinstance(alloc, str):
+                alloc = AllocParams(pa_strategy=alloc)
+            self.params = _replace(self.params, alloc=alloc)
         self.partitioned = partitioned
         rack_config = None
         if rack is not None:

@@ -28,7 +28,7 @@ from repro.core.addr import AccessType, PageSpec
 from repro.core.extend import ExtendPath
 from repro.core.mat import MatchActionTable, Path
 from repro.core.memory import DRAM
-from repro.core.pa_allocator import AsyncBuffer, PAAllocator
+from repro.core.pa_allocator import ArenaBufferBank, AsyncBuffer, PAAllocator
 from repro.core.page_table import HashPageTable
 from repro.core.pipeline import Breakdown, FastPath, Status
 from repro.core.retry_buffer import RetryBuffer
@@ -90,15 +90,29 @@ class CBoard:
             overprovision=cb.page_table_overprovision,
             page_spec=self.page_spec)
         self.tlb = TLB(cb.tlb_entries)
-        self.pa_allocator = PAAllocator(physical_pages)
+        alloc = params.alloc
+        self.pa_allocator = PAAllocator(physical_pages,
+                                        strategy=alloc.pa_strategy,
+                                        alloc_params=alloc)
+        arena_mode = alloc.pa_strategy == "arena"
+        # In arena mode each process gets its own async buffer (created
+        # lazily at first fault); the shared buffer shrinks to depth 1 so
+        # it does not strand hundreds of reserved pages nobody will pop.
+        shared_depth = 1 if arena_mode else min(cb.async_buffer_depth,
+                                                physical_pages)
         self.async_buffer = AsyncBuffer(
-            env, self.pa_allocator, depth=min(cb.async_buffer_depth,
-                                              physical_pages),
+            env, self.pa_allocator, depth=shared_depth,
             refill_ns=cb.arm_pa_alloc_ns)
         self.async_buffer.prefill()
-        self.va_allocator = VAAllocator(self.page_table, self.page_spec)
+        self.buffer_bank = ArenaBufferBank(
+            env, self.pa_allocator,
+            depth=min(alloc.arena_buffer_depth, physical_pages),
+            refill_ns=cb.arm_pa_alloc_ns) if arena_mode else None
+        self.va_allocator = VAAllocator(self.page_table, self.page_spec,
+                                        policy=alloc.va_policy)
         self.fast_path = FastPath(env, cb, self.dram, self.page_table,
                                   self.tlb, self.async_buffer, self.page_spec)
+        self.fast_path.buffer_bank = self.buffer_bank
         self.slow_path = SlowPath(env, cb, self.va_allocator,
                                   self.pa_allocator, self.tlb, dram=self.dram)
         self.extend_path = ExtendPath(env, cb, self.fast_path, self.slow_path)
@@ -204,6 +218,26 @@ class CBoard:
         m.counter("slowpath.frees", fn=lambda: self.slow_path.frees)
         m.counter("slowpath.stalled_requests",
                   fn=lambda: self.slow_path.stalled_requests)
+        # Allocation-strategy telemetry (repro.alloc).
+        m.counter("alloc.slow_crossings",
+                  "ARM global-pool touches by the PA strategy",
+                  fn=lambda: self.pa_allocator.slow_crossings)
+        m.gauge("alloc.fragmentation",
+                "strategy-reported external-fragmentation ratio",
+                fn=lambda: self.pa_allocator.fragmentation)
+        m.gauge("alloc.free_pages", fn=lambda: self.pa_allocator.free_pages)
+        m.counter("alloc.va_retries",
+                  "failed VA candidates (hash-overflow retries)",
+                  fn=lambda: self.va_allocator.total_retries)
+        m.gauge("alloc.va_retry_max",
+                "worst retries paid by a single successful alloc",
+                fn=lambda: max(self.va_allocator.retry_histogram, default=0))
+        if self.buffer_bank is not None:
+            m.gauge("alloc.arena_buffers",
+                    "per-process async buffers created",
+                    fn=lambda: self.buffer_bank.created)
+            m.counter("alloc.arena_rebalances",
+                      fn=lambda: self.buffer_bank.rebalances)
         m.gauge("inflight", "requests in the handler chain",
                 fn=lambda: self._inflight)
 

@@ -7,54 +7,162 @@ page-fault handler pops a pre-reserved page in bounded time.  The refill
 throughput exceeds line-rate fault arrival, so the buffer only underruns
 when physical memory is exhausted (oversubscription pressure), which the
 model surfaces explicitly.
+
+The free-page bookkeeping itself is pluggable (:mod:`repro.alloc`): the
+default FIFO free-list is bit-identical to the paper's allocator, while
+slab / buddy / per-process-arena strategies trade fragmentation against
+ARM slow-path crossings.  In arena mode each process additionally gets
+its own async buffer (:class:`ArenaBufferBank`), so fault-path pops stop
+contending on one shared queue.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Optional
+from typing import Optional, Union
 
+from repro.alloc.pa_strategies import (
+    DoubleFreeError,
+    OutOfMemoryError,
+    PAStrategy,
+    make_pa_strategy,
+)
 from repro.sim import Environment, Store
 
-
-class OutOfMemoryError(Exception):
-    """The MN has no free physical pages left."""
+__all__ = [
+    "ArenaBufferBank",
+    "AsyncBuffer",
+    "DoubleFreeError",
+    "OutOfMemoryError",
+    "PAAllocator",
+]
 
 
 class PAAllocator:
-    """Free-list of physical page numbers with utilization accounting."""
+    """Physical-page accounting over a pluggable strategy.
 
-    def __init__(self, physical_pages: int):
+    The default ``"freelist"`` strategy reproduces the original FIFO
+    free-list exactly (same pop/recycle order).  ``strategy`` accepts a
+    name or a ready :class:`~repro.alloc.pa_strategies.PAStrategy`.
+    """
+
+    def __init__(self, physical_pages: int,
+                 strategy: Union[str, PAStrategy] = "freelist",
+                 alloc_params=None):
         if physical_pages <= 0:
             raise ValueError(f"physical_pages must be positive, got {physical_pages}")
         self.physical_pages = physical_pages
-        self._free: deque[int] = deque(range(physical_pages))
-        self._reserved = 0  # pages sitting in the async buffer
+        if isinstance(strategy, PAStrategy):
+            if strategy.physical_pages != physical_pages:
+                raise ValueError("strategy pool size mismatch")
+            self.strategy = strategy
+        elif alloc_params is not None:
+            self.strategy = make_pa_strategy(
+                strategy, physical_pages,
+                slab_pages=alloc_params.slab_pages,
+                slab_classes=alloc_params.slab_classes,
+                arena_batch_pages=alloc_params.arena_batch_pages,
+                arena_stash_max=alloc_params.arena_stash_max)
+        else:
+            self.strategy = make_pa_strategy(strategy, physical_pages)
+        self._reserved = 0  # pages sitting in async buffers
 
     @property
     def free_pages(self) -> int:
-        return len(self._free)
+        return self.strategy.free_pages
 
     @property
     def used_pages(self) -> int:
-        return self.physical_pages - len(self._free) - self._reserved
+        return self.physical_pages - self.free_pages - self._reserved
 
     @property
     def utilization(self) -> float:
         """Fraction of physical pages mapped or reserved."""
-        return 1.0 - len(self._free) / self.physical_pages
+        return 1.0 - self.free_pages / self.physical_pages
 
-    def allocate(self) -> int:
+    @property
+    def slow_crossings(self) -> int:
+        """Global-pool touches on the ARM (arenas exist to amortize these)."""
+        return self.strategy.slow_crossings
+
+    @property
+    def fragmentation(self) -> float:
+        """Strategy-reported external-fragmentation ratio in [0, 1]."""
+        return self.strategy.fragmentation
+
+    def allocate(self, pid: Optional[int] = None) -> int:
         """Take one free page (slow-path operation)."""
-        if not self._free:
-            raise OutOfMemoryError("no free physical pages")
-        return self._free.popleft()
+        return self.strategy.allocate(pid)
 
-    def free(self, ppn: int) -> None:
-        """Return a page to the free list."""
+    def free(self, ppn: int, pid: Optional[int] = None) -> None:
+        """Return a page to the free pool.
+
+        Raises :class:`DoubleFreeError` (a ``ValueError``) if the page is
+        already free — a double free would silently duplicate the page
+        and break conservation.
+        """
         if not 0 <= ppn < self.physical_pages:
             raise ValueError(f"ppn {ppn} out of range")
-        self._free.append(ppn)
+        self.strategy.free(ppn, pid)
+
+    def free_ppns(self):
+        """Iterator over every currently-free PPN (for invariant sweeps)."""
+        return self.strategy.free_ppns()
+
+    def is_free(self, ppn: int) -> bool:
+        return self.strategy.is_free(ppn)
+
+    def check(self):
+        """Strategy-internal consistency audit; ``[]`` when healthy."""
+        return self.strategy.check()
+
+    def stats(self) -> dict:
+        out = self.strategy.stats()
+        out["reserved"] = self._reserved
+        out["used_pages"] = self.used_pages
+        return out
+
+    @property
+    def _free(self) -> "_FreeListView":
+        """Back-compat view of the freelist strategy's deque.
+
+        Mutations go through the view so the strategy's double-free
+        shadow set stays consistent.  Only meaningful for the default
+        strategy; other strategies have no single free list.
+        """
+        strategy = self.strategy
+        if not hasattr(strategy, "_free"):
+            raise AttributeError(
+                f"strategy {strategy.name!r} has no flat free list")
+        return _FreeListView(strategy)
+
+
+class _FreeListView:
+    """Deque-like window onto :class:`FreeListStrategy` internals."""
+
+    def __init__(self, strategy: PAStrategy):
+        self._strategy = strategy
+
+    def __len__(self) -> int:
+        return len(self._strategy._free)
+
+    def __iter__(self):
+        return iter(self._strategy._free)
+
+    def __contains__(self, ppn: int) -> bool:
+        return ppn in self._strategy._free_set
+
+    def append(self, ppn: int) -> None:
+        self._strategy._free.append(ppn)
+        self._strategy._free_set.add(ppn)
+
+    def remove(self, ppn: int) -> None:
+        self._strategy._free.remove(ppn)
+        self._strategy._free_set.discard(ppn)
+
+    def popleft(self) -> int:
+        ppn = self._strategy._free.popleft()
+        self._strategy._free_set.discard(ppn)
+        return ppn
 
 
 class AsyncBuffer:
@@ -63,10 +171,14 @@ class AsyncBuffer:
     The fast path's fault handler calls :meth:`pop`; the refill process
     (:meth:`refill_process`) runs forever on the simulation environment,
     paying the slow-path allocation cost per page *off* the critical path.
+
+    ``pid`` scopes the buffer to one process arena (``None`` = shared):
+    the allocator's strategy sees it on every allocate/free so arena
+    stashes stay process-local.
     """
 
     def __init__(self, env: Environment, allocator: PAAllocator,
-                 depth: int, refill_ns: int):
+                 depth: int, refill_ns: int, pid: Optional[int] = None):
         if depth <= 0:
             raise ValueError(f"depth must be positive, got {depth}")
         if refill_ns < 0:
@@ -75,6 +187,7 @@ class AsyncBuffer:
         self.allocator = allocator
         self.depth = depth
         self.refill_ns = refill_ns
+        self.pid = pid
         self._store = Store(env, capacity=depth)
         self.underruns = 0
         self._proc = env.process(self.refill_process())
@@ -87,7 +200,7 @@ class AsyncBuffer:
         while (len(self._store.items) < self.depth
                and self.allocator.free_pages > 0):
             self.allocator._reserved += 1
-            self._store.items.append(self.allocator.allocate())
+            self._store.items.append(self.allocator.allocate(self.pid))
         # allocate() decrements _free; fix reserved accounting:
         # pages were moved free -> reserved, so _reserved counted above.
 
@@ -102,7 +215,7 @@ class AsyncBuffer:
             yield self.env.timeout(self.refill_ns)
             if self.allocator.free_pages == 0:
                 continue
-            ppn = self.allocator.allocate()
+            ppn = self.allocator.allocate(self.pid)
             self.allocator._reserved += 1
             yield self._store.put(ppn)
 
@@ -124,4 +237,76 @@ class AsyncBuffer:
 
     def return_unused(self, ppn: int) -> None:
         """Recycle a popped-but-unused page back to the free list."""
-        self.allocator.free(ppn)
+        self.allocator.free(ppn, self.pid)
+
+
+class ArenaBufferBank:
+    """Per-process async free-page buffers (arena strategy only).
+
+    The fault handler asks :meth:`buffer_for` for the faulting process's
+    buffer; buffers are created (and prefetched) lazily on first fault.
+    All buffers share one :class:`PAAllocator`, so the board-level
+    reservation accounting (``_reserved``) and conservation invariant
+    are unchanged.  When one buffer runs dry while siblings still hold
+    reserved pages, :meth:`rebalance_into` migrates a page ARM-locally
+    so pressure in one process cannot strand pages reserved for another.
+    """
+
+    def __init__(self, env: Environment, allocator: PAAllocator,
+                 depth: int, refill_ns: int):
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        self.env = env
+        self.allocator = allocator
+        self.depth = depth
+        self.refill_ns = refill_ns
+        self._buffers: dict[int, AsyncBuffer] = {}
+        self.created = 0
+        self.rebalances = 0
+
+    def __len__(self) -> int:
+        return sum(len(buf) for buf in self._buffers.values())
+
+    @property
+    def underruns(self) -> int:
+        return sum(buf.underruns for buf in self._buffers.values())
+
+    def buffer_for(self, pid: int) -> AsyncBuffer:
+        buf = self._buffers.get(pid)
+        if buf is None:
+            buf = AsyncBuffer(self.env, self.allocator, depth=self.depth,
+                              refill_ns=self.refill_ns, pid=pid)
+            buf.prefill()
+            self._buffers[pid] = buf
+            self.created += 1
+        return buf
+
+    def rebalance_into(self, pid: int) -> bool:
+        """Move one reserved page from the fullest sibling to ``pid``.
+
+        Must run *before* the caller's ``pop()`` so the migrated page is
+        visible to the upcoming get; returns whether a page moved.
+        """
+        target = self.buffer_for(pid)
+        if len(target._store.items) >= target.depth:
+            return False
+        victim = None
+        for buf in self._buffers.values():
+            if buf is target or not buf._store.items:
+                continue
+            if victim is None or len(buf._store.items) > len(victim._store.items):
+                victim = buf
+        if victim is None:
+            return False
+        ppn = victim._store.items.pop()
+        target._store.items.append(ppn)
+        self.rebalances += 1
+        return True
+
+    def stats(self) -> dict:
+        return {
+            "buffers": self.created,
+            "pages_buffered": len(self),
+            "underruns": self.underruns,
+            "rebalances": self.rebalances,
+        }

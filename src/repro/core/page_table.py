@@ -119,6 +119,26 @@ class HashPageTable:
             for idx, count in pending.items()
         )
 
+    def first_conflict(self, pid: int, vpns: Iterable[int]) -> Optional[int]:
+        """First VPN whose insertion would fail, or ``None`` if all fit.
+
+        Accept/reject agrees exactly with :meth:`can_insert` (``None``
+        iff ``can_insert`` is true); retry-aware VA policies use the
+        conflicting VPN to jump their search past it.
+        """
+        pending: dict[int, int] = {}
+        bucket_vpns: dict[int, int] = {}  # bucket -> first vpn landing in it
+        for vpn in vpns:
+            if (pid, vpn) in self._index:
+                return vpn  # already mapped: the range is not free
+            idx = self.bucket_of(pid, vpn)
+            pending[idx] = pending.get(idx, 0) + 1
+            bucket_vpns.setdefault(idx, vpn)
+        for idx, count in pending.items():
+            if self.bucket_occupancy(idx) + count > self.slots_per_bucket:
+                return bucket_vpns[idx]
+        return None
+
     # -- mutation ---------------------------------------------------------------
 
     def insert(self, pid: int, vpn: int, permission: Permission,

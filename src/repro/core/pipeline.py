@@ -84,6 +84,9 @@ class FastPath:
         self.tlb = tlb
         self.async_buffer = async_buffer
         self.page_spec = page_spec
+        # Arena mode routes faults to per-process buffers; None (default)
+        # keeps every fault on the shared async buffer, bit-identically.
+        self.buffer_bank = None
         # Delay constants, precomputed once: the per-request int(round())
         # arithmetic showed up in profiles of the packet-echo hot path.
         self._flit_bytes = params.datapath_bits // 8
@@ -197,11 +200,16 @@ class FastPath:
         try:
             self.faults += 1
             yield self.env.timeout(self._fault_fixed_ns)
-            if (len(self.async_buffer) == 0
-                    and self.async_buffer.allocator.free_pages == 0
-                    and self.async_buffer.allocator._reserved == 0):
-                return Status.OOM, None
-            ppn = yield self.async_buffer.pop()
+            buffer = (self.async_buffer if self.buffer_bank is None
+                      else self.buffer_bank.buffer_for(pid))
+            if len(buffer) == 0 and buffer.allocator.free_pages == 0:
+                if self.buffer_bank is not None:
+                    # Pages may sit reserved in sibling arenas' buffers;
+                    # migrate one ARM-locally instead of blocking forever.
+                    self.buffer_bank.rebalance_into(pid)
+                if len(buffer) == 0 and buffer.allocator._reserved == 0:
+                    return Status.OOM, None
+            ppn = yield buffer.pop()
             self.page_table.set_present(pid, vpn, ppn)
             # Parallel tasks: PT write-back and TLB insert happen off the
             # latency path; only account them.

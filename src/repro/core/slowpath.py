@@ -180,7 +180,7 @@ class SlowPath:
             for ppn in freed_ppns:
                 if self.dram is not None:
                     self.dram.zero(ppn * page_size, page_size)
-                self.pa_allocator.free(ppn)
+                self.pa_allocator.free(ppn, pid=pid)
             self.frees += 1
             yield from self._handoff()
             if self.verifier is not None:

@@ -15,9 +15,11 @@ fast path that never sees a hash overflow — the core of the
 from __future__ import annotations
 
 import bisect
+from collections import Counter
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
+from repro.alloc.va_policies import VAPolicy, make_va_policy
 from repro.core.addr import PageSpec, Permission
 from repro.core.page_table import HashPageTable
 
@@ -100,13 +102,19 @@ class VAAllocator:
     """Per-process VA range allocator with hash-overflow avoidance."""
 
     def __init__(self, page_table: HashPageTable, page_spec: PageSpec,
-                 max_retries: int = 4096):
+                 max_retries: int = 4096,
+                 policy: Union[str, VAPolicy] = "first-fit"):
         self.page_table = page_table
         self.page_spec = page_spec
         self.max_retries = max_retries
+        self.policy = policy if isinstance(policy, VAPolicy) \
+            else make_va_policy(policy)
         self._spaces: dict[int, _ProcessSpace] = {}
         self.total_retries = 0
         self.total_allocations = 0
+        self.failed_allocations = 0
+        #: retries-per-successful-alloc distribution (Fig. 13 material)
+        self.retry_histogram: Counter[int] = Counter()
 
     def _space(self, pid: int) -> _ProcessSpace:
         return self._spaces.setdefault(pid, _ProcessSpace())
@@ -139,20 +147,27 @@ class VAAllocator:
                                     pages, permission, retries)
             retries += 1  # the fixed range failed; fall through to search
 
-        candidate = space.next_gap(VA_BASE, alloc_size)
-        while retries <= self.max_retries:
-            if candidate + alloc_size > VA_LIMIT:
-                break
-            if self._fits(pid, candidate, pages):
-                return self._commit(space, pid, candidate, alloc_size,
-                                    pages, permission, retries)
+        # The search policy yields candidate VAs; each failed probe sends
+        # the first conflicting VPN back so retry-aware policies can steer.
+        gen = self.policy.candidates(
+            space, pid, alloc_size, self.page_spec.page_size,
+            VA_BASE, VA_LIMIT, self.page_table)
+        candidate = next(gen, None)
+        while candidate is not None and retries <= self.max_retries:
+            conflict = self._first_conflict(pid, candidate, pages)
+            if conflict is None:
+                outcome = self._commit(space, pid, candidate, alloc_size,
+                                       pages, permission, retries)
+                self.policy.committed(pid, candidate, alloc_size)
+                return outcome
             retries += 1
-            # "it does another search for available VAs": advance one page
-            # past the failed candidate and find the next free gap.
-            candidate = space.next_gap(
-                candidate + self.page_spec.page_size, alloc_size)
+            try:
+                candidate = gen.send(conflict)
+            except StopIteration:
+                candidate = None
 
         self.total_retries += retries
+        self.failed_allocations += 1
         raise AllocationError(
             f"pid={pid}: no overflow-free VA range for {size} bytes "
             f"after {retries} retries")
@@ -160,6 +175,11 @@ class VAAllocator:
     def _fits(self, pid: int, va: int, pages: int) -> bool:
         first_vpn = self.page_spec.page_number(va)
         return self.page_table.can_insert(
+            pid, range(first_vpn, first_vpn + pages))
+
+    def _first_conflict(self, pid: int, va: int, pages: int) -> Optional[int]:
+        first_vpn = self.page_spec.page_number(va)
+        return self.page_table.first_conflict(
             pid, range(first_vpn, first_vpn + pages))
 
     def _commit(self, space: _ProcessSpace, pid: int, va: int, alloc_size: int,
@@ -172,6 +192,7 @@ class VAAllocator:
         space.insert(allocation)
         self.total_retries += retries
         self.total_allocations += 1
+        self.retry_histogram[retries] += 1
         return AllocationOutcome(allocation=allocation, retries=retries)
 
     # -- free --------------------------------------------------------------------
@@ -187,6 +208,7 @@ class VAAllocator:
             entry = self.page_table.remove(pid, vpn)
             if entry.present:
                 freed_ppns.append(entry.ppn)
+        self.policy.freed(pid, allocation.va, allocation.size)
         return allocation, freed_ppns
 
     # -- queries ------------------------------------------------------------------

@@ -258,6 +258,44 @@ class CacheParams:
                 f"flush_retry_ns must be positive, got {self.flush_retry_ns}")
 
 
+@dataclass(frozen=True)
+class AllocParams:
+    """ARM slow-path allocation strategy selection (repro.alloc).
+
+    The defaults reproduce the paper exactly: a FIFO free-list for
+    physical pages and first-fit VA search, bit-identical to the
+    original allocators.  Alternative strategies are pure-bookkeeping
+    swaps — no extra events, no RNG — so two runs differing only here
+    diverge only where the allocator itself decides differently.
+    """
+
+    pa_strategy: str = "freelist"          # "freelist"|"slab"|"buddy"|"arena"
+    va_policy: str = "first-fit"           # "first-fit"|"next-fit"|"best-fit"|"jump"
+    slab_pages: int = 64                   # contiguous pages per slab
+    slab_classes: int = 4                  # size classes (pids hash onto these)
+    arena_batch_pages: int = 16            # global-pool pages per arena refill
+    arena_stash_max: int = 64              # stash size triggering a lazy spill
+    arena_buffer_depth: int = 32           # per-process async free-page buffer
+
+    def __post_init__(self) -> None:
+        if self.pa_strategy not in ("freelist", "slab", "buddy", "arena"):
+            raise ValueError(
+                f"pa_strategy must be one of freelist/slab/buddy/arena, "
+                f"got {self.pa_strategy!r}")
+        if self.va_policy not in ("first-fit", "next-fit", "best-fit", "jump"):
+            raise ValueError(
+                f"va_policy must be one of first-fit/next-fit/best-fit/jump, "
+                f"got {self.va_policy!r}")
+        for name in ("slab_pages", "slab_classes", "arena_batch_pages",
+                     "arena_buffer_depth"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)}")
+        if self.arena_stash_max < self.arena_batch_pages:
+            raise ValueError(
+                f"arena_stash_max ({self.arena_stash_max}) must be >= "
+                f"arena_batch_pages ({self.arena_batch_pages})")
+
+
 # ---------------------------------------------------------------------------
 # RDMA baseline parameters
 # ---------------------------------------------------------------------------
@@ -377,6 +415,7 @@ class ClioParams:
     network: NetworkParams = field(default_factory=NetworkParams)
     clib: CLibParams = field(default_factory=CLibParams)
     cache: CacheParams = field(default_factory=CacheParams)
+    alloc: AllocParams = field(default_factory=AllocParams)
     rdma: RDMAParams = field(default_factory=RDMAParams)
     legoos: LegoOSParams = field(default_factory=LegoOSParams)
     clover: CloverParams = field(default_factory=CloverParams)

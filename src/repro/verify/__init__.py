@@ -17,9 +17,11 @@ CLI entry point.
 """
 
 from repro.verify.harness import (
+    ALLOC_STRATEGIES,
     RACK_SCENARIOS,
     ClusterVerifier,
     VerifyRunResult,
+    run_alloc_churn,
     run_batched_ycsb,
     run_cached_ycsb,
     run_kv_linearizability,
@@ -52,6 +54,7 @@ from repro.verify.oracle import (
 __all__ = [
     "AtomicWordModel",
     "ClusterVerifier",
+    "ALLOC_STRATEGIES",
     "RACK_SCENARIOS",
     "EpochViolation",
     "HistoryOp",
@@ -67,6 +70,7 @@ __all__ = [
     "check_history",
     "check_transport",
     "quick_check_board",
+    "run_alloc_churn",
     "run_batched_ycsb",
     "run_cached_ycsb",
     "run_kv_linearizability",

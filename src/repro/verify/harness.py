@@ -1064,3 +1064,43 @@ def run_verified_chaos(scenario: str = "board-crash",
     """One chaos scenario with the full verifier attached."""
     from repro.faults.scenarios import run_chaos
     return run_chaos(scenario, seed=seed, verify=True, **kwargs)
+
+
+#: PA strategies the allocator passes iterate over.
+ALLOC_STRATEGIES = ("freelist", "slab", "buddy", "arena")
+
+
+def run_alloc_churn(scenario: str = "small-large-mix",
+                    pa_strategy: str = "freelist",
+                    va_policy: str = "first-fit",
+                    seed: int = 0, ops: Optional[int] = None,
+                    partitioned: bool = False) -> VerifyRunResult:
+    """One fragmentation/churn scenario with the full checking stack on.
+
+    Every alloc/free triggers a complete board invariant sweep (PA
+    conservation, double-map, free-while-mapped, plus the strategy's own
+    ``check()`` audit), the shadow oracle mirrors every byte written, and
+    ``extras["fingerprint"]`` digests the allocation history — the same
+    seed must produce the same digest flat and partitioned, verified or
+    not.
+    """
+    from repro.workloads.churn import run_churn
+
+    report = run_churn(scenario, pa_strategy=pa_strategy,
+                       va_policy=va_policy, seed=seed, ops=ops,
+                       partitioned=partitioned, verify=True)
+    extras = dict(report.summary())
+    extras["sim_now_ns"] = report.now_ns
+    extras["events"] = report.events
+    notes = [
+        f"{report.ops_ok}/{report.ops_attempted} allocs ok, "
+        f"{report.frees} frees, {report.retries_total} VA retries, "
+        f"{report.slow_crossings} slow-path crossings, "
+        f"frag {report.fragmentation:.3f} (peak {report.fragmentation_peak:.3f})",
+    ]
+    name = f"alloc-churn[{report.scenario}/{pa_strategy}/{va_policy}]"
+    return VerifyRunResult(name=name, lin=None,
+                           history_len=report.ops_attempted + report.frees,
+                           violations=list(report.violations),
+                           report=report.verification,
+                           notes=notes, extras=extras)

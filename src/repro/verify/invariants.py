@@ -76,11 +76,15 @@ def check_board(board) -> list[Violation]:
         bad("pa-double-map",
             f"{len(present_ppns) - len(present_set)} PPN(s) mapped by "
             "more than one present PTE")
-    overlap = present_set.intersection(allocator._free)
+    overlap = present_set.intersection(allocator.free_ppns())
     if overlap:
         bad("pa-free-while-mapped",
             f"PPNs both mapped and on the free list: "
             f"{sorted(overlap)[:8]}")
+    # Strategy-internal audit: slab occupancy, buddy coalesce/alignment,
+    # arena stash accounting, freelist duplicate detection.
+    for tag, detail in allocator.check():
+        bad(f"alloc-{tag}", detail)
 
     # TLB ⊆ page table (same PPN, same permission, present).
     for (pid, vpn), (ppn, permission) in board.tlb._entries.items():

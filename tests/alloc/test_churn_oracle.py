@@ -1,0 +1,58 @@
+"""Churn-under-oracle: every strategy survives the full checking stack.
+
+``run_alloc_churn`` runs the mixed-size churn scenario with the shadow
+oracle attached and an invariant sweep after every metadata operation —
+so a strategy that leaks, double-accounts, or hands out a mapped page
+fails here even if the workload completes.  Each strategy must also be
+deterministic: same seed => bit-identical fingerprint, flat engine and
+partitioned PDES engine included.
+"""
+
+import pytest
+
+from repro.verify import ALLOC_STRATEGIES, run_alloc_churn
+
+OPS = 60  # enough to cycle arenas/slabs/buddy splits, small enough for CI
+
+
+@pytest.mark.parametrize("strategy", ALLOC_STRATEGIES)
+def test_churn_verified_clean(strategy):
+    result = run_alloc_churn(scenario="small-large-mix", pa_strategy=strategy,
+                             seed=11, ops=OPS)
+    assert result.ok, result.problems()
+    assert result.extras["ops"] == OPS
+    assert result.extras["failed"] == 0
+    assert result.history_len > OPS  # frees happened too
+
+
+@pytest.mark.parametrize("strategy", ALLOC_STRATEGIES)
+def test_churn_same_seed_bit_identical(strategy):
+    a = run_alloc_churn(scenario="small-churn", pa_strategy=strategy,
+                        seed=3, ops=OPS)
+    b = run_alloc_churn(scenario="small-churn", pa_strategy=strategy,
+                        seed=3, ops=OPS)
+    assert a.ok and b.ok, (a.problems(), b.problems())
+    assert a.extras["fingerprint"] == b.extras["fingerprint"]
+    assert a.extras["sim_now_ns"] == b.extras["sim_now_ns"]
+    c = run_alloc_churn(scenario="small-churn", pa_strategy=strategy,
+                        seed=4, ops=OPS)
+    assert c.extras["fingerprint"] != a.extras["fingerprint"]
+
+
+@pytest.mark.parametrize("strategy", ALLOC_STRATEGIES)
+def test_churn_flat_matches_partitioned(strategy):
+    flat = run_alloc_churn(scenario="small-large-mix", pa_strategy=strategy,
+                           seed=7, ops=OPS, partitioned=False)
+    pdes = run_alloc_churn(scenario="small-large-mix", pa_strategy=strategy,
+                           seed=7, ops=OPS, partitioned=True)
+    assert flat.ok and pdes.ok, (flat.problems(), pdes.problems())
+    assert flat.extras["fingerprint"] == pdes.extras["fingerprint"]
+    assert flat.extras["sim_now_ns"] == pdes.extras["sim_now_ns"]
+
+
+@pytest.mark.parametrize("policy", ["first-fit", "next-fit", "best-fit",
+                                    "jump"])
+def test_retry_storm_verified_clean_per_policy(policy):
+    result = run_alloc_churn(scenario="retry-storm", pa_strategy="freelist",
+                             va_policy=policy, seed=2, ops=30)
+    assert result.ok, result.problems()

@@ -1,0 +1,290 @@
+"""Unit tests for the pluggable PA strategies (repro.alloc).
+
+Each strategy is exercised directly — no cluster, no simulation — so
+these tests pin the bookkeeping contracts the board-level invariant
+sweeps later rely on: conservation, double-free rejection, coalescing,
+occupancy accounting, and crossing amortization.
+"""
+
+import pytest
+
+from repro.alloc import (
+    PA_STRATEGIES,
+    ArenaStrategy,
+    BuddyStrategy,
+    DoubleFreeError,
+    FreeListStrategy,
+    OutOfMemoryError,
+    SlabStrategy,
+    make_pa_strategy,
+)
+
+ALL_NAMES = sorted(PA_STRATEGIES)
+
+
+def drain(strategy, n, pid=None):
+    return [strategy.allocate(pid) for _ in range(n)]
+
+
+# -- contracts common to every strategy ---------------------------------------
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_allocate_unique_in_range_and_conserves(name):
+    s = make_pa_strategy(name, 64)
+    got = drain(s, 64)
+    assert sorted(got) == list(range(64))
+    assert s.free_pages == 0
+    with pytest.raises(OutOfMemoryError):
+        s.allocate()
+    for ppn in got:
+        s.free(ppn)
+    assert s.free_pages == 64
+    assert sorted(s.free_ppns()) == list(range(64))
+    assert s.check() == []
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_double_free_rejected(name):
+    s = make_pa_strategy(name, 32)
+    ppn = s.allocate(pid=1)
+    s.free(ppn, pid=1)
+    with pytest.raises(DoubleFreeError):
+        s.free(ppn, pid=1)
+    # DoubleFreeError is a ValueError, so legacy except-clauses still catch.
+    assert issubclass(DoubleFreeError, ValueError)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_never_free_page_rejected(name):
+    s = make_pa_strategy(name, 16)
+    with pytest.raises(DoubleFreeError):
+        s.free(3)  # never allocated => still free => double free
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_is_free_tracks_state(name):
+    s = make_pa_strategy(name, 16)
+    assert all(s.is_free(p) for p in range(16))
+    ppn = s.allocate(pid=2)
+    assert not s.is_free(ppn)
+    s.free(ppn, pid=2)
+    assert s.is_free(ppn)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_fragmentation_bounded(name):
+    s = make_pa_strategy(name, 100)
+    held = drain(s, 37, pid=5)
+    for ppn in held[::3]:
+        s.free(ppn, pid=5)
+    assert 0.0 <= s.fragmentation <= 1.0
+    stats = s.stats()
+    assert stats["strategy"] == name
+    assert stats["free_pages"] == s.free_pages
+
+
+def test_make_pa_strategy_unknown_name():
+    with pytest.raises(ValueError, match="unknown PA strategy"):
+        make_pa_strategy("bump", 16)
+
+
+# -- free list ----------------------------------------------------------------
+
+
+def test_freelist_fifo_recycling_order():
+    s = FreeListStrategy(8)
+    assert drain(s, 3) == [0, 1, 2]
+    s.free(1)
+    s.free(0)
+    # FIFO: untouched tail first, then freed pages in free order.
+    assert drain(s, 7) == [3, 4, 5, 6, 7, 1, 0]
+
+
+def test_freelist_every_op_is_a_crossing():
+    s = FreeListStrategy(8)
+    for _ in range(4):
+        s.free(s.allocate())
+    assert s.slow_crossings == 8
+
+
+# -- slab ---------------------------------------------------------------------
+
+
+def test_slab_classes_get_disjoint_slabs():
+    s = SlabStrategy(64, slab_pages=16, classes=4)
+    a = drain(s, 4, pid=0)   # class 0
+    b = drain(s, 4, pid=1)   # class 1
+    # Different classes draw from different slabs (disjoint 16-page runs).
+    assert {p // 16 for p in a}.isdisjoint({p // 16 for p in b})
+    occ = s.occupancy()
+    assert occ[0]["used"] == 4 and occ[1]["used"] == 4
+    assert occ[0]["allocs"] == 4 and occ[0]["slabs"] == 1
+
+
+def test_slab_fully_free_slab_returns_to_reserve():
+    s = SlabStrategy(32, slab_pages=8, classes=2)
+    held = drain(s, 3, pid=0)
+    assert s.occupancy()[0]["slabs"] == 1
+    for ppn in held:
+        s.free(ppn, pid=0)
+    # The slab drained: it detaches from class 0 back to the reserve.
+    assert s.occupancy()[0]["slabs"] == 0
+    assert s.fragmentation == 0.0
+    assert s.check() == []
+
+
+def test_slab_borrows_instead_of_false_oom():
+    s = SlabStrategy(8, slab_pages=4, classes=2)
+    drain(s, 4, pid=0)  # class 0 owns slab 0
+    drain(s, 3, pid=1)  # class 1 owns slab 1, one page left
+    # Class 0 has no partial slab and the reserve is empty: borrow.
+    ppn = s.allocate(pid=0)
+    assert ppn in range(4, 8)
+    assert s.borrows == 1
+    with pytest.raises(OutOfMemoryError):
+        s.allocate(pid=0)
+
+
+def test_slab_short_tail_slab_still_usable():
+    # 20 pages with 8-page slabs -> slabs of 8, 8, 4.
+    s = SlabStrategy(20, slab_pages=8, classes=1)
+    got = drain(s, 20, pid=0)
+    assert sorted(got) == list(range(20))
+    for ppn in got:
+        s.free(ppn, pid=0)
+    assert s.free_pages == 20
+    assert s.check() == []
+
+
+def test_slab_fragmentation_counts_stranded_pages():
+    s = SlabStrategy(32, slab_pages=8, classes=2)
+    held = drain(s, 8, pid=0)
+    s.free(held[0], pid=0)
+    # 1 page free inside a class-0 slab, 24 free in reserve slabs.
+    assert s.fragmentation == pytest.approx(1 / 25)
+
+
+# -- buddy --------------------------------------------------------------------
+
+
+def test_buddy_full_coalesce_restores_single_block():
+    s = BuddyStrategy(256)
+    held = drain(s, 256)
+    assert s.largest_free_block == 0
+    for ppn in held:
+        s.free(ppn)
+    assert s.largest_free_block == 256
+    assert s.fragmentation == 0.0
+    assert s.check() == []
+
+
+def test_buddy_split_lowest_first():
+    s = BuddyStrategy(16)
+    assert s.allocate() == 0
+    assert s.allocate() == 1
+    assert s.allocate() == 2
+
+
+def test_buddy_alloc_run_aligned_and_freeable():
+    s = BuddyStrategy(64)
+    base = s.alloc_run(5)  # rounds to 8 pages, self-aligned
+    assert base % 8 == 0
+    assert s.free_pages == 56
+    s.free(base)
+    assert s.free_pages == 64
+    assert s.largest_free_block == 64
+
+
+def test_buddy_fragmentation_reflects_split_pool():
+    s = BuddyStrategy(64)
+    held = drain(s, 64)
+    for ppn in held[::2]:  # free alternating pages: nothing can merge
+        s.free(ppn)
+    assert s.largest_free_block == 1
+    assert s.fragmentation == pytest.approx(1 - 1 / 32)
+
+
+def test_buddy_non_power_of_two_pool():
+    # 100 = 64 + 32 + 4: three self-aligned top blocks.
+    s = BuddyStrategy(100)
+    assert s.free_pages == 100
+    got = drain(s, 100)
+    assert sorted(got) == list(range(100))
+    for ppn in got:
+        s.free(ppn)
+    assert s.free_pages == 100
+    assert s.check() == []
+    assert s.largest_free_block == 64
+
+
+def test_buddy_freeing_non_base_rejected():
+    s = BuddyStrategy(16)
+    base = s.alloc_run(4)
+    with pytest.raises(DoubleFreeError):
+        s.free(base + 1)  # interior page, not the block base
+    s.free(base)
+
+
+# -- arena --------------------------------------------------------------------
+
+
+def test_arena_batches_amortize_crossings():
+    s = ArenaStrategy(256, batch_pages=16, stash_max=64)
+    for _ in range(100):
+        s.free(s.allocate(pid=7), pid=7)
+    # 1 refill crossing serves the whole ping-pong churn.
+    assert s.slow_crossings == 1
+    assert s.batch_refills == 1
+
+    plain = FreeListStrategy(256)
+    for _ in range(100):
+        plain.free(plain.allocate(), None)
+    assert plain.slow_crossings == 200
+    assert s.slow_crossings * 2 <= plain.slow_crossings
+
+
+def test_arena_stash_spills_oldest_half():
+    s = ArenaStrategy(128, batch_pages=4, stash_max=8)
+    held = drain(s, 16, pid=1)
+    for ppn in held:
+        s.free(ppn, pid=1)
+    assert s.spills >= 1
+    # Spilled pages went back to the global pool; conservation holds.
+    assert s.free_pages == 128
+    assert s.base.free_pages + s.stashed_pages == 128
+    assert s.check() == []
+
+
+def test_arena_reclaims_from_sibling_before_oom():
+    s = ArenaStrategy(8, batch_pages=8, stash_max=8)
+    ppn = s.allocate(pid=1)     # pid 1 stashes the whole pool
+    s.free(ppn, pid=1)
+    assert s.base.free_pages == 0
+    got = s.allocate(pid=2)     # global dry: reclaim from pid 1's stash
+    assert s.reclaims == 1
+    assert got in range(8)
+    # True OOM only when global + every stash is empty.
+    drain(s, 7, pid=2)
+    with pytest.raises(OutOfMemoryError):
+        s.allocate(pid=2)
+
+
+def test_arena_conservation_includes_stashes():
+    s = ArenaStrategy(64, batch_pages=8, stash_max=16)
+    held = drain(s, 10, pid=3)
+    assert s.free_pages == 54
+    for ppn in held[:5]:
+        s.free(ppn, pid=3)
+    assert s.free_pages == 59
+    assert sorted(s.free_ppns()) == sorted(
+        set(range(64)) - set(held[5:]))
+
+
+def test_arena_validates_knobs():
+    with pytest.raises(ValueError):
+        ArenaStrategy(16, batch_pages=0)
+    with pytest.raises(ValueError):
+        ArenaStrategy(16, batch_pages=8, stash_max=4)
+    with pytest.raises(ValueError):
+        ArenaStrategy(16, base=FreeListStrategy(8))

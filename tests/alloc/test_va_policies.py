@@ -1,0 +1,194 @@
+"""Unit tests for the VA gap-search policies (repro.alloc.va_policies).
+
+Driven through the real :class:`VAAllocator` so the generator protocol
+(candidate yield / ``send(conflict_vpn)``) is exercised exactly as the
+slow path uses it.
+"""
+
+import pytest
+
+from repro.alloc import VA_POLICIES, make_va_policy
+from repro.core.addr import PageSpec
+from repro.core.page_table import HashPageTable
+from repro.core.va_allocator import VA_BASE, AllocationError, VAAllocator
+
+MB = 1 << 20
+PAGE = 4 * MB
+
+ALL_POLICIES = sorted(VA_POLICIES)
+
+
+def make_allocator(policy="first-fit", pages=256, k=4, over=2.0):
+    table = HashPageTable(physical_pages=pages, slots_per_bucket=k,
+                          overprovision=over)
+    return VAAllocator(table, PageSpec(PAGE), policy=policy), table
+
+
+# -- contracts common to every policy -----------------------------------------
+
+
+@pytest.mark.parametrize("name", ALL_POLICIES)
+def test_policy_allocates_aligned_disjoint_ranges(name):
+    alloc, _ = make_allocator(name)
+    spans = []
+    for _ in range(12):
+        a = alloc.allocate(pid=1, size=2 * PAGE).allocation
+        assert a.va % PAGE == 0 and a.va >= VA_BASE
+        spans.append((a.va, a.end))
+    spans.sort()
+    for (_, e1), (s2, _) in zip(spans, spans[1:]):
+        assert e1 <= s2
+
+
+@pytest.mark.parametrize("name", ALL_POLICIES)
+def test_policy_survives_free_and_reuse(name):
+    alloc, _ = make_allocator(name)
+    a = alloc.allocate(pid=1, size=4 * PAGE).allocation
+    alloc.free(1, a.va)
+    b = alloc.allocate(pid=1, size=4 * PAGE).allocation
+    assert b.size == 4 * PAGE
+
+
+@pytest.mark.parametrize("name", ALL_POLICIES)
+def test_policy_exhaustion_counts_failed_allocation(name):
+    alloc, table = make_allocator(name, pages=4, k=2, over=1.0)
+    with pytest.raises(AllocationError):
+        for _ in range(table.total_slots + 1):
+            alloc.allocate(pid=1, size=PAGE)
+    assert alloc.failed_allocations == 1
+
+
+def test_policy_instance_accepted_and_unknown_name_rejected():
+    policy = make_va_policy("next-fit")
+    alloc, _ = make_allocator(policy)
+    assert alloc.policy is policy
+    with pytest.raises(ValueError, match="unknown VA policy"):
+        make_va_policy("worst-fit")
+
+
+# -- first-fit ----------------------------------------------------------------
+
+
+def test_first_fit_reuses_lowest_gap():
+    alloc, _ = make_allocator("first-fit")
+    first = alloc.allocate(pid=1, size=PAGE).allocation
+    alloc.allocate(pid=1, size=PAGE)
+    alloc.free(1, first.va)
+    again = alloc.allocate(pid=1, size=PAGE).allocation
+    assert again.va == first.va
+
+
+def test_retry_histogram_tracks_commits():
+    alloc, _ = make_allocator("first-fit", pages=1024, k=8, over=4.0)
+    for _ in range(10):
+        alloc.allocate(pid=1, size=PAGE)
+    assert alloc.retry_histogram[0] == 10  # empty table: all zero-retry
+
+
+# -- next-fit -----------------------------------------------------------------
+
+
+def test_next_fit_roves_past_freed_gap():
+    alloc, _ = make_allocator("next-fit")
+    first = alloc.allocate(pid=1, size=PAGE).allocation
+    second = alloc.allocate(pid=1, size=PAGE).allocation
+    alloc.free(1, first.va)
+    # The cursor sits past `second`: the hole at `first` is skipped.
+    third = alloc.allocate(pid=1, size=PAGE).allocation
+    assert third.va == second.end
+    # ...until the scan wraps back around to it.
+    alloc.free(1, second.va)
+    alloc.free(1, third.va)
+
+
+def test_next_fit_wraps_to_reach_skipped_prefix():
+    """Generator-level: candidates past the cursor first, then the wrap."""
+
+    class EverythingFree:
+        def next_gap(self, start, size):
+            return start
+
+    policy = make_va_policy("next-fit")
+    policy._cursor[1] = 5
+    gen = policy.candidates(EverythingFree(), pid=1, alloc_size=1,
+                            page_size=1, va_base=0, va_limit=8, table=None)
+    assert list(gen) == [5, 6, 7, 0, 1, 2, 3, 4]
+
+
+def test_next_fit_cursor_is_per_process():
+    alloc, _ = make_allocator("next-fit")
+    a = alloc.allocate(pid=1, size=PAGE).allocation
+    b = alloc.allocate(pid=2, size=PAGE).allocation
+    assert a.va == b.va  # pid 2's cursor starts fresh at VA_BASE
+
+
+# -- best-fit -----------------------------------------------------------------
+
+
+def test_best_fit_picks_smallest_sufficient_gap():
+    alloc, _ = make_allocator("best-fit")
+    blocks = [alloc.allocate(pid=1, size=s * PAGE).allocation
+              for s in (2, 1, 3, 1, 8)]
+    # Free the 2-page and 3-page blocks: gaps of 2 and 3 pages plus the
+    # huge tail gap after the last block.
+    alloc.free(1, blocks[0].va)
+    alloc.free(1, blocks[2].va)
+    got = alloc.allocate(pid=1, size=2 * PAGE).allocation
+    assert got.va == blocks[0].va  # 2-page gap beats 3-page and tail
+    got3 = alloc.allocate(pid=1, size=3 * PAGE).allocation
+    assert got3.va == blocks[2].va
+
+
+def test_best_fit_ties_break_to_lowest_address():
+    alloc, _ = make_allocator("best-fit")
+    blocks = [alloc.allocate(pid=1, size=PAGE).allocation for _ in range(5)]
+    alloc.free(1, blocks[1].va)
+    alloc.free(1, blocks[3].va)
+    got = alloc.allocate(pid=1, size=PAGE).allocation
+    assert got.va == blocks[1].va
+
+
+# -- jump ---------------------------------------------------------------------
+
+
+def _fill_table(alloc, table, frac):
+    pid = 0
+    target = int(table.total_slots * frac)
+    while table.entry_count < target:
+        alloc.allocate(pid=9000 + pid, size=PAGE)
+        pid = (pid + 1) % 8
+
+
+def test_jump_never_pays_more_retries_near_full():
+    results = {}
+    for name in ("first-fit", "jump"):
+        alloc, table = make_allocator(name, pages=256, k=4, over=2.0)
+        _fill_table(alloc, table, 0.90)
+        before = alloc.total_retries
+        for i in range(10):
+            alloc.allocate(pid=7000 + i, size=PAGE)
+        results[name] = alloc.total_retries - before
+    assert results["jump"] <= results["first-fit"]
+
+
+def test_jump_memoizes_full_buckets():
+    alloc, table = make_allocator("jump", pages=64, k=2, over=1.0)
+    _fill_table(alloc, table, 0.95)
+    # Force at least one conflicted allocation so a bucket gets memoized.
+    tries = 0
+    while not alloc.policy._full_buckets and tries < 50:
+        try:
+            alloc.allocate(pid=1, size=PAGE)
+        except AllocationError:
+            break
+        tries += 1
+    assert alloc.policy._full_buckets or alloc.total_retries == 0
+
+
+def test_jump_memo_clears_on_free():
+    alloc, _ = make_allocator("jump")
+    policy = alloc.policy
+    policy._full_buckets.add(3)
+    a = alloc.allocate(pid=1, size=PAGE).allocation
+    alloc.free(1, a.va)
+    assert not policy._full_buckets

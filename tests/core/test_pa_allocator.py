@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core.pa_allocator import AsyncBuffer, OutOfMemoryError, PAAllocator
+from repro.core.pa_allocator import (
+    AsyncBuffer,
+    DoubleFreeError,
+    OutOfMemoryError,
+    PAAllocator,
+)
 from repro.sim import Environment
 
 
@@ -20,6 +25,22 @@ def test_free_rejects_out_of_range_ppn():
     pa = PAAllocator(physical_pages=4)
     with pytest.raises(ValueError):
         pa.free(4)
+
+
+def test_free_rejects_double_free():
+    """Regression: a double free used to silently duplicate the page on
+    the free list, breaking conservation two allocations later."""
+    pa = PAAllocator(physical_pages=4)
+    ppn = pa.allocate()
+    pa.free(ppn)
+    with pytest.raises(DoubleFreeError):
+        pa.free(ppn)
+    with pytest.raises(DoubleFreeError):
+        pa.free(3)  # never allocated => still free
+    # The rejected frees left no duplicate behind.
+    assert pa.free_pages == 4
+    assert sorted(pa.free_ppns()) == [0, 1, 2, 3]
+    assert isinstance(DoubleFreeError("x"), ValueError)
 
 
 def test_utilization_tracks_mapped_pages():
