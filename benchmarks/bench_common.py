@@ -9,16 +9,26 @@ from the paper's FPGA testbed; EXPERIMENTS.md records both side by side.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.cluster import ClioCluster
 from repro.core.addr import AccessType
 from repro.core.pipeline import Status
 from repro.net.packet import PacketType
-from repro.params import ClioParams
+from repro.params import BackendParams, ClioParams
 
 KB = 1 << 10
 MB = 1 << 20
 GB = 1 << 30
 US = 1000
+
+
+def backend_params(params: ClioParams | None = None,
+                   **backend_kwargs) -> ClioParams:
+    """Params with the per-backend setup knobs routed through
+    :class:`repro.params.BackendParams` (the non-deprecated path)."""
+    base = params or ClioParams.prototype()
+    return replace(base, backend=BackendParams(**backend_kwargs))
 
 
 def run_app(cluster: ClioCluster, generator):

@@ -193,6 +193,72 @@ def validate_cache_section(data: dict) -> list[str]:
     return problems
 
 
+def validate_cxl_section(data: dict) -> list[str]:
+    """Schema-check the ``cxl`` section of a BENCH_perf.json payload.
+
+    The section carries the three-way trade-off the CXL backend exists
+    to demonstrate, as committed numbers:
+
+    * ``subline_read.*`` — cache-line loads skip RPC framing, so the
+      CXL 64B hot read must beat Clio's;
+    * ``pooled_churn.*`` — write-heavy churn on a shared pool pays
+      coherence (back-invalidation ping-pong), so CXL's churn tail must
+      *lose* to Clio's coherence-free RPC writes;
+    * ``noisy_neighbor.*`` — per-tenant egress shaping holds the victim
+      p99 inflation to <= 1.5x; removing it lets the same aggressors
+      inflate the tail >= 2x.
+    """
+    problems: list[str] = []
+    cxl = data.get("cxl")
+    if not cxl:
+        return ["no 'cxl' section"]
+    for name, cell in cxl.items():
+        if name.startswith("subline_read."):
+            keys = ("ops", "read_p50_ns", "read_p99_ns")
+        elif name.startswith("pooled_churn."):
+            keys = ("clients", "ops", "write_p50_ns", "write_p99_ns")
+        elif name.startswith("noisy_neighbor."):
+            keys = ("victim_base_p99_ns", "victim_noisy_p99_ns",
+                    "inflation", "aggressor_ops")
+        else:
+            problems.append(f"unknown cxl cell {name!r}")
+            continue
+        for key in keys + ("wall_s", "events"):
+            if not isinstance(cell.get(key), (int, float)) or cell[key] <= 0:
+                problems.append(f"{name}: bad {key!r}: {cell.get(key)!r}")
+
+    def cell(name, key):
+        value = cxl.get(name, {}).get(key)
+        return value if isinstance(value, (int, float)) else None
+
+    cxl_read = cell("subline_read.cxl", "read_p50_ns")
+    clio_read = cell("subline_read.clio", "read_p50_ns")
+    if cxl_read is None or clio_read is None:
+        problems.append("missing subline_read.{cxl,clio} cells")
+    elif not cxl_read < clio_read:
+        problems.append(f"CXL sub-line read ({cxl_read} ns) does not beat "
+                        f"Clio ({clio_read} ns)")
+    cxl_churn = cell("pooled_churn.cxl", "write_p99_ns")
+    clio_churn = cell("pooled_churn.clio", "write_p99_ns")
+    if cxl_churn is None or clio_churn is None:
+        problems.append("missing pooled_churn.{cxl,clio} cells")
+    elif not cxl_churn > clio_churn:
+        problems.append(f"CXL pooled churn p99 ({cxl_churn} ns) should "
+                        f"lose to Clio ({clio_churn} ns) but does not")
+    shaped = cell("noisy_neighbor.shaped", "inflation")
+    unshaped = cell("noisy_neighbor.unshaped", "inflation")
+    if shaped is None or unshaped is None:
+        problems.append("missing noisy_neighbor.{shaped,unshaped} cells")
+    else:
+        if shaped > 1.5:
+            problems.append(f"shaped victim p99 inflation {shaped}x "
+                            "exceeds the 1.5x isolation bar")
+        if unshaped < 2.0:
+            problems.append(f"unshaped victim p99 inflation {unshaped}x "
+                            "under 2x: the scenario exerts no pressure")
+    return problems
+
+
 def validate_alloc_section(data: dict) -> list[str]:
     """Schema-check the ``alloc`` section of a BENCH_perf.json payload.
 

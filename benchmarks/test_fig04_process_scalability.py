@@ -6,7 +6,7 @@ latency as QPs exceed the on-chip capacity (and the problem persists
 across RNIC generations).
 """
 
-from bench_common import MB, make_cluster, mean, run_app
+from bench_common import MB, backend_params, make_cluster, mean, run_app
 
 from repro.analysis.report import render_series
 from repro.baselines.rdma import RDMAMemoryNode
@@ -62,7 +62,7 @@ def clio_latency_at(num_processes: int) -> float:
 def rdma_latency_at(num_processes: int) -> float:
     """Mean 16B RDMA read latency (us): one QP per process."""
     env = Environment()
-    node = RDMAMemoryNode(env, ClioParams.prototype(), dram_capacity=1 << 30)
+    node = RDMAMemoryNode(env, backend_params(dram_capacity=1 << 30))
     holder = {}
 
     def setup():

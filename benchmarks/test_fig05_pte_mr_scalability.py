@@ -7,7 +7,15 @@ two flat levels — TLB hit below the TLB size, TLB miss (one DRAM access)
 above — and never fails, up to table sizes corresponding to 4 TB.
 """
 
-from bench_common import KB, MB, make_cluster, mean, median, run_app
+from bench_common import (
+    KB,
+    MB,
+    backend_params,
+    make_cluster,
+    mean,
+    median,
+    run_app,
+)
 
 import pytest
 
@@ -62,8 +70,8 @@ def rdma_pte_sweep(params: ClioParams | None = None) -> list[float]:
     results = []
     for pages in PTE_COUNTS:
         env = Environment()
-        node = RDMAMemoryNode(env, params or ClioParams.prototype(),
-                              dram_capacity=1 << 30)
+        node = RDMAMemoryNode(
+            env, backend_params(params, dram_capacity=1 << 30))
         latencies = []
 
         def experiment(pages=pages, latencies=latencies):
@@ -90,8 +98,7 @@ def rdma_mr_sweep() -> tuple[list[float], int]:
     results = []
     for mrs in MR_COUNTS:
         env = Environment()
-        node = RDMAMemoryNode(env, ClioParams.prototype(),
-                              dram_capacity=1 << 30)
+        node = RDMAMemoryNode(env, backend_params(dram_capacity=1 << 30))
         latencies = []
 
         def experiment(mrs=mrs, latencies=latencies):
@@ -165,8 +172,7 @@ def test_fig05_rdma_fails_beyond_mr_limit(benchmark):
     """RDMA cannot run beyond 2^18 MRs at all; Clio has no such cliff."""
     def attempt():
         env = Environment()
-        node = RDMAMemoryNode(env, ClioParams.prototype(),
-                              dram_capacity=1 << 30)
+        node = RDMAMemoryNode(env, backend_params(dram_capacity=1 << 30))
         node._mrs = dict.fromkeys(range(node.rdma.max_mrs))  # at the limit
 
         def register():

@@ -7,7 +7,7 @@ DRAM access and its hardware page fault adds almost nothing (bounded
 Clio's read below RDMA.
 """
 
-from bench_common import KB, MB, make_cluster, mean, run_app
+from bench_common import KB, MB, backend_params, make_cluster, mean, run_app
 
 from repro.analysis.report import render_table
 from repro.baselines.rdma import RDMAMemoryNode
@@ -65,7 +65,7 @@ def clio_states(params=None) -> dict[str, float]:
 def rdma_states() -> dict[str, float]:
     """RDMA 16B latency (us): PTE hit / PTE+MR miss / ODP page fault."""
     env = Environment()
-    node = RDMAMemoryNode(env, ClioParams.prototype(), dram_capacity=2 << 30)
+    node = RDMAMemoryNode(env, backend_params(dram_capacity=2 << 30))
     results = {}
     samples = {"hit": [], "miss": [], "fault": []}
 

@@ -6,7 +6,15 @@ RDMA shows a long tail reaching into the tens of microseconds and beyond
 (up to milliseconds when the host stack hiccups).
 """
 
-from bench_common import MB, clio_primed_thread, make_cluster, median, p99, run_app
+from bench_common import (
+    MB,
+    backend_params,
+    clio_primed_thread,
+    make_cluster,
+    median,
+    p99,
+    run_app,
+)
 
 from repro.analysis.report import render_table
 from repro.analysis.stats import percentile
@@ -39,7 +47,7 @@ def clio_samples(write: bool) -> list[int]:
 
 def rdma_samples(write: bool) -> list[int]:
     env = Environment()
-    node = RDMAMemoryNode(env, ClioParams.prototype(), dram_capacity=1 << 30)
+    node = RDMAMemoryNode(env, backend_params(dram_capacity=1 << 30))
     latencies: list[int] = []
 
     def workload():

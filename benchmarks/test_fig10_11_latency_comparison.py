@@ -6,7 +6,15 @@ for consistency with a passive MN).  HERD-BF sits far above host-CPU HERD
 (chip-to-chip crossing).  LegoOS is ~2x Clio at small sizes (software MN).
 """
 
-from bench_common import KB, MB, make_cluster, median, clio_primed_thread, run_app
+from bench_common import (
+    KB,
+    MB,
+    backend_params,
+    clio_primed_thread,
+    make_cluster,
+    median,
+    run_app,
+)
 
 from repro.analysis.report import render_series
 from repro.baselines.clover import CloverStore
@@ -44,7 +52,7 @@ def clio_latencies(write: bool) -> list[float]:
 
 def rdma_latencies(write: bool) -> list[float]:
     env = Environment()
-    node = RDMAMemoryNode(env, ClioParams.prototype(), dram_capacity=1 << 30)
+    node = RDMAMemoryNode(env, backend_params(dram_capacity=1 << 30))
     out = []
 
     def experiment():
@@ -68,7 +76,7 @@ def rdma_latencies(write: bool) -> list[float]:
 def clover_latencies(write: bool) -> list[float]:
     """Clover as PDM: reads 1 RTT, writes >= 2 RTTs (client-managed)."""
     env = Environment()
-    store = CloverStore(env, ClioParams.prototype(), dram_capacity=1 << 30)
+    store = CloverStore(env, backend_params(dram_capacity=1 << 30))
     out = []
 
     def experiment():
@@ -92,8 +100,8 @@ def clover_latencies(write: bool) -> list[float]:
 
 def herd_latencies(write: bool, on_bluefield: bool) -> list[float]:
     env = Environment()
-    server = HERDServer(env, ClioParams.prototype(),
-                        on_bluefield=on_bluefield, dram_capacity=1 << 30)
+    server = HERDServer(env, backend_params(dram_capacity=1 << 30),
+                        on_bluefield=on_bluefield)
     out = []
 
     def experiment():
@@ -114,8 +122,7 @@ def herd_latencies(write: bool, on_bluefield: bool) -> list[float]:
 
 def legoos_latencies(write: bool) -> list[float]:
     env = Environment()
-    node = LegoOSMemoryNode(env, ClioParams.prototype(),
-                            dram_capacity=1 << 30)
+    node = LegoOSMemoryNode(env, backend_params(dram_capacity=1 << 30))
     node.map_range(pid=1, va=0, size=4 * MB)
     out = []
 

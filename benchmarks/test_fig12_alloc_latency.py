@@ -7,7 +7,7 @@ size.  ODP registration skips pinning but shifts the cost to 16.8 ms
 faults at access time (Figure 6).
 """
 
-from bench_common import GB, KB, MB, make_cluster, mean, run_app
+from bench_common import GB, KB, MB, backend_params, make_cluster, mean, run_app
 
 from repro.analysis.report import render_series
 from repro.baselines.rdma import RDMAMemoryNode
@@ -60,8 +60,7 @@ def rdma_mr_register_us(pinned: bool) -> list[float]:
     out = []
     for size in SIZES:
         env = Environment()
-        node = RDMAMemoryNode(env, ClioParams.prototype(),
-                              dram_capacity=8 << 30)
+        node = RDMAMemoryNode(env, backend_params(dram_capacity=8 << 30))
         samples = []
 
         def experiment(size=size, samples=samples):

@@ -7,7 +7,7 @@ access, and MR registration + MR-cache pressure grow with the client
 count.
 """
 
-from bench_common import GB, make_cluster, mean, run_app
+from bench_common import GB, backend_params, make_cluster, mean, run_app
 
 from dataclasses import replace
 
@@ -54,7 +54,7 @@ def rdma_runtime_us(num_clients: int) -> float:
     params = ClioParams.prototype()
     params = replace(params, rdma=replace(params.rdma, mr_cache_entries=4,
                                           pte_cache_entries=64))
-    node = RDMAMemoryNode(env, params, dram_capacity=2 * GB)
+    node = RDMAMemoryNode(env, backend_params(params, dram_capacity=2 * GB))
     rng = RandomStream(11, "fig15-rdma")
     runtimes = []
     procs = []

@@ -6,7 +6,7 @@ each level's pointer chase at the MN (one RTT per level); RDMA also
 scales worse as the tree grows.
 """
 
-from bench_common import GB, make_cluster, mean, run_app
+from bench_common import GB, backend_params, make_cluster, mean, run_app
 
 from repro.analysis.report import render_series
 from repro.apps.radix_tree import (
@@ -53,7 +53,7 @@ def clio_search_us(count: int) -> float:
 
 def rdma_search_us(count: int) -> float:
     env = Environment()
-    node = RDMAMemoryNode(env, ClioParams.prototype(), dram_capacity=1 * GB)
+    node = RDMAMemoryNode(env, backend_params(dram_capacity=1 * GB))
     tree = RDMARadixTree(env, node, capacity_nodes=1 << 16)
     keys = tree_keys(count)
     probes = keys[:: max(1, count // PROBES)][:PROBES]

@@ -9,7 +9,7 @@ Scaled down (1K keys, 600 ops/mix) to keep the simulation fast; the
 orderings are scale-free.
 """
 
-from bench_common import GB, MB, make_cluster, mean, run_app
+from bench_common import GB, MB, backend_params, make_cluster, mean, run_app
 
 from repro.analysis.report import render_table
 from repro.apps.kv_store import ClioKV, register_kv_offload
@@ -82,9 +82,7 @@ def baseline_latencies(factory) -> dict[str, float]:
         store = factory(env)
         setup = getattr(store, "setup", None)
         if setup is not None:
-            env.run(until=env.process(store.setup(capacity_slots=1 << 16)
-                                      if isinstance(store, CloverStore)
-                                      else store.setup()))
+            env.run(until=env.process(store.setup()))
 
         def load():
             for key, value in shared.load_phase():
@@ -110,16 +108,13 @@ def baseline_latencies(factory) -> dict[str, float]:
 
 
 def run_experiment():
-    params = ClioParams.prototype()
+    params = backend_params(dram_capacity=2 * GB, capacity_slots=1 << 16)
     return {
         "Clio-KV": clio_kv_latencies(),
-        "Clover": baseline_latencies(
-            lambda env: CloverStore(env, params, dram_capacity=2 * GB)),
-        "HERD": baseline_latencies(
-            lambda env: HERDServer(env, params, dram_capacity=2 * GB)),
+        "Clover": baseline_latencies(lambda env: CloverStore(env, params)),
+        "HERD": baseline_latencies(lambda env: HERDServer(env, params)),
         "HERD-BF": baseline_latencies(
-            lambda env: HERDServer(env, params, on_bluefield=True,
-                                   dram_capacity=2 * GB)),
+            lambda env: HERDServer(env, params, on_bluefield=True)),
     }
 
 

@@ -8,7 +8,7 @@ the MN); HERD-BF consumes the most of all, because its low-power ARM is
 so slow that total runtime balloons.
 """
 
-from bench_common import GB, MB, make_cluster, run_app
+from bench_common import GB, MB, backend_params, make_cluster, run_app
 
 from repro.analysis.report import render_table
 from repro.apps.kv_store import ClioKV, register_kv_offload
@@ -76,7 +76,7 @@ def baseline_runtime_ns(factory) -> int:
     env = Environment()
     store = factory(env)
     if isinstance(store, CloverStore):
-        env.run(until=env.process(store.setup(capacity_slots=1 << 16)))
+        env.run(until=env.process(store.setup()))
 
     def load():
         for key, value in shared.load_phase():
@@ -101,15 +101,13 @@ def baseline_runtime_ns(factory) -> int:
 
 def run_experiment():
     params = ClioParams.prototype()
+    kv = backend_params(params, dram_capacity=2 * GB, capacity_slots=1 << 16)
     runtimes = {
         "Clio": clio_runtime_ns(),
-        "Clover": baseline_runtime_ns(
-            lambda env: CloverStore(env, params, dram_capacity=2 * GB)),
-        "HERD": baseline_runtime_ns(
-            lambda env: HERDServer(env, params, dram_capacity=2 * GB)),
+        "Clover": baseline_runtime_ns(lambda env: CloverStore(env, kv)),
+        "HERD": baseline_runtime_ns(lambda env: HERDServer(env, kv)),
         "HERD-BF": baseline_runtime_ns(
-            lambda env: HERDServer(env, params, on_bluefield=True,
-                                   dram_capacity=2 * GB)),
+            lambda env: HERDServer(env, kv, on_bluefield=True)),
     }
     profiles = default_profiles(params.energy, cn_threads=CN_CORES)
     reports = {name: profiles[name].energy(runtime)

@@ -13,7 +13,9 @@ Run:  python examples/pointer_chasing.py
 from repro import ClioCluster
 from repro.apps.radix_tree import ClioRadixTree, RDMARadixTree, register_chase_offload
 from repro.baselines.rdma import RDMAMemoryNode
-from repro.params import ClioParams
+from dataclasses import replace
+
+from repro.params import BackendParams, ClioParams
 from repro.sim import Environment
 
 MB = 1 << 20
@@ -46,7 +48,9 @@ def clio_search_us(keys: list[bytes], probes: list[bytes]) -> float:
 
 def rdma_search_us(keys: list[bytes], probes: list[bytes]) -> float:
     env = Environment()
-    node = RDMAMemoryNode(env, ClioParams.prototype(), dram_capacity=1 << 30)
+    params = replace(ClioParams.prototype(),
+                     backend=BackendParams(dram_capacity=1 << 30))
+    node = RDMAMemoryNode(env, params)
     tree = RDMARadixTree(env, node, capacity_nodes=1 << 17)
     latencies: list[int] = []
 

@@ -16,16 +16,40 @@ cliffs, fault-path costs, and per-op handling budgets, all of which are
 first-class here.
 """
 
+from repro.baselines.api import (
+    BACKEND_NAMES,
+    BACKENDS,
+    BackendCapability,
+    ClioBackend,
+    CloverBackend,
+    HERDBackend,
+    HERDBlueFieldBackend,
+    LegoOSBackend,
+    MemoryBackend,
+    RDMABackend,
+    create_backend,
+)
 from repro.baselines.clover import CloverStore
 from repro.baselines.herd import HERDServer
 from repro.baselines.legoos import LegoOSMemoryNode
 from repro.baselines.rdma import MRRegistrationError, RDMAMemoryNode, MemoryRegion
 
 __all__ = [
+    "BACKEND_NAMES",
+    "BACKENDS",
+    "BackendCapability",
+    "ClioBackend",
+    "CloverBackend",
     "CloverStore",
+    "HERDBackend",
+    "HERDBlueFieldBackend",
     "HERDServer",
+    "LegoOSBackend",
     "LegoOSMemoryNode",
+    "MemoryBackend",
     "MRRegistrationError",
     "MemoryRegion",
+    "RDMABackend",
     "RDMAMemoryNode",
+    "create_backend",
 ]

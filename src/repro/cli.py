@@ -135,82 +135,60 @@ def cmd_goodput(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    from repro.baselines.herd import HERDServer
-    from repro.baselines.legoos import LegoOSMemoryNode
-    from repro.baselines.rdma import RDMAMemoryNode
-    from repro.sim import Environment
+    """Same workload through every backend via the MemoryBackend protocol.
+
+    One generic loop — setup, alloc, prime, timed reads (and, with
+    ``--write``, timed writes) — runs unchanged against each selected
+    backend; nothing here knows any system's native API.  Adding a
+    backend to :data:`repro.baselines.api.BACKEND_NAMES` adds its row.
+    """
+    from repro.baselines.api import BACKEND_NAMES, create_backend
 
     size = _parse_size(args.size)
     params = _profile(args.profile)
+    if args.backends == "all":
+        names = BACKEND_NAMES
+    else:
+        names = tuple(name.strip() for name in args.backends.split(","))
+        unknown = [name for name in names if name not in BACKEND_NAMES]
+        if unknown:
+            raise SystemExit(f"unknown backends {unknown}; "
+                             f"choose from {', '.join(BACKEND_NAMES)}")
     rows = []
+    for name in names:
+        backend = create_backend(name, params=params, seed=args.seed)
+        reads = LatencyRecorder(f"{name}/read")
+        writes = LatencyRecorder(f"{name}/write")
+        payload = b"g" * size
 
-    # Clio
-    cluster = ClioCluster(params=params, seed=args.seed, mn_capacity=1 * GB)
-    thread = cluster.cn(0).process("mn0").thread()
-    recorder = LatencyRecorder("clio")
-
-    def clio_app():
-        va = yield from thread.ralloc(4 * MB)
-        yield from thread.rwrite(va, b"p" * size)
-        for _ in range(args.ops):
-            start = cluster.env.now
-            yield from thread.rread(va, size)
-            recorder.add(cluster.env.now - start)
-
-    cluster.run(until=cluster.env.process(clio_app()))
-    rows.append(["Clio", round(recorder.median_ns / 1000, 2),
-                 round(recorder.p99_ns / 1000, 2)])
-
-    # RDMA
-    env = Environment()
-    node = RDMAMemoryNode(env, params, dram_capacity=1 * GB)
-    samples = LatencyRecorder("rdma")
-
-    def rdma_app():
-        region = yield from node.register_mr(4 * MB, pinned=True)
-        qp = node.create_qp()
-        for _ in range(args.ops):
-            _, latency = yield from node.read(qp, region, 0, size)
-            samples.add(latency)
-
-    env.run(until=env.process(rdma_app()))
-    rows.append(["RDMA", round(samples.median_ns / 1000, 2),
-                 round(samples.p99_ns / 1000, 2)])
-
-    # HERD / HERD-BF
-    for bluefield in (False, True):
-        env = Environment()
-        server = HERDServer(env, params, on_bluefield=bluefield,
-                            dram_capacity=1 * GB)
-        samples = LatencyRecorder("herd")
-
-        def herd_app(server=server, samples=samples):
+        def app(backend=backend, reads=reads, writes=writes):
+            yield from backend.setup()
+            handle = yield from backend.alloc(4 * MB)
+            yield from backend.write(handle, 0, b"p" * size)
             for _ in range(args.ops):
-                _, latency = yield from server.raw_read(0, size)
-                samples.add(latency)
+                start = backend.env.now
+                yield from backend.read(handle, 0, size)
+                reads.add(backend.env.now - start)
+            if args.write:
+                for _ in range(args.ops):
+                    start = backend.env.now
+                    yield from backend.write(handle, 0, payload)
+                    writes.add(backend.env.now - start)
+            yield from backend.free(handle)
 
-        env.run(until=env.process(herd_app()))
-        rows.append(["HERD-BF" if bluefield else "HERD",
-                     round(samples.median_ns / 1000, 2),
-                     round(samples.p99_ns / 1000, 2)])
+        backend.run_process(app())
+        row = [name, round(reads.median_ns / 1000, 2),
+               round(reads.p99_ns / 1000, 2)]
+        if args.write:
+            row += [round(writes.median_ns / 1000, 2),
+                    round(writes.p99_ns / 1000, 2)]
+        rows.append(row)
 
-    # LegoOS
-    env = Environment()
-    lego = LegoOSMemoryNode(env, params, dram_capacity=1 * GB)
-    lego.map_range(pid=1, va=0, size=4 * MB)
-    samples = LatencyRecorder("legoos")
-
-    def lego_app():
-        for _ in range(args.ops):
-            _, latency = yield from lego.read(1, 0, size)
-            samples.add(latency)
-
-    env.run(until=env.process(lego_app()))
-    rows.append(["LegoOS", round(samples.median_ns / 1000, 2),
-                 round(samples.p99_ns / 1000, 2)])
-
-    print(render_table(f"{size}B read latency across systems ({args.profile})",
-                       ["system", "median us", "p99 us"], rows))
+    headers = ["backend", "read median us", "read p99 us"]
+    if args.write:
+        headers += ["write median us", "write p99 us"]
+    print(render_table(
+        f"{size}B latency across backends ({args.profile})", headers, rows))
     return 0
 
 
@@ -237,8 +215,13 @@ def cmd_alloc(args) -> int:
 
     cluster.run(until=cluster.env.process(clio_app()))
 
+    from dataclasses import replace
+
+    from repro.params import BackendParams
+
     env = Environment()
-    node = RDMAMemoryNode(env, params, dram_capacity=8 * GB)
+    node = RDMAMemoryNode(
+        env, replace(params, backend=BackendParams(dram_capacity=8 * GB)))
 
     def rdma_app():
         start = env.now
@@ -495,6 +478,27 @@ def cmd_verify(args) -> int:
                 clients=args.rack_clients, ops_per_client=args.ops,
                 scenario=scenario, partitioned=args.pdes))
 
+    if getattr(args, "qos", False):
+        # The multi-tenant acceptance rows: the noisy-neighbor scenario
+        # shaped and unshaped, with the oracle and invariant sweeps on.
+        # Shaped must hold the victim's p99 inflation to <= 1.5x; the
+        # unshaped row documents the leak QoS closes (>= 2x).
+        from repro.verify import run_qos_noisy_neighbor
+        for shaping in (True, False):
+            result = run_qos_noisy_neighbor(
+                seed=args.seed, shaping=shaping, partitioned=args.pdes)
+            audit(result)
+            inflation = result.extras["victim_p99_inflation"]
+            if shaping and inflation > 1.5:
+                failures.append(
+                    f"{result.name}: victim p99 inflated {inflation:.2f}x "
+                    "with shaping on (bar: <= 1.5x)")
+            if not shaping and inflation < 2.0:
+                failures.append(
+                    f"{result.name}: victim p99 inflated only "
+                    f"{inflation:.2f}x unshaped — the scenario no longer "
+                    "congests the shared egress (expected >= 2x)")
+
     chaos = run_verified_chaos(args.scenario, seed=args.seed or 1234,
                                ops_per_worker=args.ops * 10,
                                partitioned=args.pdes)
@@ -649,6 +653,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="latency across systems")
     compare.add_argument("--size", default="16")
     compare.add_argument("--ops", type=int, default=400)
+    compare.add_argument("--backends", default="all",
+                         help="comma-separated backend names, or 'all' "
+                              "(clio, cxl, rdma, legoos, clover, herd, "
+                              "herd-bf)")
+    compare.add_argument("--write", action="store_true",
+                         help="also time writes (second column pair)")
     compare.set_defaults(func=cmd_compare)
 
     alloc = sub.add_parser(
@@ -729,6 +739,10 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--rack-clients", type=int, default=64,
                         help="zipfian clients in the rack passes "
                              "(default: 64)")
+    verify.add_argument("--qos", action="store_true",
+                        help="add the multi-tenant passes: the "
+                             "noisy-neighbor scenario shaped (victim "
+                             "p99 inflation <= 1.5x) and unshaped")
     verify.set_defaults(func=cmd_verify)
 
     rack = sub.add_parser(

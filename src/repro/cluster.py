@@ -128,6 +128,9 @@ class ClioCluster:
         # Hot-page caching (repro.cache) is opt-in the same way: off, the
         # directory node doesn't exist and no op is intercepted.
         self.cache_dir = None
+        # Multi-tenant egress shaping (repro.net.qos) is opt-in the same
+        # way: off, the switch consults no shaper and schedules nothing.
+        self.qos_shapers: dict[str, object] = {}
         self._switch_env = switch_env
 
     def _register_partition_metrics(self) -> None:
@@ -299,6 +302,65 @@ class ClioCluster:
             if drain:
                 processes.append(self.env.process(node.cache.shutdown()))
         return processes
+
+    # -- multi-tenant QoS (repro.net.qos) ------------------------------------------
+
+    def enable_qos(self, qos=None):
+        """Opt into per-tenant egress shaping at the switch.
+
+        ``qos`` overrides ``self.params.qos``: pass a
+        :class:`~repro.params.QoSParams`, or a tuple of
+        :class:`~repro.params.TenantConfig` as shorthand.  Installs one
+        :class:`~repro.net.qos.EgressShaper` in front of every shaped
+        egress port (by default each MN downlink — the port incast
+        congests); packets from nodes in no tenant bypass shaping.
+        Returns the ``{node: shaper}`` mapping.  Idempotent: a second
+        call reinstalls the existing shapers.
+        """
+        from dataclasses import replace as _replace
+
+        from repro.net.qos import EgressShaper
+        from repro.params import QoSParams
+        if qos is not None:
+            if isinstance(qos, tuple):
+                qos = QoSParams(tenants=qos)
+            self.params = _replace(self.params, qos=qos)
+        switches = (self.topology.tor_switches
+                    if hasattr(self.topology, "tor_switches")
+                    else [self.topology.switch])
+        if self.qos_shapers:
+            for node, shaper in self.qos_shapers.items():
+                for switch in switches:
+                    if node in switch._downlinks:
+                        switch.install_shaper(node, shaper)
+            return self.qos_shapers
+        config = self.params.qos
+        if not config.tenants:
+            raise ValueError(
+                "enable_qos needs at least one TenantConfig "
+                "(ClioParams.qos.tenants or the qos= argument)")
+        if config.shape_mn_egress:
+            for board in self.mns:
+                for switch in switches:
+                    downlink = switch._downlinks.get(board.name)
+                    if downlink is None:
+                        continue
+                    shaper = EgressShaper(
+                        switch.env, board.name, downlink, config,
+                        port_rate_bps=downlink.rate_bps,
+                        registry=self.metrics)
+                    switch.install_shaper(board.name, shaper)
+                    self.qos_shapers[board.name] = shaper
+        return self.qos_shapers
+
+    def disable_qos(self) -> None:
+        """Stop shaping (stats kept; held packets still drain)."""
+        switches = (self.topology.tor_switches
+                    if hasattr(self.topology, "tor_switches")
+                    else [self.topology.switch])
+        for node in self.qos_shapers:
+            for switch in switches:
+                switch.remove_shaper(node)
 
     def board(self, name: str) -> CBoard:
         """Memory node by name (fault schedules address boards by name)."""

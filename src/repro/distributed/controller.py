@@ -49,6 +49,7 @@ class RegionLease:
     size: int
     pid: int                # PID used on the backing board
     generation: int = 0     # bumped on every migration
+    tenant: str = "default"  # tenant charged for the capacity
 
 
 @dataclass
@@ -61,6 +62,24 @@ class _BoardState:
 
 class PlacementError(Exception):
     """No MN can host the requested region."""
+
+
+class TenantQuotaExceeded(PlacementError):
+    """The tenant's capacity quota cannot cover the requested region.
+
+    A subclass of :class:`PlacementError` so quota-unaware callers keep
+    working, but typed so a tenant-aware CN can tell "the pool is full"
+    apart from "you hit your own ceiling — free something first".
+    """
+
+    def __init__(self, tenant: str, requested: int, used: int, quota: int):
+        super().__init__(
+            f"tenant {tenant!r} quota exceeded: {requested} bytes requested,"
+            f" {used}/{quota} bytes already in use")
+        self.tenant = tenant
+        self.requested = requested
+        self.used = used
+        self.quota = quota
 
 
 class LeaseLost(Exception):
@@ -97,7 +116,8 @@ class GlobalController:
     """
 
     def __init__(self, env: Environment, boards: list[CBoard],
-                 pressure_threshold: float = 0.85, health=None, shard=None):
+                 pressure_threshold: float = 0.85, health=None, shard=None,
+                 qos=None, registry=None):
         if not boards:
             raise ValueError("need at least one board")
         if not 0.0 < pressure_threshold <= 1.0:
@@ -130,6 +150,43 @@ class GlobalController:
         # Cache coherence (repro.cache); when set, migration and free
         # recall every cached copy of the region before touching it.
         self.cache_directory = None
+        # Capacity QoS: with a QoSParams attached, allocations are
+        # charged to tenants and a tenant with quota_bytes set is
+        # rejected (typed) once its page-rounded footprint would pass
+        # the ceiling.  Tenants outside the config — including the
+        # implicit "default" — are accounted but never capped.
+        self.qos = qos
+        self._quotas: dict[str, Optional[int]] = {}
+        if qos is not None:
+            for tenant in qos.tenants:
+                self._quotas[tenant.name] = tenant.quota_bytes
+        self._tenant_usage: dict[str, int] = {}
+        self.quota_rejections = 0
+        if registry is not None:
+            self._register_tenant_metrics(registry)
+
+    def _register_tenant_metrics(self, registry) -> None:
+        scope = registry.scope("tenant")
+        scope.counter("quota_rejections",
+                      "allocations refused by a tenant quota",
+                      fn=lambda: self.quota_rejections)
+        for name, quota in self._quotas.items():
+            tenant_scope = registry.scope(f"tenant.{name}")
+            tenant_scope.gauge("used_bytes", "capacity charged to the tenant",
+                              unit="bytes",
+                              fn=lambda n=name: self._tenant_usage.get(n, 0))
+            tenant_scope.gauge("quota_bytes",
+                              "capacity ceiling (0 = uncapped)",
+                              unit="bytes",
+                              fn=lambda q=quota: q or 0)
+            tenant_scope.gauge("regions", "regions owned by the tenant",
+                              fn=lambda n=name: sum(
+                                  1 for lease in self._leases.values()
+                                  if lease.tenant == n))
+
+    def tenant_usage(self, tenant: str) -> int:
+        """Bytes currently charged to ``tenant`` (page-rounded)."""
+        return self._tenant_usage.get(tenant, 0)
 
     # -- board registry ----------------------------------------------------------------
 
@@ -265,9 +322,22 @@ class GlobalController:
                 return name
         return None
 
-    def allocate(self, pid: int, size: int):
-        """Process-generator: place and allocate a region; returns a lease."""
+    def allocate(self, pid: int, size: int, tenant: str = "default"):
+        """Process-generator: place and allocate a region; returns a lease.
+
+        ``tenant`` is charged for the region's capacity.  A tenant whose
+        :class:`~repro.params.TenantConfig` pins ``quota_bytes`` is
+        refused with :class:`TenantQuotaExceeded` once the request would
+        push it past the ceiling; the check runs before placement so a
+        capped tenant cannot even transiently claim board capacity.
+        Usage is charged at the board's page-rounded grant.
+        """
         yield self.env.timeout(CONTROLLER_NS)
+        quota = self._quotas.get(tenant)
+        used = self._tenant_usage.get(tenant, 0)
+        if quota is not None and used + size > quota:
+            self.quota_rejections += 1
+            raise TenantQuotaExceeded(tenant, size, used, quota)
         region_id = next(self._region_ids)
         if self.shard is not None:
             name = self._pick_sharded(region_id, size)
@@ -281,8 +351,10 @@ class GlobalController:
             raise PlacementError(
                 f"{name} rejected a {size}-byte region: {response.error}")
         lease = RegionLease(region_id=region_id, mn=name,
-                            va=response.va, size=response.size, pid=pid)
+                            va=response.va, size=response.size, pid=pid,
+                            tenant=tenant)
         self._leases[lease.region_id] = lease
+        self._tenant_usage[tenant] = used + response.size
         state.regions.add(lease.region_id)
         self._note_utilization(name)
         if self.shard is not None:
@@ -320,6 +392,8 @@ class GlobalController:
                 frozen = yield from self.cache_directory.freeze_region(
                     lease.pid, lease.mn, lease.va, lease.size)
             del self._leases[region_id]
+            remaining = self._tenant_usage.get(lease.tenant, 0) - lease.size
+            self._tenant_usage[lease.tenant] = max(0, remaining)
             state = self._boards[lease.mn]
             state.regions.discard(region_id)
             if self.shard is not None:

@@ -65,6 +65,11 @@ class RackSwitch(Switch):
             self.spine_uplink.send(packet)
             return
         self.packets_forwarded += 1
+        if self._shapers:
+            shaper = self._shapers.get(packet.header.dst)
+            if shaper is not None:
+                shaper.send(packet)
+                return
         downlink.send(packet)
 
 

@@ -30,6 +30,9 @@ class Switch:
         self.env = env
         self.forward_ns = forward_ns
         self._downlinks: dict[str, Link] = {}
+        # Per-egress shapers (repro.net.qos), installed by enable_qos;
+        # empty on a QoS-off cluster, where _forward never consults one.
+        self._shapers: dict[str, object] = {}
         self.packets_forwarded = 0
         self.unroutable = 0
         self.metrics = (registry if registry is not None
@@ -48,6 +51,25 @@ class Switch:
         if node in self._downlinks:
             raise ValueError(f"node {node!r} already attached")
         self._downlinks[node] = downlink
+        # Per-egress-queue depth, under the switch's own scope (the link
+        # has a gauge too, but only the switch can add shaper backlog —
+        # and `repro metrics` readers want all egress queues in one
+        # place, keyed by the attached node).
+        self.metrics.gauge(f"queue.{node}.depth",
+                           "packets queued at this egress (link + shaper)",
+                           fn=lambda n=node: self.egress_queue_depth(n))
+
+    def install_shaper(self, node: str, shaper) -> None:
+        """Route ``node``'s egress through a per-tenant shaper."""
+        if node not in self._downlinks:
+            raise KeyError(f"node {node!r} not attached")
+        self._shapers[node] = shaper
+
+    def remove_shaper(self, node: str) -> None:
+        self._shapers.pop(node, None)
+
+    def shaper_for(self, node: str):
+        return self._shapers.get(node)
 
     def ingress(self, packet: Packet) -> None:
         """Receive a packet from any uplink and forward it."""
@@ -60,10 +82,23 @@ class Switch:
             self.unroutable += 1
             return
         self.packets_forwarded += 1
+        if self._shapers:
+            shaper = self._shapers.get(packet.header.dst)
+            if shaper is not None:
+                shaper.send(packet)
+                return
         downlink.send(packet)
 
     def downlink_queue_depth(self, node: str) -> int:
         return self._downlinks[node].queue_depth
+
+    def egress_queue_depth(self, node: str) -> int:
+        """Link serializer queue plus any shaper backlog for ``node``."""
+        depth = self._downlinks[node].queue_depth
+        shaper = self._shapers.get(node)
+        if shaper is not None:
+            depth += shaper.backlog
+        return depth
 
 
 class Topology:

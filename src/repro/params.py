@@ -297,6 +297,179 @@ class AllocParams:
 
 
 # ---------------------------------------------------------------------------
+# Multi-tenant QoS parameters (repro.net.qos + controller quotas)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant of a pooled memory deployment.
+
+    ``clients`` are CN node names (``"cn0"``): the switch-egress shaper
+    classifies packets by their source node, so a tenant is the set of
+    compute nodes it runs on.  ``share`` is the fraction of the shaped
+    egress port (or of the CXL pool port) reserved for the tenant;
+    ``quota_bytes`` caps the tenant's allocated capacity (``None`` =
+    uncapped) wherever capacity QoS is enforced (the global controller,
+    the CXL pool allocator).
+    """
+
+    name: str
+    clients: tuple = ()
+    share: float = 1.0
+    quota_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant needs a non-empty name")
+        if not 0.0 < self.share <= 1.0:
+            raise ValueError(
+                f"tenant {self.name!r}: share must be in (0, 1], "
+                f"got {self.share}")
+        if self.quota_bytes is not None and self.quota_bytes <= 0:
+            raise ValueError(
+                f"tenant {self.name!r}: quota_bytes must be positive, "
+                f"got {self.quota_bytes}")
+
+
+@dataclass(frozen=True)
+class QoSParams:
+    """Multi-tenant isolation knobs — opt-in, inert by default.
+
+    Nothing reads these unless ``ClioCluster.enable_qos()`` is called
+    (or the CXL pool is built with tenants): a QoS-off run installs no
+    shaper, schedules zero extra events, and stays bit-identical to the
+    pre-QoS goldens.
+
+    ``burst_bytes`` is the token-bucket depth per tenant at a shaped
+    egress queue: how far a tenant may exceed its reserved rate before
+    its packets queue in the shaper.  Shares are *reservations*, not
+    work-conserving weights: a tenant is never throttled below its
+    share, and never rides above it through another tenant's idleness —
+    that hard ceiling is what makes the isolation guarantee composable.
+    """
+
+    tenants: tuple = ()
+    burst_bytes: int = 3 * KB              # ~2 MTU-sized packets
+    shape_mn_egress: bool = True           # shape switch->MN downlinks
+
+    def __post_init__(self) -> None:
+        if self.burst_bytes <= 0:
+            raise ValueError(
+                f"burst_bytes must be positive, got {self.burst_bytes}")
+        names = [tenant.name for tenant in self.tenants]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate tenant names: {names}")
+        total = sum(tenant.share for tenant in self.tenants)
+        if self.tenants and total > 1.0 + 1e-9:
+            raise ValueError(
+                f"tenant shares sum to {total}, must be <= 1.0 "
+                "(shares are hard reservations of one port)")
+        clients = [c for tenant in self.tenants for c in tenant.clients]
+        if len(clients) != len(set(clients)):
+            raise ValueError(
+                f"a client node may belong to only one tenant: {clients}")
+
+    def tenant_of(self, node: str):
+        """The tenant a CN node belongs to, or ``None`` (unshaped)."""
+        for tenant in self.tenants:
+            if node in tenant.clients:
+                return tenant
+        return None
+
+
+# ---------------------------------------------------------------------------
+# CXL load/store backend parameters (repro.baselines.cxl)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CXLParams:
+    """Cache-line-granularity load/store pooled memory (CXL 2.0-style).
+
+    The model is a timing model in the spirit of the other baselines —
+    calibrated to published CXL.mem measurements (CXL-DMSim, emucxl):
+    a far-memory line load lands in the 300-400 ns band, roughly 2-3x
+    local DRAM and ~5x *below* an RDMA round trip, because a load/store
+    has no RPC framing, no NIC doorbell, and no header amortization to
+    win back.  The flip side the model also keeps: every access moves
+    whole 64 B lines (sub-line wins, bulk loses), and pooled sharing
+    pays coherence — a store to a line another host holds dirty must
+    snoop and back-invalidate it first.
+    """
+
+    line_bytes: int = 64                   # CXL.mem transfer granularity
+    load_ns: int = 350                     # far-memory line load (pooled)
+    store_ns: int = 300                    # posted store to pooled device
+    hdm_decode_ns: int = 30                # HDM decoder + interleave math
+    switch_hop_ns: int = 80                # CXL switch traversal (pooling)
+    line_pipeline_ns: int = 40             # per extra line, pipelined
+    port_rate_bps: int = 64 * GBPS         # x8 CXL 2.0 link
+    hdm_program_ns: int = 500              # decoder reprogram on alloc
+    coherence: bool = True                 # track cross-host line sharing
+    snoop_ns: int = 180                    # probe a clean remote copy
+    back_invalidate_ns: int = 500          # recall a dirty remote line
+    back_invalidate_pipelined_ns: int = 200  # per extra recalled line
+
+    def __post_init__(self) -> None:
+        if self.line_bytes < 8 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(
+                f"line_bytes must be a power of two >= 8, "
+                f"got {self.line_bytes}")
+        for name in ("load_ns", "store_ns", "port_rate_bps"):
+            if getattr(self, name) <= 0:
+                raise ValueError(
+                    f"{name} must be positive, got {getattr(self, name)}")
+        for name in ("hdm_decode_ns", "switch_hop_ns", "line_pipeline_ns",
+                     "hdm_program_ns", "snoop_ns", "back_invalidate_ns",
+                     "back_invalidate_pipelined_ns"):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"{name} must be non-negative, got {getattr(self, name)}")
+
+
+# ---------------------------------------------------------------------------
+# Backend selection (repro.baselines.api)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BackendParams:
+    """Setup knobs for the comparison backends, in one place.
+
+    Mirrors :class:`AllocParams`: the per-backend constructor kwargs that
+    used to be scattered across ``benchmarks/`` (``dram_capacity=...``,
+    ``on_bluefield=...``, ``capacity_slots=...``) fold into this block,
+    so an experiment swaps backends by swapping ``ClioParams.backend``
+    and nothing else.  Direct constructor kwargs still work but are
+    deprecated (they warn).
+    """
+
+    name: str = "clio"                     # default comparison subject
+    dram_capacity: int | None = None     # None = CBoardParams default
+    pinned: bool = True                    # RDMA: pin MRs at registration
+    capacity_slots: int = 1 << 16          # Clover: value slots in the MR
+    server_cores: int | None = None      # HERD: RPC polling cores
+    tenant: str = "default"                # CXL: tenant the backend runs as
+
+    _KNOWN = ("clio", "rdma", "legoos", "clover", "herd", "herd-bf", "cxl")
+
+    def __post_init__(self) -> None:
+        if self.name not in self._KNOWN:
+            raise ValueError(
+                f"backend must be one of {self._KNOWN}, got {self.name!r}")
+        if self.dram_capacity is not None and self.dram_capacity <= 0:
+            raise ValueError(
+                f"dram_capacity must be positive, got {self.dram_capacity}")
+        if self.capacity_slots <= 0:
+            raise ValueError(
+                f"capacity_slots must be positive, got {self.capacity_slots}")
+        if self.server_cores is not None and self.server_cores <= 0:
+            raise ValueError(
+                f"server_cores must be positive, got {self.server_cores}")
+
+
+# ---------------------------------------------------------------------------
 # RDMA baseline parameters
 # ---------------------------------------------------------------------------
 
@@ -420,6 +593,9 @@ class ClioParams:
     legoos: LegoOSParams = field(default_factory=LegoOSParams)
     clover: CloverParams = field(default_factory=CloverParams)
     herd: HERDParams = field(default_factory=HERDParams)
+    cxl: CXLParams = field(default_factory=CXLParams)
+    qos: QoSParams = field(default_factory=QoSParams)
+    backend: BackendParams = field(default_factory=BackendParams)
     energy: EnergyParams = field(default_factory=EnergyParams)
 
     @classmethod

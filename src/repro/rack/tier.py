@@ -28,10 +28,13 @@ class RackTier:
                 f"{config.boards} in service + {config.spares} spares")
         self.ring = ShardRing(vnodes=config.vnodes)
         in_service = cluster.mns[:config.boards]
+        qos = getattr(cluster.params, "qos", None)
         self.controller = GlobalController(
             cluster.env, in_service,
             pressure_threshold=config.pressure_threshold,
-            shard=self.ring)
+            shard=self.ring,
+            qos=qos if qos is not None and qos.tenants else None,
+            registry=cluster.metrics)
         self.membership = RackMembership(
             cluster.env, self.controller, self.ring, config)
         self._register_metrics(cluster.metrics)

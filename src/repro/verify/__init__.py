@@ -25,6 +25,7 @@ from repro.verify.harness import (
     run_batched_ycsb,
     run_cached_ycsb,
     run_kv_linearizability,
+    run_qos_noisy_neighbor,
     run_rack_ycsb,
     run_sync_linearizability,
     run_verified_chaos,
@@ -74,6 +75,7 @@ __all__ = [
     "run_batched_ycsb",
     "run_cached_ycsb",
     "run_kv_linearizability",
+    "run_qos_noisy_neighbor",
     "run_rack_ycsb",
     "run_sync_linearizability",
     "run_verified_chaos",

@@ -1104,3 +1104,188 @@ def run_alloc_churn(scenario: str = "small-large-mix",
                            violations=list(report.violations),
                            report=report.verification,
                            notes=notes, extras=extras)
+
+
+#: Tenant PIDs for the QoS harness: victim and aggressors address
+#: disjoint regions, so the shadow oracle audits them independently.
+_QOS_PID = 9901
+
+
+def run_qos_noisy_neighbor(seed: int = 0, shaping: bool = True,
+                           aggressors: int = 4, aggressor_pages: int = 8,
+                           victim_ops: int = 400,
+                           aggressor_write_bytes: int = 2048,
+                           victim_share: float = 0.7,
+                           trace: bool = False,
+                           deadline_ns: int = 400 * MS,
+                           partitioned: bool = False) -> VerifyRunResult:
+    """Noisy-neighbor isolation under the full checking stack.
+
+    One victim tenant (cn0) issues 64-byte reads against mn0 while an
+    aggressor tenant (cn1..cnN) floods the same board with page-strided
+    pipelined writes — each aggressor keeps ``2 * aggressor_pages``
+    async writes in flight across distinct pages, so the dependency
+    tracker never serializes them and the incast actually builds a
+    standing queue on mn0's downlink.  The victim's read p99 is measured
+    alone (phase A) and under fire (phase B):
+
+    * ``shaping=False``: the aggressor burst parks on the shared egress
+      serializer and victim p99 inflates several-fold — the congestion
+      leak QoS exists to close;
+    * ``shaping=True``: per-tenant GCRA shaping at the switch holds the
+      victim's inflation to ~1.4x (the acceptance bar is <= 1.5x) while
+      the aggressor queues in its own FIFO.
+
+    The shadow oracle audits every byte both tenants move, board
+    invariants sweep at the end, and ``extras["fingerprint"]`` digests
+    the victim's op log plus per-aggressor completion counts — the same
+    seed must produce the same digest flat and partitioned, shaped or
+    not (shaping changes *timing*, which the digest includes, but flat
+    vs partitioned must agree bit-for-bit at equal shaping).
+    """
+    from hashlib import blake2b
+
+    from repro.cluster import ClioCluster
+    from repro.params import QoSParams, TenantConfig
+
+    aggressor_clients = tuple(f"cn{i + 1}" for i in range(aggressors))
+    qos = QoSParams(tenants=(
+        TenantConfig(name="victim", clients=("cn0",), share=victim_share),
+        TenantConfig(name="aggressor", clients=aggressor_clients,
+                     share=round(1.0 - victim_share, 6)),
+    ))
+    params = replace(ClioParams.prototype(), qos=qos)
+    cluster = ClioCluster(params=params, seed=seed,
+                          num_cns=1 + aggressors,
+                          mn_capacity=max(256 * MB,
+                                          2 * aggressors * aggressor_pages
+                                          * params.cboard.default_page_size),
+                          partitioned=partitioned)
+    verifier = cluster.enable_verification()
+    if shaping:
+        cluster.enable_qos()
+    if trace:
+        cluster.enable_tracing()
+    env = cluster.env
+    page = cluster.mn.page_spec.page_size
+
+    victim_thread = cluster.cn(0).process("mn0", pid=_QOS_PID).thread()
+    aggressor_threads = [cluster.cn(i + 1).process("mn0", pid=_QOS_PID)
+                         .thread() for i in range(aggressors)]
+
+    # Prime every page both tenants touch, so phase latencies are
+    # fault-free (first-touch faults would dominate the percentiles).
+    setup = {"aggressor_vas": []}
+
+    def setup_proc():
+        setup["victim_va"] = yield from victim_thread.ralloc(page)
+        yield from victim_thread.rwrite(setup["victim_va"], b"\0" * 64)
+        for thread in aggressor_threads:
+            va = yield from thread.ralloc(aggressor_pages * page)
+            for offset in range(0, aggressor_pages * page, page):
+                yield from thread.rwrite(va + offset, b"\0" * 64)
+            setup["aggressor_vas"].append(va)
+
+    cluster.run(until=env.process(setup_proc()))
+    victim_va = setup["victim_va"]
+
+    state = {"victim_baseline_done": False, "armed": 0, "done": False}
+    base_lat: list[int] = []
+    noisy_lat: list[int] = []
+    aggressor_issued = [0] * aggressors
+    done_events = [env.event() for _ in range(1 + aggressors)]
+
+    def victim():
+        try:
+            for _ in range(victim_ops):
+                start = env.now
+                yield from victim_thread.rread(victim_va, 64)
+                base_lat.append(env.now - start)
+            state["victim_baseline_done"] = True
+            while state["armed"] < aggressors:
+                yield env.timeout(1_000)
+            for _ in range(victim_ops):
+                start = env.now
+                yield from victim_thread.rread(victim_va, 64)
+                noisy_lat.append(env.now - start)
+        finally:
+            state["done"] = True
+            done_events[0].succeed()
+
+    def aggressor(index: int):
+        thread = aggressor_threads[index]
+        va = setup["aggressor_vas"][index]
+        payload = b"\xa5" * aggressor_write_bytes
+        window: list = []
+        try:
+            while not state["victim_baseline_done"]:
+                yield env.timeout(1_000)
+            state["armed"] += 1
+            serial = 0
+            while not state["done"]:
+                offset = (serial % aggressor_pages) * page
+                handle = yield from thread.rwrite_async(va + offset, payload)
+                window.append(handle)
+                serial += 1
+                aggressor_issued[index] = serial
+                if len(window) >= 2 * aggressor_pages:
+                    yield from thread.rpoll([window.pop(0)])
+            if window:
+                yield from thread.rpoll(window)
+        finally:
+            done_events[1 + index].succeed()
+
+    env.process(victim())
+    for index in range(aggressors):
+        env.process(aggressor(index))
+
+    all_done = env.all_of(done_events)
+    cluster.run(until=deadline_ns)
+    notes = [] if all_done.triggered else ["workload hit the deadline"]
+
+    def p99(samples: list[int]) -> int:
+        if not samples:
+            return 0
+        ordered = sorted(samples)
+        return ordered[min(len(ordered) - 1, (len(ordered) * 99) // 100)]
+
+    base_p99 = p99(base_lat)
+    noisy_p99 = p99(noisy_lat)
+    inflation = (noisy_p99 / base_p99) if base_p99 else 0.0
+    digest = blake2b(digest_size=16)
+    for latency in base_lat:
+        digest.update(b"b%d" % latency)
+    for latency in noisy_lat:
+        digest.update(b"n%d" % latency)
+    for issued in aggressor_issued:
+        digest.update(b"a%d" % issued)
+    shaper_stats = {node: shaper.stats()
+                    for node, shaper in cluster.qos_shapers.items()}
+    extras = {
+        "fingerprint": digest.hexdigest(),
+        "victim_base_p99_ns": base_p99,
+        "victim_noisy_p99_ns": noisy_p99,
+        "victim_p99_inflation": round(inflation, 3),
+        "aggressor_ops": sum(aggressor_issued),
+        "shaping": shaping,
+        "shapers": shaper_stats,
+        "sim_now_ns": env.now,
+        "events": env._seq,
+    }
+    notes.append(
+        f"victim p99 {base_p99}ns alone -> {noisy_p99}ns under fire "
+        f"({inflation:.2f}x, shaping {'on' if shaping else 'off'}); "
+        f"{sum(aggressor_issued)} aggressor writes")
+    if shaping:
+        shaped = sum(stats["tenants"]["aggressor"]["shaped"]
+                     for stats in shaper_stats.values())
+        notes.append(f"{shaped} aggressor packets shaped at the switch")
+
+    verifier.sweep()
+    name = "qos-noisy-neighbor[%s]" % ("shaped" if shaping else "unshaped")
+    return VerifyRunResult(name=name, lin=None,
+                           history_len=len(base_lat) + len(noisy_lat),
+                           violations=list(verifier.violations),
+                           report=verifier.report(),
+                           tracer=cluster.tracer, notes=notes,
+                           extras=extras)

@@ -13,7 +13,7 @@ from repro.apps.image_compression import (
 )
 from repro.baselines.rdma import RDMAMemoryNode
 from repro.cluster import ClioCluster
-from repro.params import ClioParams
+from repro.params import BackendParams, ClioParams
 from repro.sim import Environment
 from repro.sim.rng import RandomStream
 
@@ -100,8 +100,9 @@ def test_clio_workload_counts_operations():
 
 def test_rdma_client_matches_content_semantics():
     env = Environment()
-    node = RDMAMemoryNode(env, ClioParams.prototype(),
-                          dram_capacity=512 * MB)
+    from dataclasses import replace
+    node = RDMAMemoryNode(env, replace(
+        ClioParams.prototype(), backend=BackendParams(dram_capacity=512 * MB)))
     client = RDMAImageCompressionClient(env, node, RandomStream(4, "photos"),
                                         image_side=32, slots=2)
     result = {}
@@ -120,8 +121,9 @@ def test_rdma_client_matches_content_semantics():
 
 def test_each_rdma_client_needs_its_own_mr():
     env = Environment()
-    node = RDMAMemoryNode(env, ClioParams.prototype(),
-                          dram_capacity=512 * MB)
+    from dataclasses import replace
+    node = RDMAMemoryNode(env, replace(
+        ClioParams.prototype(), backend=BackendParams(dram_capacity=512 * MB)))
     clients = [
         RDMAImageCompressionClient(env, node, RandomStream(index, "photos"),
                                    image_side=32, slots=1)

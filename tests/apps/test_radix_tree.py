@@ -12,7 +12,7 @@ from repro.apps.radix_tree import (
 )
 from repro.baselines.rdma import RDMAMemoryNode
 from repro.cluster import ClioCluster
-from repro.params import ClioParams
+from repro.params import BackendParams, ClioParams
 from repro.sim import Environment
 
 MB = 1 << 20
@@ -96,7 +96,9 @@ def test_clio_rejects_reserved_value_and_empty_key():
 
 def make_rdma_tree():
     env = Environment()
-    node = RDMAMemoryNode(env, ClioParams.prototype(), dram_capacity=512 * MB)
+    from dataclasses import replace
+    node = RDMAMemoryNode(env, replace(
+        ClioParams.prototype(), backend=BackendParams(dram_capacity=512 * MB)))
     tree = RDMARadixTree(env, node, capacity_nodes=4096)
     return env, node, tree
 

@@ -5,7 +5,7 @@ import pytest
 from repro.baselines.clover import CloverStore
 from repro.baselines.herd import HERDServer
 from repro.baselines.legoos import LegoOSMemoryNode
-from repro.params import ClioParams
+from repro.params import BackendParams, ClioParams
 from repro.sim import Environment
 
 MB = 1 << 20
@@ -18,10 +18,15 @@ def run(env, generator):
 # -- LegoOS ----------------------------------------------------------------------
 
 
+def params_256mb():
+    from dataclasses import replace
+    return replace(ClioParams.prototype(),
+                   backend=BackendParams(dram_capacity=256 * MB))
+
+
 def make_legoos():
     env = Environment()
-    node = LegoOSMemoryNode(env, ClioParams.prototype(),
-                            dram_capacity=256 * MB)
+    node = LegoOSMemoryNode(env, params_256mb())
     return env, node
 
 
@@ -76,7 +81,7 @@ def test_legoos_tracks_cpu_busy_time():
 
 def make_clover():
     env = Environment()
-    store = CloverStore(env, ClioParams.prototype(), dram_capacity=256 * MB)
+    store = CloverStore(env, params_256mb())
     run(env, store.setup())
     return env, store
 
@@ -120,8 +125,7 @@ def test_clover_oversized_value_rejected():
 
 def make_herd(on_bluefield=False):
     env = Environment()
-    server = HERDServer(env, ClioParams.prototype(),
-                        on_bluefield=on_bluefield, dram_capacity=256 * MB)
+    server = HERDServer(env, params_256mb(), on_bluefield=on_bluefield)
     return env, server
 
 

@@ -5,7 +5,7 @@ import pytest
 from dataclasses import replace
 
 from repro.baselines.rdma import MRRegistrationError, RDMAMemoryNode
-from repro.params import ClioParams, MS, US
+from repro.params import BackendParams, ClioParams, MS, US
 from repro.sim import Environment
 
 MB = 1 << 20
@@ -16,7 +16,8 @@ def make_node(**overrides):
     params = ClioParams.prototype()
     if overrides:
         params = replace(params, rdma=replace(params.rdma, **overrides))
-    node = RDMAMemoryNode(env, params, dram_capacity=256 * MB)
+    params = replace(params, backend=BackendParams(dram_capacity=256 * MB))
+    node = RDMAMemoryNode(env, params)
     return env, node
 
 

@@ -45,8 +45,22 @@ def test_latency_write_mode(capsys):
 def test_compare_command(capsys):
     assert main(["compare", "--size", "16", "--ops", "60"]) == 0
     out = capsys.readouterr().out
-    for system in ("Clio", "RDMA", "HERD", "HERD-BF", "LegoOS"):
-        assert system in out
+    for backend in ("clio", "cxl", "rdma", "herd", "herd-bf", "legoos",
+                    "clover"):
+        assert backend in out
+
+
+def test_compare_backend_subset_and_write(capsys):
+    assert main(["compare", "--backends", "clio,cxl", "--size", "64",
+                 "--ops", "30", "--write"]) == 0
+    out = capsys.readouterr().out
+    assert "write median us" in out
+    assert "rdma" not in out
+
+
+def test_compare_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        main(["compare", "--backends", "clio,nvme-of", "--ops", "10"])
 
 
 def test_alloc_command(capsys):

@@ -72,3 +72,43 @@ def test_paper_headline_constants():
 def test_rdma_profiles_distinct():
     assert RDMAParams().pte_cache_entries == 256
     assert RDMAParams.cloudlab().qp_cache_entries == 1024
+
+
+def test_cxl_params_defaults():
+    from repro.params import CXLParams
+
+    cxl = CXLParams()
+    assert cxl.line_bytes == 64
+    assert cxl.load_ns == 350 and cxl.store_ns == 300
+    assert cxl.coherence
+    with pytest.raises(ValueError):
+        CXLParams(line_bytes=48)          # not a power of two
+
+
+def test_backend_params_defaults_and_validation():
+    from repro.params import BackendParams, ClioParams
+
+    backend = BackendParams()
+    assert backend.name == "clio"
+    assert backend.tenant == "default"
+    with pytest.raises(ValueError):
+        BackendParams(name="nvme-of")
+    params = ClioParams.prototype()
+    assert params.backend.name == "clio"
+    assert params.qos.tenants == ()
+    assert params.cxl.line_bytes == 64
+
+
+def test_tenant_config_validation():
+    from repro.params import TenantConfig
+
+    tenant = TenantConfig(name="gold", clients=("cn0",), share=0.5,
+                          quota_bytes=1 << 20)
+    assert tenant.quota_bytes == 1 << 20
+    with pytest.raises(ValueError):
+        TenantConfig(name="", clients=("cn0",), share=0.5)
+    # Empty clients is allowed: a capacity-only tenant (controller
+    # quotas) has no CNs to classify at the switch.
+    assert TenantConfig(name="x", share=0.5).clients == ()
+    with pytest.raises(ValueError):
+        TenantConfig(name="x", clients=("cn0",), share=0.5, quota_bytes=-1)
